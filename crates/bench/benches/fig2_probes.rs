@@ -1,0 +1,66 @@
+//! Figure 2: probes received during an update (a) and per-switch rule
+//! overhead (b), comparing the naïve update, the synthesized ordering update,
+//! and the two-phase update on the paper's Figure 1 style datacenter
+//! topology.
+
+use netupd_bench::{diamond_workload, print_header, print_row, TopologyFamily};
+use netupd_synth::baselines::{naive_update, ordering_rule_overhead, two_phase_update};
+use netupd_synth::exec::{run_with_probes, ProbeExperiment};
+use netupd_synth::Synthesizer;
+use netupd_topo::scenario::PropertyKind;
+
+fn main() {
+    let workload = diamond_workload(TopologyFamily::FatTree, 20, PropertyKind::Reachability, 2);
+    let problem = &workload.problem;
+
+    let ordering = Synthesizer::new(problem.clone())
+        .synthesize()
+        .expect("ordering update exists");
+    let naive = naive_update(problem);
+    let two_phase = two_phase_update(problem);
+
+    let experiment = ProbeExperiment::for_problem(problem);
+
+    print_header(
+        "Figure 2(a): probes received during the update",
+        &["update", "probes sent", "delivered", "dropped", "delivery ratio"],
+    );
+    for (name, commands) in [
+        ("naive", &naive),
+        ("ordering (synthesized)", &ordering.commands),
+        ("two-phase", &two_phase.commands),
+    ] {
+        let report = run_with_probes(problem, commands, &experiment).expect("simulation");
+        print_row(&[
+            name.to_string(),
+            report.total_sent().to_string(),
+            report.total_received().to_string(),
+            report.total_dropped().to_string(),
+            format!("{:.3}", report.delivery_ratio()),
+        ]);
+    }
+
+    print_header(
+        "Figure 2(b): per-switch rule overhead (peak rules, two-phase vs ordering)",
+        &["switch", "ordering peak", "two-phase peak", "overhead"],
+    );
+    let ordering_rules = ordering_rule_overhead(problem);
+    for (sw, ordering_peak) in &ordering_rules {
+        let two_phase_peak = two_phase
+            .max_rules_per_switch
+            .get(sw)
+            .copied()
+            .unwrap_or(*ordering_peak);
+        let overhead = if *ordering_peak == 0 {
+            1.0
+        } else {
+            two_phase_peak as f64 / *ordering_peak as f64
+        };
+        print_row(&[
+            sw.to_string(),
+            ordering_peak.to_string(),
+            two_phase_peak.to_string(),
+            format!("{overhead:.1}x"),
+        ]);
+    }
+}

@@ -1,0 +1,59 @@
+//! Figure 7(a–c): synthesis runtime with the Incremental checker versus the
+//! monolithic product checker (NuSMV stand-in) and the Batch checker, on the
+//! three topology families, for the reachability property.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use netupd_bench::{
+    diamond_workload, fmt_ms, print_header, print_row, time_synthesis, TopologyFamily,
+};
+use netupd_mc::Backend;
+use netupd_synth::Granularity;
+use netupd_topo::scenario::PropertyKind;
+
+const SIZES: [usize; 3] = [20, 50, 100];
+const BACKENDS: [Backend; 3] = [Backend::Incremental, Backend::Batch, Backend::Product];
+
+fn bench_backends(c: &mut Criterion) {
+    print_header(
+        "Figure 7(a-c): synthesis runtime by backend (reachability)",
+        &["family", "switches", "backend", "runtime"],
+    );
+    for family in TopologyFamily::ALL {
+        let mut group = c.benchmark_group(format!("fig7/{}", family.name()));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_millis(800));
+        for size in SIZES {
+            let workload = diamond_workload(family, size, PropertyKind::Reachability, 42);
+            for backend in BACKENDS {
+                // The product checker is the slow monolithic baseline; keep
+                // it to the smaller instances as the paper's timeout does.
+                if backend == Backend::Product && size > 50 {
+                    continue;
+                }
+                let single = time_synthesis(&workload.problem, backend, Granularity::Switch);
+                print_row(&[
+                    family.name().to_string(),
+                    workload.switches.to_string(),
+                    backend.to_string(),
+                    fmt_ms(single.elapsed),
+                ]);
+                group.bench_with_input(
+                    BenchmarkId::new(backend.to_string(), size),
+                    &workload,
+                    |b, workload| {
+                        b.iter(|| time_synthesis(&workload.problem, backend, Granularity::Switch))
+                    },
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

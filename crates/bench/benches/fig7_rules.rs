@@ -1,0 +1,55 @@
+//! Figure 7(d–f): rule-granularity synthesis runtime with the Incremental
+//! checker versus the header-space checker (NetPlumber stand-in), as the
+//! number of rules grows.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use netupd_bench::{
+    fmt_ms, multi_diamond_workload, print_header, print_row, time_synthesis, TopologyFamily,
+};
+use netupd_mc::Backend;
+use netupd_synth::Granularity;
+use netupd_topo::scenario::PropertyKind;
+
+const FLOWS: [usize; 3] = [1, 3, 6];
+const BACKENDS: [Backend; 2] = [Backend::Incremental, Backend::HeaderSpace];
+
+fn bench_rule_granularity(c: &mut Criterion) {
+    print_header(
+        "Figure 7(d-f): rule-granularity runtime, Incremental vs HeaderSpace",
+        &["family", "rules", "backend", "runtime"],
+    );
+    for family in TopologyFamily::ALL {
+        let mut group = c.benchmark_group(format!("fig7_rules/{}", family.name()));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_millis(800));
+        for flows in FLOWS {
+            let workload =
+                multi_diamond_workload(family, 40, PropertyKind::Reachability, flows, 11);
+            for backend in BACKENDS {
+                let single = time_synthesis(&workload.problem, backend, Granularity::Rule);
+                print_row(&[
+                    family.name().to_string(),
+                    workload.rules.to_string(),
+                    backend.to_string(),
+                    fmt_ms(single.elapsed),
+                ]);
+                group.bench_with_input(
+                    BenchmarkId::new(backend.to_string(), workload.rules),
+                    &workload,
+                    |b, workload| {
+                        b.iter(|| time_synthesis(&workload.problem, backend, Granularity::Rule))
+                    },
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_rule_granularity);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Figure 8(h): time to report that no switch-granularity update exists, on
+//! the "double diamond" workloads (two flows swapping paths in opposite
+//! directions).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use netupd_bench::{
+    double_diamond_workload, fmt_ms, print_header, print_row, time_synthesis, TopologyFamily,
+};
+use netupd_mc::Backend;
+use netupd_synth::{Granularity, SynthesisError};
+use netupd_topo::scenario::PropertyKind;
+
+const SIZES: [usize; 3] = [20, 50, 100];
+
+fn bench_infeasible(c: &mut Criterion) {
+    print_header(
+        "Figure 8(h): time to report 'impossible' at switch granularity",
+        &["switches", "runtime", "outcome"],
+    );
+    let mut group = c.benchmark_group("fig8_infeasible");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for size in SIZES {
+        let workload =
+            double_diamond_workload(TopologyFamily::FatTree, size, PropertyKind::Reachability, 17);
+        let single = time_synthesis(&workload.problem, Backend::Incremental, Granularity::Switch);
+        let outcome = match &single.outcome {
+            Ok(_) => "solved (unexpected)".to_string(),
+            Err(SynthesisError::NoOrderingExists {
+                proven_by_constraints,
+            }) => format!(
+                "impossible ({})",
+                if *proven_by_constraints {
+                    "by SAT constraints"
+                } else {
+                    "search exhausted"
+                }
+            ),
+            Err(other) => format!("{other}"),
+        };
+        print_row(&[
+            workload.switches.to_string(),
+            fmt_ms(single.elapsed),
+            outcome,
+        ]);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &workload, |b, workload| {
+            b.iter(|| time_synthesis(&workload.problem, Backend::Incremental, Granularity::Switch))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_infeasible);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Figure 8(i): the same switch-impossible double-diamond instances are
+//! solvable at rule granularity; this bench measures the rule-granularity
+//! synthesis time as the instances grow.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use netupd_bench::{
+    double_diamond_workload, fmt_ms, print_header, print_row, time_synthesis, TopologyFamily,
+};
+use netupd_mc::Backend;
+use netupd_synth::Granularity;
+use netupd_topo::scenario::PropertyKind;
+
+const SIZES: [usize; 3] = [20, 50, 100];
+
+fn bench_rule_granularity_on_infeasible(c: &mut Criterion) {
+    print_header(
+        "Figure 8(i): rule-granularity synthesis on switch-impossible instances",
+        &["switches", "rules", "runtime", "solved"],
+    );
+    let mut group = c.benchmark_group("fig8_rules");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for size in SIZES {
+        let workload =
+            double_diamond_workload(TopologyFamily::FatTree, size, PropertyKind::Reachability, 17);
+        let single = time_synthesis(&workload.problem, Backend::Incremental, Granularity::Rule);
+        print_row(&[
+            workload.switches.to_string(),
+            workload.rules.to_string(),
+            fmt_ms(single.elapsed),
+            single.succeeded().to_string(),
+        ]);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &workload, |b, workload| {
+            b.iter(|| time_synthesis(&workload.problem, Backend::Incremental, Granularity::Rule))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rule_granularity_on_infeasible);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Figure 8(g): scalability of the Incremental backend on Small-World
+//! topologies of increasing size, for the three property families.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use netupd_bench::{
+    fmt_ms, multi_diamond_workload, print_header, print_row, time_synthesis, TopologyFamily,
+};
+use netupd_mc::Backend;
+use netupd_synth::Granularity;
+use netupd_topo::scenario::PropertyKind;
+
+const SIZES: [usize; 3] = [50, 100, 200];
+const PROPERTIES: [PropertyKind; 3] = [
+    PropertyKind::Reachability,
+    PropertyKind::Waypoint,
+    PropertyKind::ServiceChain { length: 3 },
+];
+
+fn bench_scalability(c: &mut Criterion) {
+    print_header(
+        "Figure 8(g): Incremental scalability on Small-World topologies",
+        &["property", "switches", "updating switches", "runtime"],
+    );
+    let mut group = c.benchmark_group("fig8_scalability");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for property in PROPERTIES {
+        for size in SIZES {
+            let workload =
+                multi_diamond_workload(TopologyFamily::SmallWorld, size, property, 4, 7);
+            let single = time_synthesis(&workload.problem, Backend::Incremental, Granularity::Switch);
+            print_row(&[
+                property.name().to_string(),
+                workload.switches.to_string(),
+                workload.scenario.updating_switches().to_string(),
+                fmt_ms(single.elapsed),
+            ]);
+            group.bench_with_input(
+                BenchmarkId::new(property.name(), size),
+                &workload,
+                |b, workload| {
+                    b.iter(|| {
+                        time_synthesis(&workload.problem, Backend::Incremental, Granularity::Switch)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! §6 "Waits": wait-removal statistics — how many waits the fully careful
+//! sequence contains, how many survive the reachability-based removal pass,
+//! and how long the pass takes.
+
+use std::time::Instant;
+
+use netupd_bench::{
+    fmt_ms, multi_diamond_workload, print_header, print_row, TopologyFamily,
+};
+use netupd_synth::wait_removal::remove_unnecessary_waits;
+use netupd_synth::{SynthesisOptions, Synthesizer};
+use netupd_topo::scenario::PropertyKind;
+
+fn main() {
+    print_header(
+        "Wait removal statistics (Figure 8(g)-style workloads)",
+        &[
+            "property",
+            "switches",
+            "updates",
+            "waits before",
+            "waits after",
+            "removed",
+            "removal time",
+        ],
+    );
+    for property in [
+        PropertyKind::Reachability,
+        PropertyKind::Waypoint,
+        PropertyKind::ServiceChain { length: 3 },
+    ] {
+        for size in [50usize, 100, 200] {
+            let workload =
+                multi_diamond_workload(TopologyFamily::SmallWorld, size, property, 4, 7);
+            // Synthesize the order without wait removal, then time the pass
+            // separately so its cost is visible on its own.
+            let result = Synthesizer::new(workload.problem.clone())
+                .with_options(SynthesisOptions::default().wait_removal(false))
+                .synthesize();
+            let Ok(result) = result else {
+                continue;
+            };
+            let waits_before = result.commands.num_waits();
+            let start = Instant::now();
+            let trimmed = remove_unnecessary_waits(&workload.problem, &result.order);
+            let elapsed = start.elapsed();
+            let waits_after = trimmed.num_waits();
+            print_row(&[
+                property.name().to_string(),
+                workload.switches.to_string(),
+                result.commands.num_updates().to_string(),
+                waits_before.to_string(),
+                waits_after.to_string(),
+                format!("{}", waits_before.saturating_sub(waits_after)),
+                fmt_ms(elapsed),
+            ]);
+        }
+    }
+}

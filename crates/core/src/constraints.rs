@@ -1,0 +1,161 @@
+//! The visited-set `V` and wrong-set `W` of the search (§4.1).
+//!
+//! Both sets are predicates over configurations, where a configuration is
+//! abstracted by the set of update units already applied. `V` records exact
+//! unit sets already explored; `W` records counterexample formulas: a
+//! counterexample observed at some configuration rules out *every*
+//! configuration that agrees with it on which of the counterexample's
+//! switches are updated and which are not.
+
+use std::collections::{BTreeSet, HashSet};
+
+use netupd_model::SwitchId;
+
+/// The set `V` of visited configurations, keyed by the set of applied units.
+#[derive(Debug, Default, Clone)]
+pub struct VisitedSet {
+    seen: HashSet<BTreeSet<usize>>,
+}
+
+impl VisitedSet {
+    /// Creates an empty visited set.
+    pub fn new() -> Self {
+        VisitedSet::default()
+    }
+
+    /// Records a configuration. Returns `true` if it was new.
+    pub fn insert(&mut self, applied: &BTreeSet<usize>) -> bool {
+        self.seen.insert(applied.clone())
+    }
+
+    /// Returns `true` if the configuration was already explored.
+    pub fn contains(&self, applied: &BTreeSet<usize>) -> bool {
+        self.seen.contains(applied)
+    }
+
+    /// Number of configurations recorded.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}
+
+/// One learnt "wrong configuration" formula: configurations in which all of
+/// `updated` are updated and none of `not_updated` are updated violate the
+/// specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WrongFormula {
+    /// Counterexample switches that were updated in the violating
+    /// configuration.
+    pub updated: BTreeSet<SwitchId>,
+    /// Counterexample switches that were not yet updated.
+    pub not_updated: BTreeSet<SwitchId>,
+}
+
+/// The set `W` of configurations excluded by counterexamples.
+#[derive(Debug, Default, Clone)]
+pub struct WrongSet {
+    formulas: Vec<WrongFormula>,
+}
+
+impl WrongSet {
+    /// Creates an empty wrong set.
+    pub fn new() -> Self {
+        WrongSet::default()
+    }
+
+    /// Learns a counterexample formula (`makeFormula(cex)` in the paper).
+    ///
+    /// `cex_switches` are the switches appearing in the counterexample trace;
+    /// `updated` is the set of switches updated in the configuration where
+    /// the counterexample was observed.
+    pub fn learn(&mut self, cex_switches: &[SwitchId], updated: &BTreeSet<SwitchId>) {
+        let formula = WrongFormula {
+            updated: cex_switches
+                .iter()
+                .copied()
+                .filter(|sw| updated.contains(sw))
+                .collect(),
+            not_updated: cex_switches
+                .iter()
+                .copied()
+                .filter(|sw| !updated.contains(sw))
+                .collect(),
+        };
+        if !self.formulas.contains(&formula) {
+            self.formulas.push(formula);
+        }
+    }
+
+    /// Returns `true` if a configuration with the given updated-switch set is
+    /// excluded by some learnt formula.
+    pub fn excludes(&self, updated: &BTreeSet<SwitchId>) -> bool {
+        self.formulas.iter().any(|f| {
+            f.updated.iter().all(|sw| updated.contains(sw))
+                && f.not_updated.iter().all(|sw| !updated.contains(sw))
+        })
+    }
+
+    /// The learnt formulas.
+    pub fn formulas(&self) -> &[WrongFormula] {
+        &self.formulas
+    }
+
+    /// Number of learnt formulas.
+    pub fn len(&self) -> usize {
+        self.formulas.len()
+    }
+
+    /// Returns `true` if nothing has been learnt.
+    pub fn is_empty(&self) -> bool {
+        self.formulas.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sw(n: u32) -> SwitchId {
+        SwitchId(n)
+    }
+
+    #[test]
+    fn visited_set_detects_repeats() {
+        let mut visited = VisitedSet::new();
+        let a: BTreeSet<usize> = [0, 2].into_iter().collect();
+        assert!(visited.insert(&a));
+        assert!(!visited.insert(&a));
+        assert!(visited.contains(&a));
+        assert!(!visited.contains(&[1].into_iter().collect()));
+        assert_eq!(visited.len(), 1);
+    }
+
+    #[test]
+    fn wrong_set_excludes_matching_configurations() {
+        let mut wrong = WrongSet::new();
+        // Counterexample visited A1 (updated) and C2 (not updated), as in the
+        // paper's red/green example.
+        let updated: BTreeSet<SwitchId> = [sw(1)].into_iter().collect();
+        wrong.learn(&[sw(1), sw(2)], &updated);
+        // Any configuration with s1 updated and s2 not updated is excluded...
+        assert!(wrong.excludes(&[sw(1)].into_iter().collect()));
+        assert!(wrong.excludes(&[sw(1), sw(7)].into_iter().collect()));
+        // ...but once s2 is updated (or s1 is not), it no longer matches.
+        assert!(!wrong.excludes(&[sw(1), sw(2)].into_iter().collect()));
+        assert!(!wrong.excludes(&BTreeSet::new()));
+    }
+
+    #[test]
+    fn duplicate_formulas_are_not_stored_twice() {
+        let mut wrong = WrongSet::new();
+        let updated: BTreeSet<SwitchId> = [sw(1)].into_iter().collect();
+        wrong.learn(&[sw(1), sw(2)], &updated);
+        wrong.learn(&[sw(2), sw(1)], &updated);
+        assert_eq!(wrong.len(), 1);
+    }
+}

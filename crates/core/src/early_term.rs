@@ -1,0 +1,188 @@
+//! Early search termination via incremental SAT (§4.2 B).
+//!
+//! Every counterexample observed at a configuration with updated switches `A`
+//! and not-yet-updated switches `C` (both restricted to the switches on the
+//! counterexample trace) implies that in any correct simple order, *some*
+//! switch of `C` must be updated before *some* switch of `A`. These
+//! constraints are encoded over precedence variables `before(x, y)` together
+//! with totality, antisymmetry, and transitivity axioms; when the clause set
+//! becomes unsatisfiable, no simple switch-granularity order exists and the
+//! search stops immediately.
+
+use std::collections::{BTreeSet, HashMap};
+
+use netupd_model::SwitchId;
+use netupd_sat::{Lit, SolveResult, Solver, Var};
+
+/// Accumulated ordering constraints over switch updates.
+#[derive(Debug, Default)]
+pub struct OrderingConstraints {
+    solver: Solver,
+    /// Precedence variable `before(a, b)` for each ordered pair.
+    precedence: HashMap<(SwitchId, SwitchId), Var>,
+    /// Switches mentioned so far.
+    switches: Vec<SwitchId>,
+    constraints: usize,
+}
+
+impl OrderingConstraints {
+    /// Creates an empty constraint store.
+    pub fn new() -> Self {
+        OrderingConstraints::default()
+    }
+
+    /// Number of counterexample-derived clauses added so far.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints
+    }
+
+    /// Returns the precedence variable for `a` before `b`, creating it (and
+    /// the order axioms it participates in) on demand.
+    fn before_var(&mut self, a: SwitchId, b: SwitchId) -> Var {
+        debug_assert_ne!(a, b);
+        if let Some(var) = self.precedence.get(&(a, b)) {
+            return *var;
+        }
+        self.ensure_switch(a);
+        self.ensure_switch(b);
+        self.precedence[&(a, b)]
+    }
+
+    /// Registers a switch: creates precedence variables against every known
+    /// switch and adds totality, antisymmetry, and transitivity axioms.
+    fn ensure_switch(&mut self, sw: SwitchId) {
+        if self.switches.contains(&sw) {
+            return;
+        }
+        let existing = self.switches.clone();
+        for other in &existing {
+            let fwd = self.solver.new_var();
+            let bwd = self.solver.new_var();
+            self.precedence.insert((sw, *other), fwd);
+            self.precedence.insert((*other, sw), bwd);
+            // Totality: one of the two orders holds.
+            self.solver.add_clause([Lit::pos(fwd), Lit::pos(bwd)]);
+            // Antisymmetry: not both.
+            self.solver.add_clause([Lit::neg(fwd), Lit::neg(bwd)]);
+        }
+        self.switches.push(sw);
+        // Transitivity among all triples involving the new switch.
+        let switches = self.switches.clone();
+        for x in &switches {
+            for y in &switches {
+                for z in &switches {
+                    if x == y || y == z || x == z {
+                        continue;
+                    }
+                    if *x != sw && *y != sw && *z != sw {
+                        continue;
+                    }
+                    let xy = self.precedence[&(*x, *y)];
+                    let yz = self.precedence[&(*y, *z)];
+                    let xz = self.precedence[&(*x, *z)];
+                    self.solver
+                        .add_clause([Lit::neg(xy), Lit::neg(yz), Lit::pos(xz)]);
+                }
+            }
+        }
+    }
+
+    /// Adds the constraint derived from a counterexample: some switch of
+    /// `not_updated` must precede some switch of `updated`.
+    ///
+    /// Constraints with an empty side are ignored (they carry no ordering
+    /// information: an empty `updated` side means the initial configuration
+    /// itself violates the specification, which the search reports directly).
+    pub fn add_counterexample(
+        &mut self,
+        updated: &BTreeSet<SwitchId>,
+        not_updated: &BTreeSet<SwitchId>,
+    ) {
+        if updated.is_empty() || not_updated.is_empty() {
+            return;
+        }
+        let mut clause = Vec::with_capacity(updated.len() * not_updated.len());
+        for c in not_updated {
+            for a in updated {
+                if c == a {
+                    continue;
+                }
+                clause.push(Lit::pos(self.before_var(*c, *a)));
+            }
+        }
+        if !clause.is_empty() {
+            self.solver.add_clause(clause);
+            self.constraints += 1;
+        }
+    }
+
+    /// Returns `true` if some total order of switch updates is still
+    /// consistent with every constraint added so far.
+    pub fn satisfiable(&mut self) -> bool {
+        self.solver.solve() == SolveResult::Sat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sw(n: u32) -> SwitchId {
+        SwitchId(n)
+    }
+
+    fn set(ids: &[u32]) -> BTreeSet<SwitchId> {
+        ids.iter().map(|n| sw(*n)).collect()
+    }
+
+    #[test]
+    fn empty_constraints_are_satisfiable() {
+        let mut constraints = OrderingConstraints::new();
+        assert!(constraints.satisfiable());
+        assert_eq!(constraints.num_constraints(), 0);
+    }
+
+    #[test]
+    fn single_constraint_is_satisfiable() {
+        let mut constraints = OrderingConstraints::new();
+        constraints.add_counterexample(&set(&[1]), &set(&[2]));
+        assert!(constraints.satisfiable());
+        assert_eq!(constraints.num_constraints(), 1);
+    }
+
+    #[test]
+    fn contradictory_pair_is_unsat() {
+        let mut constraints = OrderingConstraints::new();
+        // s2 must come before s1, and s1 must come before s2.
+        constraints.add_counterexample(&set(&[1]), &set(&[2]));
+        constraints.add_counterexample(&set(&[2]), &set(&[1]));
+        assert!(!constraints.satisfiable());
+    }
+
+    #[test]
+    fn cycle_through_three_switches_is_unsat() {
+        let mut constraints = OrderingConstraints::new();
+        constraints.add_counterexample(&set(&[1]), &set(&[2]));
+        constraints.add_counterexample(&set(&[2]), &set(&[3]));
+        constraints.add_counterexample(&set(&[3]), &set(&[1]));
+        assert!(!constraints.satisfiable());
+    }
+
+    #[test]
+    fn disjunctive_constraints_remain_satisfiable() {
+        let mut constraints = OrderingConstraints::new();
+        // "2 or 3 before 1" and "1 before 2" is satisfiable via 3 before 1.
+        constraints.add_counterexample(&set(&[1]), &set(&[2, 3]));
+        constraints.add_counterexample(&set(&[2]), &set(&[1]));
+        assert!(constraints.satisfiable());
+    }
+
+    #[test]
+    fn empty_sides_are_ignored() {
+        let mut constraints = OrderingConstraints::new();
+        constraints.add_counterexample(&set(&[]), &set(&[1]));
+        constraints.add_counterexample(&set(&[1]), &set(&[]));
+        assert_eq!(constraints.num_constraints(), 0);
+        assert!(constraints.satisfiable());
+    }
+}

@@ -1,0 +1,117 @@
+//! Synthesis options.
+
+use netupd_mc::Backend;
+
+/// The granularity at which the update is decomposed into atomic steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Granularity {
+    /// One step per switch: the switch's whole table is replaced atomically
+    /// (the paper's default).
+    #[default]
+    Switch,
+    /// One step per rule addition or removal. Finer-grained, slower to
+    /// search, but can solve instances that are impossible at switch
+    /// granularity (Figure 8(h)/(i)).
+    Rule,
+}
+
+/// Options controlling the synthesis search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynthesisOptions {
+    /// The model-checking backend to use.
+    pub backend: Backend,
+    /// Update granularity.
+    pub granularity: Granularity,
+    /// Learn from counterexamples and prune configurations known to be wrong
+    /// (§4.2 A). Disabling this is only useful for ablation studies.
+    pub use_counterexamples: bool,
+    /// Terminate the search as soon as the accumulated ordering constraints
+    /// become unsatisfiable (§4.2 B).
+    pub early_termination: bool,
+    /// Run the wait-removal post-pass on the synthesized sequence (§4.2 C).
+    pub remove_waits: bool,
+    /// Hard bound on the number of model-checker calls before the search
+    /// gives up (guards against pathological instances).
+    pub max_checks: usize,
+}
+
+impl Default for SynthesisOptions {
+    fn default() -> Self {
+        SynthesisOptions {
+            backend: Backend::Incremental,
+            granularity: Granularity::Switch,
+            use_counterexamples: true,
+            early_termination: true,
+            remove_waits: true,
+            max_checks: 1_000_000,
+        }
+    }
+}
+
+impl SynthesisOptions {
+    /// Convenience constructor selecting a backend with otherwise default
+    /// options.
+    pub fn with_backend(backend: Backend) -> Self {
+        SynthesisOptions {
+            backend,
+            ..SynthesisOptions::default()
+        }
+    }
+
+    /// Builder-style setter for the granularity.
+    #[must_use]
+    pub fn granularity(mut self, granularity: Granularity) -> Self {
+        self.granularity = granularity;
+        self
+    }
+
+    /// Builder-style setter for counterexample pruning.
+    #[must_use]
+    pub fn counterexamples(mut self, enabled: bool) -> Self {
+        self.use_counterexamples = enabled;
+        self
+    }
+
+    /// Builder-style setter for early termination.
+    #[must_use]
+    pub fn early_termination(mut self, enabled: bool) -> Self {
+        self.early_termination = enabled;
+        self
+    }
+
+    /// Builder-style setter for wait removal.
+    #[must_use]
+    pub fn wait_removal(mut self, enabled: bool) -> Self {
+        self.remove_waits = enabled;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_enable_all_optimizations() {
+        let options = SynthesisOptions::default();
+        assert_eq!(options.backend, Backend::Incremental);
+        assert_eq!(options.granularity, Granularity::Switch);
+        assert!(options.use_counterexamples);
+        assert!(options.early_termination);
+        assert!(options.remove_waits);
+    }
+
+    #[test]
+    fn builder_setters() {
+        let options = SynthesisOptions::with_backend(Backend::Batch)
+            .granularity(Granularity::Rule)
+            .counterexamples(false)
+            .early_termination(false)
+            .wait_removal(false);
+        assert_eq!(options.backend, Backend::Batch);
+        assert_eq!(options.granularity, Granularity::Rule);
+        assert!(!options.use_counterexamples);
+        assert!(!options.early_termination);
+        assert!(!options.remove_waits);
+    }
+}

@@ -1,0 +1,90 @@
+//! The update synthesis problem (Definition 4 of the paper).
+
+use netupd_ltl::Ltl;
+use netupd_model::{Configuration, HostId, Topology, TrafficClass};
+use netupd_topo::UpdateScenario;
+
+/// An instance of the update synthesis problem: a topology, the initial and
+/// final configurations, the traffic classes of interest, the hosts at which
+/// that traffic enters the network, and the LTL specification that must hold
+/// throughout the update.
+#[derive(Debug, Clone)]
+pub struct UpdateProblem {
+    /// The network topology (does not change during the update).
+    pub topology: Topology,
+    /// The currently-installed configuration.
+    pub initial: Configuration,
+    /// The configuration the update must reach.
+    pub final_config: Configuration,
+    /// Traffic classes the specification talks about.
+    pub classes: Vec<TrafficClass>,
+    /// Hosts at which traffic of those classes enters the network. When
+    /// empty, every host is considered an ingress.
+    pub ingress_hosts: Vec<HostId>,
+    /// The invariant to preserve at every intermediate configuration.
+    pub spec: Ltl,
+}
+
+impl UpdateProblem {
+    /// Creates a problem from its parts.
+    pub fn new(
+        topology: Topology,
+        initial: Configuration,
+        final_config: Configuration,
+        classes: Vec<TrafficClass>,
+        ingress_hosts: Vec<HostId>,
+        spec: Ltl,
+    ) -> Self {
+        UpdateProblem {
+            topology,
+            initial,
+            final_config,
+            classes,
+            ingress_hosts,
+            spec,
+        }
+    }
+
+    /// Builds a problem from a generated update scenario.
+    pub fn from_scenario(scenario: &UpdateScenario) -> Self {
+        UpdateProblem {
+            topology: scenario.topology().clone(),
+            initial: scenario.initial.clone(),
+            final_config: scenario.final_config.clone(),
+            classes: scenario.classes(),
+            ingress_hosts: scenario.ingress_hosts(),
+            spec: scenario.spec.clone(),
+        }
+    }
+
+    /// The switches whose tables differ between the initial and final
+    /// configurations — the switches the synthesizer must order.
+    pub fn switches_to_update(&self) -> Vec<netupd_model::SwitchId> {
+        self.initial.differing_switches(&self.final_config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netupd_topo::{generators, scenario};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn problem_from_scenario_carries_all_parts() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let graph = generators::fat_tree(4);
+        let scenario =
+            scenario::diamond_scenario(&graph, scenario::PropertyKind::Reachability, &mut rng)
+                .unwrap();
+        let problem = UpdateProblem::from_scenario(&scenario);
+        assert_eq!(problem.classes.len(), scenario.pairs.len());
+        assert_eq!(problem.ingress_hosts.len(), scenario.pairs.len());
+        assert_eq!(
+            problem.switches_to_update().len(),
+            scenario.updating_switches()
+        );
+        assert!(!problem.switches_to_update().is_empty());
+    }
+}

@@ -1,0 +1,552 @@
+//! The `OrderUpdate` synthesis algorithm (§4 of the paper).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use netupd_kripke::{Kripke, NetworkKripke};
+use netupd_mc::{Backend, ModelChecker};
+use netupd_model::{CommandSeq, Configuration, SwitchId};
+
+use crate::constraints::{VisitedSet, WrongSet};
+use crate::early_term::OrderingConstraints;
+use crate::options::{Granularity, SynthesisOptions};
+use crate::problem::UpdateProblem;
+use crate::units::{plan_units, UpdateUnit};
+use crate::wait_removal;
+
+/// Counters describing the work a synthesis run performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SynthStats {
+    /// Model-checker queries issued (including the queries needed to restore
+    /// labels when the search backtracks).
+    pub model_checker_calls: usize,
+    /// Total states (re)labeled across all queries — the measure of
+    /// incrementality.
+    pub states_relabeled: usize,
+    /// Counterexamples learnt into the wrong-set.
+    pub counterexamples_learnt: usize,
+    /// Candidate configurations pruned by the visited/wrong sets without a
+    /// model-checker call.
+    pub configurations_pruned: usize,
+    /// Number of times the search backtracked after a failed check.
+    pub backtracks: usize,
+    /// Ordering clauses handed to the SAT solver.
+    pub sat_constraints: usize,
+    /// Waits in the sequence before wait removal.
+    pub waits_before_removal: usize,
+    /// Waits remaining after wait removal.
+    pub waits_after_removal: usize,
+}
+
+/// A synthesized update: the command sequence to execute, the order of atomic
+/// units it corresponds to, and the work counters.
+#[derive(Debug, Clone)]
+pub struct UpdateSequence {
+    /// The careful command sequence (after wait removal, if enabled).
+    pub commands: CommandSeq,
+    /// The atomic units in the order they are applied.
+    pub order: Vec<UpdateUnit>,
+    /// Work counters for this run.
+    pub stats: SynthStats,
+}
+
+/// Reasons synthesis can fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SynthesisError {
+    /// The initial configuration already violates the specification; no
+    /// update order can help.
+    InitialConfigurationViolates,
+    /// The final configuration violates the specification; reaching it would
+    /// necessarily end in a violating state.
+    FinalConfigurationViolates,
+    /// No simple, careful sequence at the requested granularity satisfies the
+    /// specification.
+    NoOrderingExists {
+        /// `true` when unsatisfiability of the ordering constraints proved
+        /// infeasibility before the search space was exhausted.
+        proven_by_constraints: bool,
+    },
+    /// The search exceeded its model-checking budget.
+    SearchBudgetExhausted,
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::InitialConfigurationViolates => {
+                write!(f, "the initial configuration violates the specification")
+            }
+            SynthesisError::FinalConfigurationViolates => {
+                write!(f, "the final configuration violates the specification")
+            }
+            SynthesisError::NoOrderingExists {
+                proven_by_constraints,
+            } => write!(
+                f,
+                "no correct ordering update exists ({})",
+                if *proven_by_constraints {
+                    "ordering constraints are unsatisfiable"
+                } else {
+                    "search space exhausted"
+                }
+            ),
+            SynthesisError::SearchBudgetExhausted => {
+                write!(f, "synthesis exceeded its model-checking budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}
+
+/// The synthesizer: owns an [`UpdateProblem`] and [`SynthesisOptions`] and
+/// produces an [`UpdateSequence`] (or a [`SynthesisError`]).
+#[derive(Debug)]
+pub struct Synthesizer {
+    problem: UpdateProblem,
+    options: SynthesisOptions,
+}
+
+impl Synthesizer {
+    /// Creates a synthesizer with default options.
+    pub fn new(problem: UpdateProblem) -> Self {
+        Synthesizer {
+            problem,
+            options: SynthesisOptions::default(),
+        }
+    }
+
+    /// Overrides the options.
+    #[must_use]
+    pub fn with_options(mut self, options: SynthesisOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The problem being solved.
+    pub fn problem(&self) -> &UpdateProblem {
+        &self.problem
+    }
+
+    /// Runs the `OrderUpdate` search.
+    ///
+    /// # Errors
+    ///
+    /// See [`SynthesisError`].
+    pub fn synthesize(&self) -> Result<UpdateSequence, SynthesisError> {
+        let units = plan_units(&self.problem, self.options.granularity);
+        let encoder = self.encoder();
+        let mut checker = self.options.backend.instantiate();
+        let mut stats = SynthStats::default();
+
+        // Check the initial configuration (line 7 of the paper's algorithm).
+        let mut kripke = encoder.encode(&self.problem.initial);
+        stats.model_checker_calls += 1;
+        let initial_outcome = checker.check(&kripke, &self.problem.spec);
+        stats.states_relabeled += initial_outcome.stats.states_labeled;
+        if !initial_outcome.holds {
+            return Err(SynthesisError::InitialConfigurationViolates);
+        }
+        if units.is_empty() {
+            return Ok(UpdateSequence {
+                commands: CommandSeq::new(),
+                order: Vec::new(),
+                stats,
+            });
+        }
+
+        // Reject problems whose target configuration is itself incorrect:
+        // every complete sequence would end in a violating configuration.
+        {
+            let final_kripke = encoder.encode(&self.problem.final_config);
+            let mut probe = Backend::Batch.instantiate();
+            stats.model_checker_calls += 1;
+            let outcome = probe.check(&final_kripke, &self.problem.spec);
+            stats.states_relabeled += outcome.stats.states_labeled;
+            if !outcome.holds {
+                return Err(SynthesisError::FinalConfigurationViolates);
+            }
+        }
+
+        let mut search = Search {
+            problem: &self.problem,
+            options: &self.options,
+            units: &units,
+            encoder: &encoder,
+            kripke: &mut kripke,
+            checker: checker.as_mut(),
+            config: self.problem.initial.clone(),
+            applied: BTreeSet::new(),
+            visited: VisitedSet::new(),
+            wrong: WrongSet::new(),
+            ordering: OrderingConstraints::new(),
+            stats,
+        };
+
+        match search.dfs()? {
+            Some(order_indices) => {
+                let mut stats = search.stats;
+                stats.sat_constraints = search.ordering.num_constraints();
+                let order: Vec<UpdateUnit> =
+                    order_indices.iter().map(|i| units[*i].clone()).collect();
+                let careful = build_command_sequence(&self.problem.initial, &order);
+                stats.waits_before_removal = careful.num_waits();
+                let commands = if self.options.remove_waits {
+                    wait_removal::remove_unnecessary_waits(&self.problem, &order)
+                } else {
+                    careful
+                };
+                stats.waits_after_removal = commands.num_waits();
+                Ok(UpdateSequence {
+                    commands,
+                    order,
+                    stats,
+                })
+            }
+            None => Err(SynthesisError::NoOrderingExists {
+                proven_by_constraints: false,
+            }),
+        }
+    }
+
+    fn encoder(&self) -> NetworkKripke {
+        let encoder = NetworkKripke::new(self.problem.topology.clone(), self.problem.classes.clone());
+        if self.problem.ingress_hosts.is_empty() {
+            encoder
+        } else {
+            encoder.with_ingress_hosts(self.problem.ingress_hosts.iter().copied())
+        }
+    }
+}
+
+/// Builds the careful command sequence for a unit order: one table-replacement
+/// command per unit, separated by waits (Definition 5), with trailing waits
+/// trimmed.
+pub(crate) fn build_command_sequence(initial: &Configuration, order: &[UpdateUnit]) -> CommandSeq {
+    let mut commands = CommandSeq::new();
+    let mut config = initial.clone();
+    for (i, unit) in order.iter().enumerate() {
+        if i > 0 {
+            commands.push_wait();
+        }
+        let table = unit.apply(&config);
+        config.set_table(unit.switch(), table.clone());
+        commands.push_update(unit.switch(), table);
+    }
+    commands
+}
+
+/// The mutable state of one DFS run.
+struct Search<'a> {
+    problem: &'a UpdateProblem,
+    options: &'a SynthesisOptions,
+    units: &'a [UpdateUnit],
+    encoder: &'a NetworkKripke,
+    kripke: &'a mut Kripke,
+    checker: &'a mut dyn ModelChecker,
+    config: Configuration,
+    applied: BTreeSet<usize>,
+    visited: VisitedSet,
+    wrong: WrongSet,
+    ordering: OrderingConstraints,
+    stats: SynthStats,
+}
+
+impl Search<'_> {
+    /// Switches considered "updated" in the current configuration: those for
+    /// which every planned unit has been applied.
+    fn updated_switches(&self) -> BTreeSet<SwitchId> {
+        let mut per_switch: std::collections::BTreeMap<SwitchId, (usize, usize)> =
+            std::collections::BTreeMap::new();
+        for (i, unit) in self.units.iter().enumerate() {
+            let entry = per_switch.entry(unit.switch()).or_insert((0, 0));
+            entry.1 += 1;
+            if self.applied.contains(&i) {
+                entry.0 += 1;
+            }
+        }
+        per_switch
+            .into_iter()
+            .filter(|(_, (done, total))| done == total)
+            .map(|(sw, _)| sw)
+            .collect()
+    }
+
+    fn dfs(&mut self) -> Result<Option<Vec<usize>>, SynthesisError> {
+        if self.applied.len() == self.units.len() {
+            return Ok(Some(Vec::new()));
+        }
+        for idx in 0..self.units.len() {
+            if self.applied.contains(&idx) {
+                continue;
+            }
+            if self.stats.model_checker_calls >= self.options.max_checks {
+                return Err(SynthesisError::SearchBudgetExhausted);
+            }
+            let unit = &self.units[idx];
+            let switch = unit.switch();
+
+            // Pre-checks against V and W (line 6 of the paper's algorithm).
+            let mut candidate = self.applied.clone();
+            candidate.insert(idx);
+            if self.visited.contains(&candidate) {
+                self.stats.configurations_pruned += 1;
+                continue;
+            }
+            self.visited.insert(&candidate);
+            if self.options.use_counterexamples
+                && self.options.granularity == Granularity::Switch
+            {
+                let mut updated = self.updated_switches();
+                updated.insert(switch);
+                if self.wrong.excludes(&updated) {
+                    self.stats.configurations_pruned += 1;
+                    continue;
+                }
+            }
+
+            // Apply the unit (swUpdate) and re-check incrementally.
+            let old_table = self.config.table(switch);
+            let new_table = unit.apply(&self.config);
+            self.config.set_table(switch, new_table.clone());
+            self.applied.insert(idx);
+            let changed = self
+                .encoder
+                .apply_switch_update(self.kripke, switch, &new_table);
+            self.stats.model_checker_calls += 1;
+            let outcome = self
+                .checker
+                .recheck(self.kripke, &self.problem.spec, &changed);
+            self.stats.states_relabeled += outcome.stats.states_labeled;
+
+            if outcome.holds {
+                if let Some(mut rest) = self.dfs()? {
+                    rest.insert(0, idx);
+                    return Ok(Some(rest));
+                }
+            } else {
+                self.stats.backtracks += 1;
+                if self.options.use_counterexamples
+                    && self.options.granularity == Granularity::Switch
+                {
+                    if let Some(cex) = &outcome.counterexample {
+                        let updated = self.updated_switches();
+                        self.wrong.learn(&cex.switches, &updated);
+                        self.stats.counterexamples_learnt += 1;
+                        if self.options.early_termination {
+                            let cex_updated: BTreeSet<SwitchId> = cex
+                                .switches
+                                .iter()
+                                .copied()
+                                .filter(|sw| updated.contains(sw))
+                                .collect();
+                            let cex_not_updated: BTreeSet<SwitchId> = cex
+                                .switches
+                                .iter()
+                                .copied()
+                                .filter(|sw| !updated.contains(sw))
+                                .collect();
+                            self.ordering
+                                .add_counterexample(&cex_updated, &cex_not_updated);
+                            if !self.ordering.satisfiable() {
+                                return Err(SynthesisError::NoOrderingExists {
+                                    proven_by_constraints: true,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Undo the unit and restore the checker's labels.
+            self.applied.remove(&idx);
+            self.config.set_table(switch, old_table.clone());
+            let restored = self
+                .encoder
+                .apply_switch_update(self.kripke, switch, &old_table);
+            self.stats.model_checker_calls += 1;
+            let restore_outcome = self
+                .checker
+                .recheck(self.kripke, &self.problem.spec, &restored);
+            self.stats.states_relabeled += restore_outcome.stats.states_labeled;
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netupd_ltl::semantics;
+    use netupd_model::Network;
+    use netupd_topo::scenario::{
+        diamond_scenario, double_diamond_scenario, PropertyKind,
+    };
+    use netupd_topo::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Replays a command sequence and asserts that every intermediate
+    /// configuration satisfies the problem's specification on all traces.
+    fn assert_sequence_correct(problem: &UpdateProblem, commands: &CommandSeq) {
+        let mut config = problem.initial.clone();
+        let check = |config: &Configuration| {
+            let net = Network::new(problem.topology.clone(), config.clone());
+            for class in &problem.classes {
+                for host in &problem.ingress_hosts {
+                    let (sw, pt) = problem.topology.switch_of_host(*host).expect("ingress host");
+                    for trace in net.traces_from(sw, pt, class) {
+                        assert!(
+                            semantics::satisfies(&trace, &problem.spec),
+                            "intermediate configuration violates the spec on {trace}"
+                        );
+                    }
+                }
+            }
+        };
+        check(&config);
+        for (sw, table) in commands.updates() {
+            config.set_table(sw, table.clone());
+            check(&config);
+        }
+        // The sequence must reach the final configuration (rule order among
+        // equal priorities may differ at rule granularity).
+        for sw in problem.final_config.switches() {
+            assert!(
+                config.table(sw).same_rules(&problem.final_config.table(sw)),
+                "switch {sw} did not reach its final table"
+            );
+        }
+    }
+
+    fn fat_tree_problem(kind: PropertyKind, seed: u64) -> UpdateProblem {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = generators::fat_tree(4);
+        let scenario = diamond_scenario(&graph, kind, &mut rng).expect("diamond");
+        UpdateProblem::from_scenario(&scenario)
+    }
+
+    #[test]
+    fn synthesizes_reachability_preserving_update() {
+        let problem = fat_tree_problem(PropertyKind::Reachability, 3);
+        let result = Synthesizer::new(problem.clone()).synthesize().expect("solution");
+        assert!(result.commands.is_simple());
+        assert!(result.commands.num_updates() > 0);
+        assert_sequence_correct(&problem, &result.commands);
+        // Without wait removal, the sequence is fully careful (Definition 5).
+        let careful = Synthesizer::new(problem.clone())
+            .with_options(SynthesisOptions::default().wait_removal(false))
+            .synthesize()
+            .expect("solution");
+        assert!(careful.commands.is_careful());
+        assert_sequence_correct(&problem, &careful.commands);
+    }
+
+    #[test]
+    fn synthesizes_waypoint_preserving_update() {
+        let problem = fat_tree_problem(PropertyKind::Waypoint, 5);
+        let result = Synthesizer::new(problem.clone()).synthesize().expect("solution");
+        assert_sequence_correct(&problem, &result.commands);
+    }
+
+    #[test]
+    fn all_backends_find_a_correct_sequence() {
+        let problem = fat_tree_problem(PropertyKind::Reachability, 8);
+        for backend in Backend::ALL {
+            let result = Synthesizer::new(problem.clone())
+                .with_options(SynthesisOptions::with_backend(backend))
+                .synthesize()
+                .unwrap_or_else(|e| panic!("{backend} failed: {e}"));
+            assert_sequence_correct(&problem, &result.commands);
+        }
+    }
+
+    #[test]
+    fn trivial_update_returns_empty_sequence() {
+        let problem = fat_tree_problem(PropertyKind::Reachability, 3);
+        let trivial = UpdateProblem::new(
+            problem.topology.clone(),
+            problem.initial.clone(),
+            problem.initial.clone(),
+            problem.classes.clone(),
+            problem.ingress_hosts.clone(),
+            problem.spec.clone(),
+        );
+        let result = Synthesizer::new(trivial).synthesize().expect("no-op");
+        assert!(result.commands.is_empty());
+    }
+
+    #[test]
+    fn violating_initial_configuration_is_rejected() {
+        let mut problem = fat_tree_problem(PropertyKind::Reachability, 3);
+        problem.initial = Configuration::new();
+        assert_eq!(
+            Synthesizer::new(problem).synthesize().unwrap_err(),
+            SynthesisError::InitialConfigurationViolates
+        );
+    }
+
+    #[test]
+    fn violating_final_configuration_is_rejected() {
+        let mut problem = fat_tree_problem(PropertyKind::Reachability, 3);
+        problem.final_config = Configuration::new();
+        // Make sure there is something to update so the check runs.
+        assert!(!problem.switches_to_update().is_empty());
+        assert_eq!(
+            Synthesizer::new(problem).synthesize().unwrap_err(),
+            SynthesisError::FinalConfigurationViolates
+        );
+    }
+
+    #[test]
+    fn double_diamond_is_infeasible_at_switch_granularity() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let graph = generators::fat_tree(4);
+        let scenario =
+            double_diamond_scenario(&graph, PropertyKind::Reachability, &mut rng).expect("double");
+        let problem = UpdateProblem::from_scenario(&scenario);
+        let result = Synthesizer::new(problem.clone()).synthesize();
+        match result {
+            Err(SynthesisError::NoOrderingExists { .. }) => {}
+            other => panic!("expected infeasibility at switch granularity, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_diamond_is_solvable_at_rule_granularity() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let graph = generators::fat_tree(4);
+        let scenario =
+            double_diamond_scenario(&graph, PropertyKind::Reachability, &mut rng).expect("double");
+        let problem = UpdateProblem::from_scenario(&scenario);
+        let result = Synthesizer::new(problem.clone())
+            .with_options(SynthesisOptions::default().granularity(Granularity::Rule))
+            .synthesize()
+            .expect("rule granularity solves the double diamond");
+        assert_sequence_correct(&problem, &result.commands);
+    }
+
+    #[test]
+    fn disabling_optimizations_still_synthesizes() {
+        let problem = fat_tree_problem(PropertyKind::Reachability, 21);
+        let options = SynthesisOptions::default()
+            .counterexamples(false)
+            .early_termination(false)
+            .wait_removal(false);
+        let result = Synthesizer::new(problem.clone())
+            .with_options(options)
+            .synthesize()
+            .expect("solution without optimizations");
+        assert_sequence_correct(&problem, &result.commands);
+        assert_eq!(result.stats.waits_before_removal, result.stats.waits_after_removal);
+    }
+
+    #[test]
+    fn stats_reflect_incrementality() {
+        let problem = fat_tree_problem(PropertyKind::Reachability, 3);
+        let result = Synthesizer::new(problem).synthesize().expect("solution");
+        assert!(result.stats.model_checker_calls >= result.commands.num_updates());
+        assert!(result.stats.states_relabeled > 0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Atomic update units: the steps the search orders.
+
+use netupd_model::{Configuration, Rule, SwitchId, Table};
+
+use crate::options::Granularity;
+use crate::problem::UpdateProblem;
+
+/// One atomic step of an update.
+///
+/// At switch granularity a unit replaces the whole table of one switch with
+/// its final table; at rule granularity a unit adds or removes a single rule.
+/// Either way, applying a unit to a configuration yields the next
+/// configuration, and the unit is expressed to the data plane as a whole-table
+/// replacement command for its switch (the model's update primitive).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateUnit {
+    /// Replace the whole table of a switch with its final table.
+    ReplaceTable {
+        /// The switch to update.
+        switch: SwitchId,
+        /// The table to install.
+        table: Table,
+    },
+    /// Add a single rule to a switch.
+    AddRule {
+        /// The switch to update.
+        switch: SwitchId,
+        /// The rule to add.
+        rule: Rule,
+    },
+    /// Remove a single rule from a switch.
+    RemoveRule {
+        /// The switch to update.
+        switch: SwitchId,
+        /// The rule to remove.
+        rule: Rule,
+    },
+}
+
+impl UpdateUnit {
+    /// The switch this unit modifies.
+    pub fn switch(&self) -> SwitchId {
+        match self {
+            UpdateUnit::ReplaceTable { switch, .. }
+            | UpdateUnit::AddRule { switch, .. }
+            | UpdateUnit::RemoveRule { switch, .. } => *switch,
+        }
+    }
+
+    /// Applies this unit to `config`, returning the switch's new table.
+    pub fn apply(&self, config: &Configuration) -> Table {
+        match self {
+            UpdateUnit::ReplaceTable { table, .. } => table.clone(),
+            UpdateUnit::AddRule { switch, rule } => {
+                let mut table = config.table(*switch);
+                table.add_rule(rule.clone());
+                table
+            }
+            UpdateUnit::RemoveRule { switch, rule } => {
+                let mut table = config.table(*switch);
+                table.remove_rule(rule);
+                table
+            }
+        }
+    }
+
+    /// A short human-readable description.
+    pub fn describe(&self) -> String {
+        match self {
+            UpdateUnit::ReplaceTable { switch, table } => {
+                format!("replace table of {switch} ({} rules)", table.len())
+            }
+            UpdateUnit::AddRule { switch, rule } => format!("add rule to {switch}: {rule}"),
+            UpdateUnit::RemoveRule { switch, rule } => format!("remove rule from {switch}: {rule}"),
+        }
+    }
+}
+
+/// Decomposes an update problem into atomic units at the requested
+/// granularity.
+///
+/// At rule granularity, additions are listed before removals for each switch
+/// so that a plain left-to-right application keeps the switch functional
+/// (make-before-break); the search is still free to reorder them.
+pub fn plan_units(problem: &UpdateProblem, granularity: Granularity) -> Vec<UpdateUnit> {
+    let mut units = Vec::new();
+    for switch in problem.switches_to_update() {
+        let old = problem.initial.table(switch);
+        let new = problem.final_config.table(switch);
+        match granularity {
+            Granularity::Switch => units.push(UpdateUnit::ReplaceTable {
+                switch,
+                table: new,
+            }),
+            Granularity::Rule => {
+                let (removed, added) = old.diff(&new);
+                for rule in added {
+                    units.push(UpdateUnit::AddRule { switch, rule });
+                }
+                for rule in removed {
+                    units.push(UpdateUnit::RemoveRule { switch, rule });
+                }
+            }
+        }
+    }
+    units
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netupd_ltl::Ltl;
+    use netupd_model::{Action, Pattern, PortId, Priority, Topology, TrafficClass};
+
+    fn rule(dst: u64, port: u32) -> Rule {
+        Rule::new(
+            Priority(1),
+            Pattern::any().with_field(netupd_model::Field::Dst, dst),
+            vec![Action::Forward(PortId(port))],
+        )
+    }
+
+    fn sample_problem() -> UpdateProblem {
+        let mut topo = Topology::new();
+        let s = topo.add_switches(2);
+        let initial = Configuration::new()
+            .with_table(s[0], Table::new(vec![rule(1, 1)]))
+            .with_table(s[1], Table::new(vec![rule(1, 1)]));
+        let final_config = Configuration::new()
+            .with_table(s[0], Table::new(vec![rule(1, 2)]))
+            .with_table(s[1], Table::new(vec![rule(1, 1)]));
+        UpdateProblem::new(
+            topo,
+            initial,
+            final_config,
+            vec![TrafficClass::new()],
+            Vec::new(),
+            Ltl::True,
+        )
+    }
+
+    #[test]
+    fn switch_granularity_plans_one_unit_per_differing_switch() {
+        let problem = sample_problem();
+        let units = plan_units(&problem, Granularity::Switch);
+        assert_eq!(units.len(), 1);
+        assert_eq!(units[0].switch(), problem.switches_to_update()[0]);
+    }
+
+    #[test]
+    fn rule_granularity_plans_adds_and_removes() {
+        let problem = sample_problem();
+        let units = plan_units(&problem, Granularity::Rule);
+        assert_eq!(units.len(), 2);
+        assert!(matches!(units[0], UpdateUnit::AddRule { .. }));
+        assert!(matches!(units[1], UpdateUnit::RemoveRule { .. }));
+    }
+
+    #[test]
+    fn applying_units_reaches_final_table() {
+        let problem = sample_problem();
+        let switch = problem.switches_to_update()[0];
+        for granularity in [Granularity::Switch, Granularity::Rule] {
+            let mut config = problem.initial.clone();
+            for unit in plan_units(&problem, granularity) {
+                let table = unit.apply(&config);
+                config.set_table(unit.switch(), table);
+            }
+            assert_eq!(config.table(switch), problem.final_config.table(switch));
+        }
+    }
+
+    #[test]
+    fn describe_is_nonempty() {
+        let problem = sample_problem();
+        for unit in plan_units(&problem, Granularity::Rule) {
+            assert!(!unit.describe().is_empty());
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! The network-to-Kripke encoding (Definition 9 of the paper).
+
+use std::collections::BTreeSet;
+
+use netupd_ltl::Prop;
+use netupd_model::{Configuration, Endpoint, PortId, SwitchId, Table, Topology, TrafficClass};
+
+use crate::structure::{Kripke, StateId, StateKey, StateRole};
+
+/// Encoder from network configurations to Kripke structures.
+///
+/// The encoder fixes a topology and a set of traffic classes; [`encode`]
+/// builds the Kripke structure of a configuration, and
+/// [`apply_switch_update`] re-encodes a single switch in place, returning the
+/// set of states whose outgoing transitions changed — exactly the `swUpdate`
+/// operation the synthesis algorithm feeds to the incremental model checker.
+///
+/// Encoding, following Definition 9 (with the `Dropped` / `AtHost`
+/// propositions made explicit so properties can refer to them):
+///
+/// * one state per `(switch, ingress port, class)`, for every link whose
+///   destination is that switch port;
+/// * one state per `(switch, egress port, class)`, for every link from that
+///   switch port to a host — these states carry an `AtHost` label and a
+///   self-loop;
+/// * a state is initial iff its port is reachable directly from a host;
+/// * transitions follow the forwarding table of the state's switch for the
+///   class's representative packet;
+/// * states whose packet is dropped (no matching rule, a drop rule, or a
+///   dangling output port) get a `Dropped` label and a self-loop.
+///
+/// Packet modifications stay within the traffic class (the paper likewise
+/// keeps classes disjoint and leaves cross-class rewriting to future work).
+///
+/// [`encode`]: NetworkKripke::encode
+/// [`apply_switch_update`]: NetworkKripke::apply_switch_update
+#[derive(Debug, Clone)]
+pub struct NetworkKripke {
+    topology: Topology,
+    classes: Vec<TrafficClass>,
+    ingress_hosts: Option<std::collections::BTreeSet<netupd_model::HostId>>,
+}
+
+impl NetworkKripke {
+    /// Creates an encoder for the given topology and traffic classes.
+    pub fn new(topology: Topology, classes: Vec<TrafficClass>) -> Self {
+        NetworkKripke {
+            topology,
+            classes,
+            ingress_hosts: None,
+        }
+    }
+
+    /// Restricts the initial states to packets entering at the given hosts.
+    ///
+    /// By default every host-adjacent arrival state is initial; update
+    /// scenarios that move a single flow (e.g. the paper's diamond workloads)
+    /// restrict attention to the flow's source host.
+    #[must_use]
+    pub fn with_ingress_hosts<I: IntoIterator<Item = netupd_model::HostId>>(
+        mut self,
+        hosts: I,
+    ) -> Self {
+        self.ingress_hosts = Some(hosts.into_iter().collect());
+        self
+    }
+
+    /// The topology the encoder was built with.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The traffic classes the encoder tracks.
+    pub fn classes(&self) -> &[TrafficClass] {
+        &self.classes
+    }
+
+    /// Builds the Kripke structure of `config`.
+    pub fn encode(&self, config: &Configuration) -> Kripke {
+        let mut kripke = Kripke::new();
+        self.add_states(&mut kripke);
+        for state in kripke.states().collect::<Vec<_>>() {
+            let key = kripke.key(state);
+            let table = config.table(key.switch);
+            self.encode_state(&mut kripke, state, &table);
+        }
+        kripke
+    }
+
+    /// Re-encodes the states of `switch` against `new_table`, mutating
+    /// `kripke` in place.
+    ///
+    /// Returns the states whose outgoing transitions changed (the set `U`
+    /// passed to the incremental model checker). Labels of the re-encoded
+    /// states are refreshed as well, since a table change can turn a
+    /// forwarding state into a dropping one and vice versa.
+    pub fn apply_switch_update(
+        &self,
+        kripke: &mut Kripke,
+        switch: SwitchId,
+        new_table: &Table,
+    ) -> Vec<StateId> {
+        let mut changed = Vec::new();
+        for state in kripke.states_of_switch(switch) {
+            let before_label = kripke.label(state).clone();
+            if self.encode_state(kripke, state, new_table) || *kripke.label(state) != before_label {
+                changed.push(state);
+            }
+        }
+        changed
+    }
+
+    // ---- internals ---------------------------------------------------------
+
+    fn add_states(&self, kripke: &mut Kripke) {
+        for (class_idx, class) in self.classes.iter().enumerate() {
+            // Arrival states: packets arriving at a switch port.
+            for link in self.topology.links() {
+                if let Endpoint::SwitchPort(sw, pt) = link.dst {
+                    let key = StateKey::arrival(sw, pt, class_idx);
+                    let id = kripke.add_state(key, self.base_label(sw, pt, class));
+                    if let Endpoint::Host(h) = link.src {
+                        let admitted = self
+                            .ingress_hosts
+                            .as_ref()
+                            .map_or(true, |hosts| hosts.contains(&h));
+                        if admitted {
+                            kripke.mark_initial(id);
+                        }
+                    }
+                }
+            }
+            // Egress states: switch ports attached to a host.
+            for (_, link) in self.topology.egress_links() {
+                if let (Endpoint::SwitchPort(sw, pt), Endpoint::Host(h)) = (link.src, link.dst) {
+                    let key = StateKey::egress(sw, pt, class_idx);
+                    let mut label = self.base_label(sw, pt, class);
+                    label.insert(Prop::AtHost(h));
+                    kripke.add_state(key, label);
+                }
+            }
+        }
+    }
+
+    fn base_label(&self, sw: SwitchId, pt: PortId, class: &TrafficClass) -> BTreeSet<Prop> {
+        let mut label = BTreeSet::new();
+        label.insert(Prop::Switch(sw));
+        label.insert(Prop::Port(pt));
+        for (field, value) in class.iter() {
+            label.insert(Prop::FieldIs(field, value));
+        }
+        label
+    }
+
+    /// Recomputes the outgoing transitions (and drop labeling) of one state.
+    /// Returns `true` if the transitions changed.
+    fn encode_state(&self, kripke: &mut Kripke, state: StateId, table: &Table) -> bool {
+        let key = kripke.key(state);
+        let class = &self.classes[key.class];
+
+        // Egress states keep their self-loop regardless of the table: the
+        // packet has already left the switch.
+        if key.role == StateRole::Egress {
+            return kripke.set_successors(state, vec![state]);
+        }
+
+        let packet = class.representative();
+        let outputs = table.process(&packet, key.port);
+
+        let mut successors = Vec::new();
+        let mut dropped = outputs.is_empty();
+        for (_, out_port) in &outputs {
+            match self.topology.link_from_port(key.switch, *out_port) {
+                None => {}
+                Some((_, link)) => match link.dst {
+                    Endpoint::SwitchPort(sw, pt) => {
+                        let succ_key = StateKey::arrival(sw, pt, key.class);
+                        if let Some(succ) = kripke.state_by_key(&succ_key) {
+                            successors.push(succ);
+                        }
+                    }
+                    Endpoint::Host(_) => {
+                        let succ_key = StateKey::egress(key.switch, *out_port, key.class);
+                        if let Some(succ) = kripke.state_by_key(&succ_key) {
+                            successors.push(succ);
+                        }
+                    }
+                },
+            }
+        }
+        if successors.is_empty() {
+            // Every output dangled, or there were none: the packet is stuck
+            // here. Definition 9 gives such states a self-loop; we also label
+            // them as dropped so drop-freedom properties can see it.
+            dropped = true;
+            successors.push(state);
+        }
+
+        let mut label = kripke.label(state).clone();
+        let label_changed = if dropped {
+            label.insert(Prop::Dropped)
+        } else {
+            label.remove(&Prop::Dropped)
+        };
+        if label_changed {
+            kripke.set_label(state, label);
+        }
+        kripke.set_successors(state, successors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netupd_model::{Action, Field, Pattern, Priority, Rule};
+
+    /// The small line topology h0 - s0 - s1 - h1 with destination-based
+    /// forwarding toward h1 for dst=1.
+    fn line() -> (Topology, Configuration, SwitchId, SwitchId) {
+        let mut topo = Topology::new();
+        let h0 = topo.add_host();
+        let h1 = topo.add_host();
+        let s0 = topo.add_switch();
+        let s1 = topo.add_switch();
+        topo.attach_host(h0, s0, PortId(1));
+        topo.add_duplex_link(s0, PortId(2), s1, PortId(1));
+        topo.attach_host(h1, s1, PortId(2));
+        let fwd = |port: u32| {
+            Table::new(vec![Rule::new(
+                Priority(1),
+                Pattern::any().with_field(Field::Dst, 1),
+                vec![Action::Forward(PortId(port))],
+            )])
+        };
+        let config = Configuration::new()
+            .with_table(s0, fwd(2))
+            .with_table(s1, fwd(2));
+        (topo, config, s0, s1)
+    }
+
+    fn class() -> TrafficClass {
+        TrafficClass::new().with_field(Field::Dst, 1)
+    }
+
+    #[test]
+    fn encoding_is_complete_and_dag_like() {
+        let (topo, config, ..) = line();
+        let encoder = NetworkKripke::new(topo, vec![class()]);
+        let kripke = encoder.encode(&config);
+        assert!(kripke.is_complete());
+        assert!(kripke.is_dag_like());
+        assert!(kripke.initial_states().count() >= 1);
+    }
+
+    #[test]
+    fn forwarding_path_is_represented() {
+        let (topo, config, s0, s1) = line();
+        let encoder = NetworkKripke::new(topo, vec![class()]);
+        let kripke = encoder.encode(&config);
+        // The initial state at s0 port 1 should reach, transitively, a state
+        // labeled AtHost(h1).
+        let start = kripke
+            .initial_states()
+            .find(|s| kripke.key(*s).switch == s0)
+            .expect("initial state at s0");
+        let mut stack = vec![start];
+        let mut seen = std::collections::BTreeSet::new();
+        let mut reaches_host = false;
+        while let Some(state) = stack.pop() {
+            if !seen.insert(state) {
+                continue;
+            }
+            if kripke
+                .label(state)
+                .iter()
+                .any(|p| matches!(p, Prop::AtHost(_)))
+            {
+                reaches_host = true;
+            }
+            for succ in kripke.successors(state) {
+                stack.push(*succ);
+            }
+        }
+        assert!(reaches_host);
+        let _ = s1;
+    }
+
+    #[test]
+    fn empty_config_drops_everywhere() {
+        let (topo, _config, ..) = line();
+        let encoder = NetworkKripke::new(topo, vec![class()]);
+        let kripke = encoder.encode(&Configuration::new());
+        // Every non-egress state must be labeled Dropped and self-loop.
+        for state in kripke.states() {
+            let label = kripke.label(state);
+            let is_egress = label.iter().any(|p| matches!(p, Prop::AtHost(_)));
+            if !is_egress {
+                assert!(label.contains(&Prop::Dropped), "state {} not dropped", kripke.key(state));
+                assert!(kripke.is_sink(state));
+            }
+        }
+    }
+
+    #[test]
+    fn apply_switch_update_reports_changed_states() {
+        let (topo, config, s0, _) = line();
+        let encoder = NetworkKripke::new(topo, vec![class()]);
+        let mut kripke = encoder.encode(&config);
+        // Updating s0 to the empty table changes the transitions of its states.
+        let changed = encoder.apply_switch_update(&mut kripke, s0, &Table::empty());
+        assert!(!changed.is_empty());
+        assert!(changed.iter().all(|s| kripke.key(*s).switch == s0));
+        // The structure remains complete and DAG-like after the update.
+        assert!(kripke.is_complete());
+        assert!(kripke.is_dag_like());
+        // Updating again with the same table is a no-op.
+        let changed_again = encoder.apply_switch_update(&mut kripke, s0, &Table::empty());
+        assert!(changed_again.is_empty());
+    }
+
+    #[test]
+    fn update_matches_fresh_encoding() {
+        let (topo, config, s0, _) = line();
+        let encoder = NetworkKripke::new(topo.clone(), vec![class()]);
+        let mut incremental = encoder.encode(&config);
+        let new_config = config.updated(s0, Table::empty());
+        encoder.apply_switch_update(&mut incremental, s0, &Table::empty());
+        let fresh = encoder.encode(&new_config);
+        assert_eq!(incremental.len(), fresh.len());
+        for state in incremental.states() {
+            let key = incremental.key(state);
+            let other = fresh.state_by_key(&key).expect("same state space");
+            assert_eq!(incremental.label(state), fresh.label(other), "label of {key}");
+            let mut a: Vec<_> = incremental
+                .successors(state)
+                .iter()
+                .map(|s| incremental.key(*s))
+                .collect();
+            let mut b: Vec<_> = fresh.successors(other).iter().map(|s| fresh.key(*s)).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "successors of {key}");
+        }
+    }
+
+    #[test]
+    fn per_class_components_are_disjoint() {
+        let (topo, config, ..) = line();
+        let other_class = TrafficClass::new().with_field(Field::Dst, 2);
+        let encoder = NetworkKripke::new(topo, vec![class(), other_class]);
+        let kripke = encoder.encode(&config);
+        for state in kripke.states() {
+            for succ in kripke.successors(state) {
+                assert_eq!(kripke.key(state).class, kripke.key(*succ).class);
+            }
+        }
+    }
+}

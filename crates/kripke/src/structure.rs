@@ -1,0 +1,422 @@
+//! The Kripke structure representation.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::fmt;
+
+use netupd_ltl::Prop;
+use netupd_model::{PortId, SwitchId};
+
+/// Index of a state within a [`Kripke`] structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(pub usize);
+
+/// Whether a state represents a packet arriving at a switch port (about to be
+/// processed) or a packet that has been forwarded out of an egress port
+/// toward a host.
+///
+/// The distinction matters on ports that face a host: such a port is both an
+/// ingress (packets from the host arrive there and must be processed) and an
+/// egress (packets forwarded out of it have left the network), and the two
+/// situations are different states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum StateRole {
+    /// The packet arrived on this port and is about to be processed.
+    #[default]
+    Arrival,
+    /// The packet was forwarded out of this port to an adjacent host.
+    Egress,
+}
+
+/// The key identifying a state: a switch-port location for packets of a
+/// particular traffic class, distinguished by arrival/egress role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateKey {
+    /// The switch at which the packet is located.
+    pub switch: SwitchId,
+    /// The port at which the packet arrived (or is leaving, for egress states).
+    pub port: PortId,
+    /// Index of the traffic class this state belongs to.
+    pub class: usize,
+    /// Whether the packet is arriving at the port or leaving through it.
+    pub role: StateRole,
+}
+
+impl StateKey {
+    /// An arrival state key.
+    pub fn arrival(switch: SwitchId, port: PortId, class: usize) -> Self {
+        StateKey {
+            switch,
+            port,
+            class,
+            role: StateRole::Arrival,
+        }
+    }
+
+    /// An egress state key.
+    pub fn egress(switch: SwitchId, port: PortId, class: usize) -> Self {
+        StateKey {
+            switch,
+            port,
+            class,
+            role: StateRole::Egress,
+        }
+    }
+}
+
+impl fmt::Display for StateKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let role = match self.role {
+            StateRole::Arrival => "in",
+            StateRole::Egress => "out",
+        };
+        write!(f, "({}, {}, c{}, {role})", self.switch, self.port, self.class)
+    }
+}
+
+/// A finite Kripke structure `(Q, Q0, δ, λ)` with proposition labels.
+///
+/// The structures produced by the network encoding are *complete* (every
+/// state has a successor) and *DAG-like* (the only cycles are self-loops on
+/// sink states); [`Kripke::is_complete`] and [`Kripke::is_dag_like`] verify
+/// those invariants.
+#[derive(Debug, Clone, Default)]
+pub struct Kripke {
+    keys: Vec<StateKey>,
+    index: HashMap<StateKey, StateId>,
+    labels: Vec<BTreeSet<Prop>>,
+    successors: Vec<Vec<StateId>>,
+    predecessors: Vec<Vec<StateId>>,
+    initial: BTreeSet<StateId>,
+}
+
+impl Kripke {
+    /// Creates an empty structure.
+    pub fn new() -> Self {
+        Kripke::default()
+    }
+
+    /// Adds a state with the given key and label, returning its id.
+    ///
+    /// Adding a key that already exists returns the existing id and leaves the
+    /// label untouched.
+    pub fn add_state(&mut self, key: StateKey, label: BTreeSet<Prop>) -> StateId {
+        if let Some(&id) = self.index.get(&key) {
+            return id;
+        }
+        let id = StateId(self.keys.len());
+        self.keys.push(key);
+        self.index.insert(key, id);
+        self.labels.push(label);
+        self.successors.push(Vec::new());
+        self.predecessors.push(Vec::new());
+        id
+    }
+
+    /// Marks a state as initial.
+    pub fn mark_initial(&mut self, state: StateId) {
+        self.initial.insert(state);
+    }
+
+    /// Adds a transition `from → to` (idempotent).
+    pub fn add_transition(&mut self, from: StateId, to: StateId) {
+        if !self.successors[from.0].contains(&to) {
+            self.successors[from.0].push(to);
+            self.predecessors[to.0].push(from);
+        }
+    }
+
+    /// Replaces the outgoing transitions of `state`, maintaining predecessor
+    /// lists. Returns `true` if the successor set actually changed.
+    pub fn set_successors(&mut self, state: StateId, mut new: Vec<StateId>) -> bool {
+        new.sort_unstable();
+        new.dedup();
+        let mut old = self.successors[state.0].clone();
+        old.sort_unstable();
+        if old == new {
+            return false;
+        }
+        for succ in &old {
+            self.predecessors[succ.0].retain(|p| *p != state);
+        }
+        for succ in &new {
+            self.predecessors[succ.0].push(state);
+        }
+        self.successors[state.0] = new;
+        true
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Returns `true` if the structure has no states.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Number of transitions (including self-loops).
+    pub fn num_transitions(&self) -> usize {
+        self.successors.iter().map(Vec::len).sum()
+    }
+
+    /// The key of a state.
+    pub fn key(&self, state: StateId) -> StateKey {
+        self.keys[state.0]
+    }
+
+    /// The id of the state with the given key, if it exists.
+    pub fn state_by_key(&self, key: &StateKey) -> Option<StateId> {
+        self.index.get(key).copied()
+    }
+
+    /// The label of a state.
+    pub fn label(&self, state: StateId) -> &BTreeSet<Prop> {
+        &self.labels[state.0]
+    }
+
+    /// Replaces the label of a state.
+    pub fn set_label(&mut self, state: StateId, label: BTreeSet<Prop>) {
+        self.labels[state.0] = label;
+    }
+
+    /// The successors of a state.
+    pub fn successors(&self, state: StateId) -> &[StateId] {
+        &self.successors[state.0]
+    }
+
+    /// The predecessors of a state.
+    pub fn predecessors(&self, state: StateId) -> &[StateId] {
+        &self.predecessors[state.0]
+    }
+
+    /// The initial states.
+    pub fn initial_states(&self) -> impl Iterator<Item = StateId> + '_ {
+        self.initial.iter().copied()
+    }
+
+    /// Iterates over all state ids.
+    pub fn states(&self) -> impl Iterator<Item = StateId> {
+        (0..self.keys.len()).map(StateId)
+    }
+
+    /// Returns `true` if `state` is a sink: its only outgoing transition (if
+    /// any) is a self-loop.
+    pub fn is_sink(&self, state: StateId) -> bool {
+        self.successors[state.0].iter().all(|s| *s == state)
+    }
+
+    /// Returns `true` if every state has at least one successor.
+    pub fn is_complete(&self) -> bool {
+        self.successors.iter().all(|s| !s.is_empty())
+    }
+
+    /// Returns `true` if the structure is DAG-like: the only cycles are
+    /// self-loops on sink states.
+    pub fn is_dag_like(&self) -> bool {
+        self.topological_order().is_some()
+    }
+
+    /// A topological order of the states ignoring self-loops, or `None` if a
+    /// non-trivial cycle exists.
+    ///
+    /// The order lists every state after all of its (non-self) successors —
+    /// i.e. sinks come first — which is the evaluation order the labeling
+    /// algorithms need.
+    pub fn topological_order(&self) -> Option<Vec<StateId>> {
+        let n = self.keys.len();
+        // Count non-self outgoing edges.
+        let mut remaining: Vec<usize> = (0..n)
+            .map(|i| {
+                self.successors[i]
+                    .iter()
+                    .filter(|s| s.0 != i)
+                    .count()
+            })
+            .collect();
+        let mut queue: VecDeque<StateId> = (0..n)
+            .filter(|i| remaining[*i] == 0)
+            .map(StateId)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(state) = queue.pop_front() {
+            order.push(state);
+            for pred in &self.predecessors[state.0] {
+                if pred.0 == state.0 {
+                    continue;
+                }
+                remaining[pred.0] -= 1;
+                if remaining[pred.0] == 0 {
+                    queue.push_back(*pred);
+                }
+            }
+        }
+        if order.len() == n {
+            Some(order)
+        } else {
+            None
+        }
+    }
+
+    /// The ancestors of the states in `seeds` (including the seeds
+    /// themselves): every state from which some seed is reachable.
+    pub fn ancestors(&self, seeds: &[StateId]) -> BTreeSet<StateId> {
+        let mut visited: BTreeSet<StateId> = seeds.iter().copied().collect();
+        let mut queue: VecDeque<StateId> = seeds.iter().copied().collect();
+        while let Some(state) = queue.pop_front() {
+            for pred in &self.predecessors[state.0] {
+                if visited.insert(*pred) {
+                    queue.push_back(*pred);
+                }
+            }
+        }
+        visited
+    }
+
+    /// All sink states.
+    pub fn sinks(&self) -> Vec<StateId> {
+        self.states().filter(|s| self.is_sink(*s)).collect()
+    }
+
+    /// The states whose key refers to the given switch.
+    pub fn states_of_switch(&self, switch: SwitchId) -> Vec<StateId> {
+        self.states()
+            .filter(|s| self.keys[s.0].switch == switch)
+            .collect()
+    }
+}
+
+impl fmt::Display for Kripke {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "kripke({} states, {} transitions, {} initial)",
+            self.len(),
+            self.num_transitions(),
+            self.initial.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(sw: u32, pt: u32) -> StateKey {
+        StateKey::arrival(SwitchId(sw), PortId(pt), 0)
+    }
+
+    fn label(sw: u32) -> BTreeSet<Prop> {
+        [Prop::switch(sw)].into_iter().collect()
+    }
+
+    /// A diamond: 0 -> {1, 2} -> 3(sink with self-loop).
+    fn diamond() -> (Kripke, [StateId; 4]) {
+        let mut k = Kripke::new();
+        let a = k.add_state(key(0, 1), label(0));
+        let b = k.add_state(key(1, 1), label(1));
+        let c = k.add_state(key(2, 1), label(2));
+        let d = k.add_state(key(3, 1), label(3));
+        k.mark_initial(a);
+        k.add_transition(a, b);
+        k.add_transition(a, c);
+        k.add_transition(b, d);
+        k.add_transition(c, d);
+        k.add_transition(d, d);
+        (k, [a, b, c, d])
+    }
+
+    #[test]
+    fn construction_and_counts() {
+        let (k, _) = diamond();
+        assert_eq!(k.len(), 4);
+        assert_eq!(k.num_transitions(), 5);
+        assert_eq!(k.initial_states().count(), 1);
+    }
+
+    #[test]
+    fn duplicate_key_returns_same_state() {
+        let mut k = Kripke::new();
+        let a = k.add_state(key(0, 1), label(0));
+        let b = k.add_state(key(0, 1), label(9));
+        assert_eq!(a, b);
+        assert_eq!(k.len(), 1);
+        assert_eq!(k.label(a), &label(0));
+    }
+
+    #[test]
+    fn completeness_and_dagness() {
+        let (k, [_, _, _, d]) = diamond();
+        assert!(k.is_complete());
+        assert!(k.is_dag_like());
+        assert!(k.is_sink(d));
+        assert_eq!(k.sinks(), vec![d]);
+    }
+
+    #[test]
+    fn incomplete_structure_detected() {
+        let mut k = Kripke::new();
+        let a = k.add_state(key(0, 1), label(0));
+        let b = k.add_state(key(1, 1), label(1));
+        k.add_transition(a, b);
+        assert!(!k.is_complete());
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut k = Kripke::new();
+        let a = k.add_state(key(0, 1), label(0));
+        let b = k.add_state(key(1, 1), label(1));
+        k.add_transition(a, b);
+        k.add_transition(b, a);
+        assert!(!k.is_dag_like());
+        assert!(k.topological_order().is_none());
+    }
+
+    #[test]
+    fn topological_order_lists_sinks_first() {
+        let (k, [a, _, _, d]) = diamond();
+        let order = k.topological_order().unwrap();
+        let pos = |s: StateId| order.iter().position(|x| *x == s).unwrap();
+        assert!(pos(d) < pos(a));
+        for state in k.states() {
+            for succ in k.successors(state) {
+                if *succ != state {
+                    assert!(pos(*succ) < pos(state));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ancestors_computation() {
+        let (k, [a, b, c, d]) = diamond();
+        let anc = k.ancestors(&[d]);
+        assert_eq!(anc.len(), 4);
+        let anc_b = k.ancestors(&[b]);
+        assert!(anc_b.contains(&a) && anc_b.contains(&b));
+        assert!(!anc_b.contains(&c) && !anc_b.contains(&d));
+    }
+
+    #[test]
+    fn set_successors_updates_predecessors() {
+        let (mut k, [a, b, c, d]) = diamond();
+        // Re-route a to go only to c.
+        let changed = k.set_successors(a, vec![c]);
+        assert!(changed);
+        assert_eq!(k.successors(a), &[c]);
+        assert!(!k.predecessors(b).contains(&a));
+        assert!(k.predecessors(c).contains(&a));
+        // Setting the same successors again reports no change.
+        assert!(!k.set_successors(a, vec![c]));
+        assert!(k.is_dag_like());
+        let _ = d;
+    }
+
+    #[test]
+    fn states_of_switch() {
+        let (k, [a, ..]) = diamond();
+        assert_eq!(k.states_of_switch(SwitchId(0)), vec![a]);
+        assert!(k.states_of_switch(SwitchId(9)).is_empty());
+    }
+}

@@ -1,0 +1,291 @@
+//! LTL formulas in negation normal form.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::prop::Prop;
+
+/// An LTL formula in negation normal form (NNF).
+///
+/// Negation is only available on atomic propositions; [`Ltl::negated`]
+/// produces the NNF of the negation of an arbitrary formula by dualizing
+/// connectives. The derived operators `F`, `G`, and implication are provided
+/// as constructors.
+///
+/// Subformulas are shared via [`Arc`] so that large formulas (e.g. long
+/// service chains) can be cloned cheaply by the closure machinery.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Ltl {
+    /// The constant true.
+    True,
+    /// The constant false.
+    False,
+    /// An atomic proposition.
+    Prop(Prop),
+    /// A negated atomic proposition.
+    NotProp(Prop),
+    /// Conjunction.
+    And(Arc<Ltl>, Arc<Ltl>),
+    /// Disjunction.
+    Or(Arc<Ltl>, Arc<Ltl>),
+    /// Next.
+    Next(Arc<Ltl>),
+    /// Until (strong).
+    Until(Arc<Ltl>, Arc<Ltl>),
+    /// Release (dual of until).
+    Release(Arc<Ltl>, Arc<Ltl>),
+}
+
+impl Ltl {
+    /// The atomic proposition `p`.
+    pub fn prop(p: Prop) -> Ltl {
+        Ltl::Prop(p)
+    }
+
+    /// The negated atomic proposition `¬p`.
+    pub fn not_prop(p: Prop) -> Ltl {
+        Ltl::NotProp(p)
+    }
+
+    /// Conjunction `a ∧ b`, with constant folding.
+    pub fn and(a: Ltl, b: Ltl) -> Ltl {
+        match (a, b) {
+            (Ltl::True, x) | (x, Ltl::True) => x,
+            (Ltl::False, _) | (_, Ltl::False) => Ltl::False,
+            (a, b) => Ltl::And(Arc::new(a), Arc::new(b)),
+        }
+    }
+
+    /// Disjunction `a ∨ b`, with constant folding.
+    pub fn or(a: Ltl, b: Ltl) -> Ltl {
+        match (a, b) {
+            (Ltl::True, _) | (_, Ltl::True) => Ltl::True,
+            (Ltl::False, x) | (x, Ltl::False) => x,
+            (a, b) => Ltl::Or(Arc::new(a), Arc::new(b)),
+        }
+    }
+
+    /// Conjunction of an arbitrary number of formulas (`true` if empty).
+    pub fn and_all<I: IntoIterator<Item = Ltl>>(formulas: I) -> Ltl {
+        formulas.into_iter().fold(Ltl::True, Ltl::and)
+    }
+
+    /// Disjunction of an arbitrary number of formulas (`false` if empty).
+    pub fn or_all<I: IntoIterator<Item = Ltl>>(formulas: I) -> Ltl {
+        formulas.into_iter().fold(Ltl::False, Ltl::or)
+    }
+
+    /// Next `X a`.
+    pub fn next(a: Ltl) -> Ltl {
+        Ltl::Next(Arc::new(a))
+    }
+
+    /// Until `a U b`.
+    pub fn until(a: Ltl, b: Ltl) -> Ltl {
+        Ltl::Until(Arc::new(a), Arc::new(b))
+    }
+
+    /// Release `a R b`.
+    pub fn release(a: Ltl, b: Ltl) -> Ltl {
+        Ltl::Release(Arc::new(a), Arc::new(b))
+    }
+
+    /// Eventually `F a ≡ true U a`.
+    pub fn eventually(a: Ltl) -> Ltl {
+        Ltl::until(Ltl::True, a)
+    }
+
+    /// Globally `G a ≡ false R a`.
+    pub fn globally(a: Ltl) -> Ltl {
+        Ltl::release(Ltl::False, a)
+    }
+
+    /// Implication `a ⇒ b ≡ ¬a ∨ b` (with `¬a` pushed to NNF).
+    pub fn implies(a: Ltl, b: Ltl) -> Ltl {
+        Ltl::or(a.negated(), b)
+    }
+
+    /// The NNF of the negation of this formula (connective dualization).
+    #[must_use]
+    pub fn negated(&self) -> Ltl {
+        match self {
+            Ltl::True => Ltl::False,
+            Ltl::False => Ltl::True,
+            Ltl::Prop(p) => Ltl::NotProp(*p),
+            Ltl::NotProp(p) => Ltl::Prop(*p),
+            Ltl::And(a, b) => Ltl::or(a.negated(), b.negated()),
+            Ltl::Or(a, b) => Ltl::and(a.negated(), b.negated()),
+            Ltl::Next(a) => Ltl::next(a.negated()),
+            Ltl::Until(a, b) => Ltl::release(a.negated(), b.negated()),
+            Ltl::Release(a, b) => Ltl::until(a.negated(), b.negated()),
+        }
+    }
+
+    /// The immediate subformulas of this formula.
+    pub fn children(&self) -> Vec<&Ltl> {
+        match self {
+            Ltl::True | Ltl::False | Ltl::Prop(_) | Ltl::NotProp(_) => Vec::new(),
+            Ltl::Next(a) => vec![a.as_ref()],
+            Ltl::And(a, b) | Ltl::Or(a, b) | Ltl::Until(a, b) | Ltl::Release(a, b) => {
+                vec![a.as_ref(), b.as_ref()]
+            }
+        }
+    }
+
+    /// Number of nodes in the formula tree.
+    pub fn size(&self) -> usize {
+        1 + self.children().iter().map(|c| c.size()).sum::<usize>()
+    }
+
+    /// All atomic propositions mentioned (positively or negatively).
+    pub fn propositions(&self) -> Vec<Prop> {
+        let mut out = Vec::new();
+        self.collect_props(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_props(&self, out: &mut Vec<Prop>) {
+        match self {
+            Ltl::Prop(p) | Ltl::NotProp(p) => out.push(*p),
+            _ => {
+                for c in self.children() {
+                    c.collect_props(out);
+                }
+            }
+        }
+    }
+
+    /// Returns `true` if the formula contains no temporal operators.
+    pub fn is_propositional(&self) -> bool {
+        match self {
+            Ltl::True | Ltl::False | Ltl::Prop(_) | Ltl::NotProp(_) => true,
+            Ltl::And(a, b) | Ltl::Or(a, b) => a.is_propositional() && b.is_propositional(),
+            Ltl::Next(_) | Ltl::Until(..) | Ltl::Release(..) => false,
+        }
+    }
+}
+
+impl fmt::Display for Ltl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn paren(f: &mut fmt::Formatter<'_>, inner: &Ltl) -> fmt::Result {
+            match inner {
+                Ltl::True | Ltl::False | Ltl::Prop(_) | Ltl::NotProp(_) => write!(f, "{inner}"),
+                _ => write!(f, "({inner})"),
+            }
+        }
+        match self {
+            Ltl::True => write!(f, "true"),
+            Ltl::False => write!(f, "false"),
+            Ltl::Prop(p) => write!(f, "{p}"),
+            Ltl::NotProp(p) => write!(f, "!{p}"),
+            Ltl::And(a, b) => {
+                paren(f, a)?;
+                write!(f, " & ")?;
+                paren(f, b)
+            }
+            Ltl::Or(a, b) => {
+                paren(f, a)?;
+                write!(f, " | ")?;
+                paren(f, b)
+            }
+            Ltl::Next(a) => {
+                write!(f, "X ")?;
+                paren(f, a)
+            }
+            Ltl::Until(a, b) => {
+                // Pretty-print F specially.
+                if **a == Ltl::True {
+                    write!(f, "F ")?;
+                    paren(f, b)
+                } else {
+                    paren(f, a)?;
+                    write!(f, " U ")?;
+                    paren(f, b)
+                }
+            }
+            Ltl::Release(a, b) => {
+                // Pretty-print G specially.
+                if **a == Ltl::False {
+                    write!(f, "G ")?;
+                    paren(f, b)
+                } else {
+                    paren(f, a)?;
+                    write!(f, " R ")?;
+                    paren(f, b)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: u32) -> Ltl {
+        Ltl::prop(Prop::switch(n))
+    }
+
+    #[test]
+    fn double_negation_is_identity() {
+        let phi = Ltl::implies(p(1), Ltl::eventually(p(2)));
+        assert_eq!(phi.negated().negated(), phi);
+    }
+
+    #[test]
+    fn negation_dualizes_temporal_operators() {
+        let f = Ltl::eventually(p(1));
+        match f.negated() {
+            Ltl::Release(a, b) => {
+                assert_eq!(*a, Ltl::False);
+                assert_eq!(*b, p(1).negated());
+            }
+            other => panic!("expected release, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn constant_folding() {
+        assert_eq!(Ltl::and(Ltl::True, p(1)), p(1));
+        assert_eq!(Ltl::and(Ltl::False, p(1)), Ltl::False);
+        assert_eq!(Ltl::or(Ltl::False, p(1)), p(1));
+        assert_eq!(Ltl::or(Ltl::True, p(1)), Ltl::True);
+    }
+
+    #[test]
+    fn and_all_or_all() {
+        assert_eq!(Ltl::and_all(Vec::new()), Ltl::True);
+        assert_eq!(Ltl::or_all(Vec::new()), Ltl::False);
+        let conj = Ltl::and_all(vec![p(1), p(2), p(3)]);
+        assert_eq!(conj.propositions().len(), 3);
+    }
+
+    #[test]
+    fn size_and_children() {
+        let phi = Ltl::until(p(1), Ltl::and(p(2), p(3)));
+        assert_eq!(phi.size(), 5);
+        assert_eq!(phi.children().len(), 2);
+    }
+
+    #[test]
+    fn propositional_detection() {
+        assert!(Ltl::and(p(1), p(2)).is_propositional());
+        assert!(!Ltl::eventually(p(1)).is_propositional());
+    }
+
+    #[test]
+    fn display_uses_derived_operators() {
+        assert_eq!(Ltl::eventually(p(3)).to_string(), "F s3");
+        assert_eq!(Ltl::globally(p(3)).to_string(), "G s3");
+        assert_eq!(Ltl::implies(p(1), p(2)).to_string(), "!s1 | s2");
+        assert_eq!(Ltl::until(p(1), p(2)).to_string(), "s1 U s2");
+    }
+
+    #[test]
+    fn propositions_are_deduplicated() {
+        let phi = Ltl::and(p(1), Ltl::or(p(1), p(2)));
+        assert_eq!(phi.propositions().len(), 2);
+    }
+}

@@ -1,0 +1,185 @@
+//! Builders for the network properties evaluated in the paper.
+//!
+//! Section 6 of the paper evaluates three property families — reachability,
+//! waypointing, and service chaining — plus their combinations. This module
+//! provides those, together with drop-freedom and avoidance properties that
+//! the specification language also expresses naturally.
+
+use crate::ast::Ltl;
+use crate::prop::Prop;
+
+/// Reachability: traffic must eventually reach `dst` — `F dst`.
+///
+/// Traces built by the Kripke encoding always start at an ingress, so the
+/// implication guard of the paper's formulation is provided separately by
+/// [`reachability_from`].
+pub fn reachability(dst: Prop) -> Ltl {
+    Ltl::eventually(Ltl::prop(dst))
+}
+
+/// The paper's guarded form: `(src) ⇒ F (dst)`.
+pub fn reachability_from(src: Prop, dst: Prop) -> Ltl {
+    Ltl::implies(Ltl::prop(src), reachability(dst))
+}
+
+/// Waypointing: traffic must traverse `waypoint` before reaching `dst` —
+/// `(¬dst) U (waypoint ∧ F dst)`.
+pub fn waypoint(waypoint: Prop, dst: Prop) -> Ltl {
+    Ltl::until(
+        Ltl::not_prop(dst),
+        Ltl::and(Ltl::prop(waypoint), reachability(dst)),
+    )
+}
+
+/// The paper's guarded form: `(src) ⇒ ((¬dst) U (waypoint ∧ F dst))`.
+pub fn waypoint_from(src: Prop, way: Prop, dst: Prop) -> Ltl {
+    Ltl::implies(Ltl::prop(src), waypoint(way, dst))
+}
+
+/// Service chaining: traffic must traverse `waypoints` in order before
+/// reaching `dst`.
+///
+/// Follows the paper's recursive definition:
+///
+/// ```text
+/// way([], d)      = F (d)
+/// way(w :: W, d)  = (⋀_{wk ∈ W} ¬wk ∧ ¬d) U (w ∧ way(W, d))
+/// ```
+pub fn service_chain(waypoints: &[Prop], dst: Prop) -> Ltl {
+    match waypoints.split_first() {
+        None => reachability(dst),
+        Some((first, rest)) => {
+            let avoid = Ltl::and_all(
+                rest.iter()
+                    .map(|w| Ltl::not_prop(*w))
+                    .chain(std::iter::once(Ltl::not_prop(dst))),
+            );
+            Ltl::until(avoid, Ltl::and(Ltl::prop(*first), service_chain(rest, dst)))
+        }
+    }
+}
+
+/// The paper's guarded form of service chaining.
+pub fn service_chain_from(src: Prop, waypoints: &[Prop], dst: Prop) -> Ltl {
+    Ltl::implies(Ltl::prop(src), service_chain(waypoints, dst))
+}
+
+/// Drop-freedom / blackhole-freedom: no packet is ever dropped — `G ¬dropped`.
+pub fn no_drops() -> Ltl {
+    Ltl::globally(Ltl::not_prop(Prop::Dropped))
+}
+
+/// Isolation / avoidance: traffic never visits `sw` — `G ¬sw`.
+pub fn always_avoids(sw: Prop) -> Ltl {
+    Ltl::globally(Ltl::not_prop(sw))
+}
+
+/// Traffic must traverse at least one of `waypoints` before `dst`
+/// (the "visit A2 or A3" property from the paper's overview example):
+/// `(¬dst) U ((w1 ∨ ... ∨ wn) ∧ F dst)`.
+pub fn one_of_waypoints(waypoints: &[Prop], dst: Prop) -> Ltl {
+    let any = Ltl::or_all(waypoints.iter().map(|w| Ltl::prop(*w)));
+    Ltl::until(Ltl::not_prop(dst), Ltl::and(any, reachability(dst)))
+}
+
+/// Conjunction of several properties that must all hold during the update.
+pub fn all_of<I: IntoIterator<Item = Ltl>>(properties: I) -> Ltl {
+    Ltl::and_all(properties)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netupd_model::trace::TraceEnd;
+    use netupd_model::{HostId, Packet, PortId, SwitchId, Trace};
+
+    use crate::semantics::satisfies;
+
+    fn trace_through(switches: &[u32]) -> Trace {
+        Trace::new(
+            switches
+                .iter()
+                .map(|s| netupd_model::Observation::new(SwitchId(*s), PortId(1), Packet::new()))
+                .collect(),
+            TraceEnd::Egress(HostId(0)),
+        )
+    }
+
+    #[test]
+    fn reachability_builder() {
+        let phi = reachability(Prop::switch(3));
+        assert!(satisfies(&trace_through(&[1, 2, 3]), &phi));
+        assert!(!satisfies(&trace_through(&[1, 2]), &phi));
+    }
+
+    #[test]
+    fn waypoint_builder() {
+        let phi = waypoint(Prop::switch(2), Prop::switch(3));
+        assert!(satisfies(&trace_through(&[1, 2, 3]), &phi));
+        // Reaching the destination without the waypoint violates the property.
+        assert!(!satisfies(&trace_through(&[1, 3]), &phi));
+        // Visiting the waypoint after the destination also violates it.
+        assert!(!satisfies(&trace_through(&[1, 3, 2]), &phi));
+    }
+
+    #[test]
+    fn service_chain_builder_requires_order() {
+        let phi = service_chain(&[Prop::switch(2), Prop::switch(4)], Prop::switch(5));
+        assert!(satisfies(&trace_through(&[1, 2, 4, 5]), &phi));
+        // Wrong order fails.
+        assert!(!satisfies(&trace_through(&[1, 4, 2, 5]), &phi));
+        // Skipping a waypoint fails.
+        assert!(!satisfies(&trace_through(&[1, 2, 5]), &phi));
+    }
+
+    #[test]
+    fn empty_service_chain_is_reachability() {
+        assert_eq!(service_chain(&[], Prop::switch(9)), reachability(Prop::switch(9)));
+    }
+
+    #[test]
+    fn one_of_waypoints_builder() {
+        let phi = one_of_waypoints(&[Prop::switch(2), Prop::switch(3)], Prop::switch(5));
+        assert!(satisfies(&trace_through(&[1, 2, 5]), &phi));
+        assert!(satisfies(&trace_through(&[1, 3, 5]), &phi));
+        assert!(!satisfies(&trace_through(&[1, 4, 5]), &phi));
+    }
+
+    #[test]
+    fn no_drops_builder() {
+        let dropped = Trace::new(
+            vec![netupd_model::Observation::new(SwitchId(1), PortId(1), Packet::new())],
+            TraceEnd::Dropped,
+        );
+        assert!(!satisfies(&dropped, &no_drops()));
+        assert!(satisfies(&trace_through(&[1, 2]), &no_drops()));
+    }
+
+    #[test]
+    fn avoidance_builder() {
+        let phi = always_avoids(Prop::switch(7));
+        assert!(satisfies(&trace_through(&[1, 2]), &phi));
+        assert!(!satisfies(&trace_through(&[1, 7, 2]), &phi));
+    }
+
+    #[test]
+    fn conjunction_of_properties() {
+        let phi = all_of(vec![
+            reachability(Prop::switch(3)),
+            always_avoids(Prop::switch(9)),
+        ]);
+        assert!(satisfies(&trace_through(&[1, 2, 3]), &phi));
+        assert!(!satisfies(&trace_through(&[1, 9, 3]), &phi));
+    }
+
+    #[test]
+    fn guarded_forms_trivially_hold_when_source_absent() {
+        let phi = reachability_from(Prop::switch(42), Prop::switch(3));
+        // The trace never visits s42, so the implication holds vacuously.
+        assert!(satisfies(&trace_through(&[1, 2]), &phi));
+        let phi = waypoint_from(Prop::switch(1), Prop::switch(2), Prop::switch(3));
+        assert!(satisfies(&trace_through(&[1, 2, 3]), &phi));
+        let phi = service_chain_from(Prop::switch(1), &[Prop::switch(2)], Prop::switch(3));
+        assert!(satisfies(&trace_through(&[1, 2, 3]), &phi));
+    }
+}

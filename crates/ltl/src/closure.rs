@@ -1,0 +1,458 @@
+//! The extended closure `ecl(ϕ)` and truth assignments over it.
+//!
+//! The incremental model checker labels every Kripke state with a set of
+//! *maximally-consistent subsets* of the extended closure of the
+//! specification. Because a maximally-consistent set contains exactly one of
+//! `ψ` / `¬ψ` for every subformula `ψ`, it is fully determined by the truth
+//! value it assigns to each (positive) subformula; we therefore represent it
+//! as a compact bitset — an [`Assignment`] — indexed by the [`Closure`].
+//!
+//! Two operations drive the checker:
+//!
+//! * [`Closure::sink_assignment`] — the unique assignment satisfied by the
+//!   single (stuttering) trace out of a sink state, i.e. the `Holds0`
+//!   function of the paper;
+//! * [`Closure::successor_assignment`] — given a state's atomic labeling and
+//!   the assignment of one of its successors along a trace, the unique
+//!   assignment satisfied at the state by that trace (the `Holds` function).
+//!
+//! Note on `Release` at sinks: the paper's `Holds0` evaluates
+//! `φ₁ R φ₂` as `φ₁ ∨ φ₂`; the standard LTL semantics over the stuttering
+//! sink trace gives `φ₂` (the obligation `φ₂` must hold *now* in either
+//! case). We implement the standard semantics; derived `G` behaves
+//! identically under both readings.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+use crate::ast::Ltl;
+use crate::prop::Prop;
+
+/// Index of a subformula within a [`Closure`].
+pub type FormulaId = usize;
+
+/// The closure of an LTL specification: all of its distinct subformulas,
+/// indexed bottom-up (children receive smaller indices than their parents).
+#[derive(Debug, Clone)]
+pub struct Closure {
+    root: Ltl,
+    /// Subformulas in bottom-up order; the root is last.
+    formulas: Vec<Ltl>,
+    index: HashMap<Ltl, FormulaId>,
+}
+
+impl Closure {
+    /// Builds the closure of `root`.
+    pub fn new(root: &Ltl) -> Self {
+        let mut closure = Closure {
+            root: root.clone(),
+            formulas: Vec::new(),
+            index: HashMap::new(),
+        };
+        closure.add(root);
+        closure
+    }
+
+    fn add(&mut self, phi: &Ltl) -> FormulaId {
+        if let Some(&id) = self.index.get(phi) {
+            return id;
+        }
+        // Children first so evaluation can proceed in index order.
+        for child in phi.children() {
+            self.add(child);
+        }
+        let id = self.formulas.len();
+        self.formulas.push(phi.clone());
+        self.index.insert(phi.clone(), id);
+        id
+    }
+
+    /// The specification this closure was built from.
+    pub fn root(&self) -> &Ltl {
+        &self.root
+    }
+
+    /// The index of the root formula.
+    pub fn root_id(&self) -> FormulaId {
+        self.formulas.len() - 1
+    }
+
+    /// Number of distinct subformulas.
+    pub fn len(&self) -> usize {
+        self.formulas.len()
+    }
+
+    /// Returns `true` if the closure is empty (never the case for a valid formula).
+    pub fn is_empty(&self) -> bool {
+        self.formulas.is_empty()
+    }
+
+    /// The subformula with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn formula(&self, id: FormulaId) -> &Ltl {
+        &self.formulas[id]
+    }
+
+    /// The index of a subformula, if it belongs to the closure.
+    pub fn id_of(&self, phi: &Ltl) -> Option<FormulaId> {
+        self.index.get(phi).copied()
+    }
+
+    /// Iterates over `(id, subformula)` pairs in bottom-up order.
+    pub fn iter(&self) -> impl Iterator<Item = (FormulaId, &Ltl)> {
+        self.formulas.iter().enumerate()
+    }
+
+    /// Creates an all-false assignment sized for this closure.
+    pub fn empty_assignment(&self) -> Assignment {
+        Assignment::new(self.len())
+    }
+
+    /// The unique assignment satisfied by the stuttering trace `q^ω` out of a
+    /// sink state labeled `label` (the `Holds0` / `HoldsSink` functions).
+    pub fn sink_assignment(&self, label: &BTreeSet<Prop>) -> Assignment {
+        let mut assignment = self.empty_assignment();
+        for (id, phi) in self.iter() {
+            let value = match phi {
+                Ltl::True => true,
+                Ltl::False => false,
+                Ltl::Prop(p) => label.contains(p),
+                Ltl::NotProp(p) => !label.contains(p),
+                Ltl::And(a, b) => {
+                    assignment.get(self.index[a.as_ref()]) && assignment.get(self.index[b.as_ref()])
+                }
+                Ltl::Or(a, b) => {
+                    assignment.get(self.index[a.as_ref()]) || assignment.get(self.index[b.as_ref()])
+                }
+                // The only transition is the self-loop, so "next" is "now".
+                Ltl::Next(a) => assignment.get(self.index[a.as_ref()]),
+                // On the constant trace, U reduces to its right argument...
+                Ltl::Until(_, b) => assignment.get(self.index[b.as_ref()]),
+                // ...and R likewise reduces to its right argument (standard
+                // semantics; see the module documentation).
+                Ltl::Release(_, b) => assignment.get(self.index[b.as_ref()]),
+            };
+            assignment.set(id, value);
+        }
+        assignment
+    }
+
+    /// The unique assignment satisfied at a non-sink state labeled `label` by
+    /// a trace whose tail (from the chosen successor) satisfies `successor`
+    /// (the `Holds` function lifted to full assignments).
+    pub fn successor_assignment(
+        &self,
+        label: &BTreeSet<Prop>,
+        successor: &Assignment,
+    ) -> Assignment {
+        debug_assert_eq!(successor.capacity(), self.len());
+        let mut assignment = self.empty_assignment();
+        for (id, phi) in self.iter() {
+            let value = match phi {
+                Ltl::True => true,
+                Ltl::False => false,
+                Ltl::Prop(p) => label.contains(p),
+                Ltl::NotProp(p) => !label.contains(p),
+                Ltl::And(a, b) => {
+                    assignment.get(self.index[a.as_ref()]) && assignment.get(self.index[b.as_ref()])
+                }
+                Ltl::Or(a, b) => {
+                    assignment.get(self.index[a.as_ref()]) || assignment.get(self.index[b.as_ref()])
+                }
+                Ltl::Next(a) => successor.get(self.index[a.as_ref()]),
+                Ltl::Until(a, b) => {
+                    let now_b = assignment.get(self.index[b.as_ref()]);
+                    let now_a = assignment.get(self.index[a.as_ref()]);
+                    now_b || (now_a && successor.get(id))
+                }
+                Ltl::Release(a, b) => {
+                    let now_b = assignment.get(self.index[b.as_ref()]);
+                    let now_a = assignment.get(self.index[a.as_ref()]);
+                    now_b && (now_a || successor.get(id))
+                }
+            };
+            assignment.set(id, value);
+        }
+        assignment
+    }
+
+    /// The `follows(M₁, M₂)` relation of the paper: does the temporal
+    /// structure allow `m2` to be the successor of `m1`?
+    ///
+    /// `successor_assignment` constructs assignments that satisfy this by
+    /// construction; the explicit check is exposed for testing and for the
+    /// automaton-based backend.
+    pub fn follows(&self, m1: &Assignment, m2: &Assignment) -> bool {
+        self.iter().all(|(id, phi)| match phi {
+            Ltl::Next(a) => m1.get(id) == m2.get(self.index[a.as_ref()]),
+            Ltl::Until(a, b) => {
+                let expected = m1.get(self.index[b.as_ref()])
+                    || (m1.get(self.index[a.as_ref()]) && m2.get(id));
+                m1.get(id) == expected
+            }
+            Ltl::Release(a, b) => {
+                let expected = m1.get(self.index[b.as_ref()])
+                    && (m1.get(self.index[a.as_ref()]) || m2.get(id));
+                m1.get(id) == expected
+            }
+            _ => true,
+        })
+    }
+
+    /// Returns `true` if the assignment makes the boolean structure of every
+    /// subformula consistent with its children (maximal consistency).
+    pub fn is_locally_consistent(&self, m: &Assignment) -> bool {
+        self.iter().all(|(id, phi)| match phi {
+            Ltl::True => m.get(id),
+            Ltl::False => !m.get(id),
+            Ltl::And(a, b) => {
+                m.get(id) == (m.get(self.index[a.as_ref()]) && m.get(self.index[b.as_ref()]))
+            }
+            Ltl::Or(a, b) => {
+                m.get(id) == (m.get(self.index[a.as_ref()]) || m.get(self.index[b.as_ref()]))
+            }
+            _ => true,
+        })
+    }
+
+    /// Returns `true` if the assignment satisfies the root specification.
+    pub fn satisfies_root(&self, m: &Assignment) -> bool {
+        m.get(self.root_id())
+    }
+
+    /// Truth of atomic subformulas implied by a state label, as an assignment
+    /// restricted to propositions (used by the automaton backend).
+    pub fn label_consistent(&self, m: &Assignment, label: &BTreeSet<Prop>) -> bool {
+        self.iter().all(|(id, phi)| match phi {
+            Ltl::Prop(p) => m.get(id) == label.contains(p),
+            Ltl::NotProp(p) => m.get(id) != label.contains(p),
+            _ => true,
+        })
+    }
+
+    /// The untimed (propositional and temporal) subformulas that are `Until`
+    /// nodes — used by the automaton backend for acceptance conditions.
+    pub fn until_ids(&self) -> Vec<FormulaId> {
+        self.iter()
+            .filter(|(_, phi)| matches!(phi, Ltl::Until(..)))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// The right-hand side of an `Until` subformula.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to an `Until` node.
+    pub fn until_rhs(&self, id: FormulaId) -> FormulaId {
+        match &self.formulas[id] {
+            Ltl::Until(_, b) => self.index[b.as_ref()],
+            other => panic!("formula {other} is not an until"),
+        }
+    }
+}
+
+/// A truth assignment over the subformulas of a [`Closure`]: the compact
+/// representation of a maximally-consistent subset of `ecl(ϕ)`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Assignment {
+    bits: Arc<[u64]>,
+    len: usize,
+}
+
+impl Assignment {
+    /// Creates an all-false assignment for `len` subformulas.
+    pub fn new(len: usize) -> Self {
+        let words = len.div_ceil(64).max(1);
+        Assignment {
+            bits: vec![0u64; words].into(),
+            len,
+        }
+    }
+
+    /// Number of subformulas this assignment covers.
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// The truth value of subformula `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn get(&self, id: FormulaId) -> bool {
+        assert!(id < self.len, "formula id {id} out of range ({})", self.len);
+        (self.bits[id / 64] >> (id % 64)) & 1 == 1
+    }
+
+    /// Sets the truth value of subformula `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn set(&mut self, id: FormulaId, value: bool) {
+        assert!(id < self.len, "formula id {id} out of range ({})", self.len);
+        let words = Arc::make_mut(&mut self.bits);
+        if value {
+            words[id / 64] |= 1 << (id % 64);
+        } else {
+            words[id / 64] &= !(1 << (id % 64));
+        }
+    }
+
+    /// Number of subformulas assigned `true`.
+    pub fn count_true(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+impl fmt::Debug for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Assignment[")?;
+        for i in 0..self.len {
+            write!(f, "{}", if self.get(i) { '1' } else { '0' })?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sw(n: u32) -> Prop {
+        Prop::switch(n)
+    }
+
+    fn label(props: &[Prop]) -> BTreeSet<Prop> {
+        props.iter().copied().collect()
+    }
+
+    #[test]
+    fn closure_orders_children_first() {
+        let phi = Ltl::until(Ltl::prop(sw(1)), Ltl::prop(sw(2)));
+        let closure = Closure::new(&phi);
+        assert_eq!(closure.len(), 3);
+        assert_eq!(closure.root_id(), 2);
+        // Children of every formula must have smaller indices.
+        for (id, f) in closure.iter() {
+            for child in f.children() {
+                assert!(closure.id_of(child).unwrap() < id);
+            }
+        }
+    }
+
+    #[test]
+    fn closure_deduplicates_shared_subformulas() {
+        let p = Ltl::prop(sw(1));
+        let phi = Ltl::and(p.clone(), Ltl::or(p.clone(), p));
+        let closure = Closure::new(&phi);
+        // s1, s1|s1, s1&(s1|s1)
+        assert_eq!(closure.len(), 3);
+    }
+
+    #[test]
+    fn sink_assignment_eventually() {
+        let phi = Ltl::eventually(Ltl::prop(sw(1)));
+        let closure = Closure::new(&phi);
+        let at_target = closure.sink_assignment(&label(&[sw(1)]));
+        let elsewhere = closure.sink_assignment(&label(&[sw(2)]));
+        assert!(closure.satisfies_root(&at_target));
+        assert!(!closure.satisfies_root(&elsewhere));
+    }
+
+    #[test]
+    fn sink_assignment_globally() {
+        let phi = Ltl::globally(Ltl::prop(sw(1)));
+        let closure = Closure::new(&phi);
+        assert!(closure.satisfies_root(&closure.sink_assignment(&label(&[sw(1)]))));
+        assert!(!closure.satisfies_root(&closure.sink_assignment(&label(&[sw(2)]))));
+    }
+
+    #[test]
+    fn successor_assignment_propagates_until() {
+        // F s2 along s1 -> s2(sink).
+        let phi = Ltl::eventually(Ltl::prop(sw(2)));
+        let closure = Closure::new(&phi);
+        let sink = closure.sink_assignment(&label(&[sw(2)]));
+        let start = closure.successor_assignment(&label(&[sw(1)]), &sink);
+        assert!(closure.satisfies_root(&start));
+        // Against a sink that never satisfies s2, the property fails.
+        let bad_sink = closure.sink_assignment(&label(&[sw(3)]));
+        let bad_start = closure.successor_assignment(&label(&[sw(1)]), &bad_sink);
+        assert!(!closure.satisfies_root(&bad_start));
+    }
+
+    #[test]
+    fn successor_assignment_next() {
+        let phi = Ltl::next(Ltl::prop(sw(2)));
+        let closure = Closure::new(&phi);
+        let succ_with = closure.sink_assignment(&label(&[sw(2)]));
+        let succ_without = closure.sink_assignment(&label(&[sw(9)]));
+        assert!(closure.satisfies_root(&closure.successor_assignment(&label(&[sw(1)]), &succ_with)));
+        assert!(
+            !closure.satisfies_root(&closure.successor_assignment(&label(&[sw(1)]), &succ_without))
+        );
+    }
+
+    #[test]
+    fn constructed_assignments_are_consistent_and_follow() {
+        let phi = Ltl::until(
+            Ltl::not_prop(sw(3)),
+            Ltl::and(Ltl::prop(sw(2)), Ltl::eventually(Ltl::prop(sw(4)))),
+        );
+        let closure = Closure::new(&phi);
+        let sink = closure.sink_assignment(&label(&[sw(4)]));
+        let mid = closure.successor_assignment(&label(&[sw(2)]), &sink);
+        let start = closure.successor_assignment(&label(&[sw(1)]), &mid);
+        for m in [&sink, &mid, &start] {
+            assert!(closure.is_locally_consistent(m));
+        }
+        assert!(closure.follows(&mid, &sink));
+        assert!(closure.follows(&start, &mid));
+        assert!(closure.satisfies_root(&start));
+    }
+
+    #[test]
+    fn label_consistency_check() {
+        let phi = Ltl::prop(sw(1));
+        let closure = Closure::new(&phi);
+        let m = closure.sink_assignment(&label(&[sw(1)]));
+        assert!(closure.label_consistent(&m, &label(&[sw(1)])));
+        assert!(!closure.label_consistent(&m, &label(&[sw(2)])));
+    }
+
+    #[test]
+    fn assignment_bitset_works_past_64_bits() {
+        let mut m = Assignment::new(130);
+        m.set(0, true);
+        m.set(64, true);
+        m.set(129, true);
+        assert!(m.get(0) && m.get(64) && m.get(129));
+        assert!(!m.get(1) && !m.get(65));
+        assert_eq!(m.count_true(), 3);
+        m.set(64, false);
+        assert_eq!(m.count_true(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn assignment_out_of_range_panics() {
+        let m = Assignment::new(4);
+        let _ = m.get(4);
+    }
+
+    #[test]
+    fn until_ids_and_rhs() {
+        let phi = Ltl::eventually(Ltl::prop(sw(2)));
+        let closure = Closure::new(&phi);
+        let untils = closure.until_ids();
+        assert_eq!(untils.len(), 1);
+        let rhs = closure.until_rhs(untils[0]);
+        assert_eq!(closure.formula(rhs), &Ltl::prop(sw(2)));
+    }
+}

@@ -1,0 +1,429 @@
+//! A small text syntax for LTL specifications.
+//!
+//! The grammar (lowest precedence first):
+//!
+//! ```text
+//! formula  ::= or ( "=>" formula )?
+//! or       ::= and ( "|" and )*
+//! and      ::= until ( "&" until )*
+//! until    ::= unary ( ("U" | "R") until )?          (right associative)
+//! unary    ::= ("!" | "X" | "F" | "G") unary | atom
+//! atom     ::= "true" | "false" | "dropped"
+//!            | "s" NUM | "p" NUM | "at(h" NUM ")"
+//!            | FIELD "=" NUM | "(" formula ")"
+//! FIELD    ::= "src" | "dst" | "typ" | "tag"
+//! ```
+//!
+//! General negation is accepted and pushed into negation normal form.
+
+use std::fmt;
+
+use netupd_model::Field;
+
+use crate::ast::Ltl;
+use crate::prop::Prop;
+
+/// An error produced while parsing an LTL specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLtlError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Byte offset in the input at which the error occurred.
+    pub position: usize,
+}
+
+impl fmt::Display for ParseLtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseLtlError {}
+
+/// Parses a textual LTL specification.
+///
+/// # Errors
+///
+/// Returns [`ParseLtlError`] when the input is not a well-formed formula.
+///
+/// # Examples
+///
+/// ```
+/// use netupd_ltl::parser::parse;
+/// let phi = parse("s1 => F s3").unwrap();
+/// assert_eq!(phi.to_string(), "!s1 | (F s3)");
+/// ```
+pub fn parse(input: &str) -> Result<Ltl, ParseLtlError> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let formula = parser.formula()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(ParseLtlError {
+            message: format!("unexpected trailing input `{}`", parser.peek_text()),
+            position: parser.peek_offset(),
+        });
+    }
+    Ok(formula)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    True,
+    False,
+    Dropped,
+    Switch(u32),
+    Port(u32),
+    AtHost(u32),
+    FieldIs(Field, u64),
+    Not,
+    And,
+    Or,
+    Implies,
+    Next,
+    Finally,
+    Globally,
+    Until,
+    Release,
+    LParen,
+    RParen,
+}
+
+fn tokenize(input: &str) -> Result<Vec<(Token, usize)>, ParseLtlError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '!' => {
+                tokens.push((Token::Not, i));
+                i += 1;
+            }
+            '&' => {
+                tokens.push((Token::And, i));
+                i += 1;
+            }
+            '|' => {
+                tokens.push((Token::Or, i));
+                i += 1;
+            }
+            '(' => {
+                tokens.push((Token::LParen, i));
+                i += 1;
+            }
+            ')' => {
+                tokens.push((Token::RParen, i));
+                i += 1;
+            }
+            '=' if bytes.get(i + 1) == Some(&b'>') => {
+                tokens.push((Token::Implies, i));
+                i += 2;
+            }
+            _ if c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                let token = keyword_or_atom(word, input, &mut i, start)?;
+                tokens.push((token, start));
+            }
+            _ => {
+                return Err(ParseLtlError {
+                    message: format!("unexpected character `{c}`"),
+                    position: i,
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn keyword_or_atom(
+    word: &str,
+    input: &str,
+    i: &mut usize,
+    start: usize,
+) -> Result<Token, ParseLtlError> {
+    // Fixed keywords first.
+    match word {
+        "true" => return Ok(Token::True),
+        "false" => return Ok(Token::False),
+        "dropped" => return Ok(Token::Dropped),
+        "X" => return Ok(Token::Next),
+        "F" => return Ok(Token::Finally),
+        "G" => return Ok(Token::Globally),
+        "U" => return Ok(Token::Until),
+        "R" => return Ok(Token::Release),
+        "at" => {
+            // Expect "(h<num>)".
+            let rest = &input[*i..];
+            if let Some(rest) = rest.strip_prefix("(h") {
+                let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+                let after = &rest[digits.len()..];
+                if !digits.is_empty() && after.starts_with(')') {
+                    *i += 2 + digits.len() + 1;
+                    return Ok(Token::AtHost(digits.parse().unwrap()));
+                }
+            }
+            return Err(ParseLtlError {
+                message: "expected `at(h<number>)`".to_string(),
+                position: start,
+            });
+        }
+        _ => {}
+    }
+    // Field comparisons: src=3, dst=4, typ=1, tag=0.
+    let field = match word {
+        "src" => Some(Field::Src),
+        "dst" => Some(Field::Dst),
+        "typ" => Some(Field::Typ),
+        "tag" => Some(Field::Tag),
+        _ => None,
+    };
+    if let Some(field) = field {
+        let rest = &input[*i..];
+        if let Some(rest) = rest.strip_prefix('=') {
+            let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+            if !digits.is_empty() {
+                *i += 1 + digits.len();
+                return Ok(Token::FieldIs(field, digits.parse().unwrap()));
+            }
+        }
+        return Err(ParseLtlError {
+            message: format!("expected `{word}=<number>`"),
+            position: start,
+        });
+    }
+    // Switch / port atoms: s3, p4.
+    if let Some(num) = word.strip_prefix('s').filter(|n| !n.is_empty()) {
+        if let Ok(n) = num.parse() {
+            return Ok(Token::Switch(n));
+        }
+    }
+    if let Some(num) = word.strip_prefix('p').filter(|n| !n.is_empty()) {
+        if let Ok(n) = num.parse() {
+            return Ok(Token::Port(n));
+        }
+    }
+    Err(ParseLtlError {
+        message: format!("unknown identifier `{word}`"),
+        position: start,
+    })
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn peek_offset(&self) -> usize {
+        self.tokens.get(self.pos).map_or(usize::MAX, |(_, o)| *o)
+    }
+
+    fn peek_text(&self) -> String {
+        self.peek().map_or("end of input".to_string(), |t| format!("{t:?}"))
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let token = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        if token.is_some() {
+            self.pos += 1;
+        }
+        token
+    }
+
+    fn expect(&mut self, token: &Token) -> Result<(), ParseLtlError> {
+        if self.peek() == Some(token) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(ParseLtlError {
+                message: format!("expected {token:?}, found {}", self.peek_text()),
+                position: self.peek_offset(),
+            })
+        }
+    }
+
+    fn formula(&mut self) -> Result<Ltl, ParseLtlError> {
+        let lhs = self.or_expr()?;
+        if self.peek() == Some(&Token::Implies) {
+            self.pos += 1;
+            let rhs = self.formula()?;
+            Ok(Ltl::implies(lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Ltl, ParseLtlError> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == Some(&Token::Or) {
+            self.pos += 1;
+            let rhs = self.and_expr()?;
+            lhs = Ltl::or(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Ltl, ParseLtlError> {
+        let mut lhs = self.until_expr()?;
+        while self.peek() == Some(&Token::And) {
+            self.pos += 1;
+            let rhs = self.until_expr()?;
+            lhs = Ltl::and(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn until_expr(&mut self) -> Result<Ltl, ParseLtlError> {
+        let lhs = self.unary()?;
+        match self.peek() {
+            Some(Token::Until) => {
+                self.pos += 1;
+                let rhs = self.until_expr()?;
+                Ok(Ltl::until(lhs, rhs))
+            }
+            Some(Token::Release) => {
+                self.pos += 1;
+                let rhs = self.until_expr()?;
+                Ok(Ltl::release(lhs, rhs))
+            }
+            _ => Ok(lhs),
+        }
+    }
+
+    fn unary(&mut self) -> Result<Ltl, ParseLtlError> {
+        match self.peek() {
+            Some(Token::Not) => {
+                self.pos += 1;
+                Ok(self.unary()?.negated())
+            }
+            Some(Token::Next) => {
+                self.pos += 1;
+                Ok(Ltl::next(self.unary()?))
+            }
+            Some(Token::Finally) => {
+                self.pos += 1;
+                Ok(Ltl::eventually(self.unary()?))
+            }
+            Some(Token::Globally) => {
+                self.pos += 1;
+                Ok(Ltl::globally(self.unary()?))
+            }
+            _ => self.atom(),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Ltl, ParseLtlError> {
+        let position = self.peek_offset();
+        match self.bump() {
+            Some(Token::True) => Ok(Ltl::True),
+            Some(Token::False) => Ok(Ltl::False),
+            Some(Token::Dropped) => Ok(Ltl::prop(Prop::Dropped)),
+            Some(Token::Switch(n)) => Ok(Ltl::prop(Prop::switch(n))),
+            Some(Token::Port(n)) => Ok(Ltl::prop(Prop::port(n))),
+            Some(Token::AtHost(n)) => Ok(Ltl::prop(Prop::at_host(n))),
+            Some(Token::FieldIs(f, v)) => Ok(Ltl::prop(Prop::FieldIs(f, v))),
+            Some(Token::LParen) => {
+                let inner = self.formula()?;
+                self.expect(&Token::RParen)?;
+                Ok(inner)
+            }
+            other => Err(ParseLtlError {
+                message: format!("expected an atom, found {other:?}"),
+                position,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn parses_reachability() {
+        let phi = parse("F s3").unwrap();
+        assert_eq!(phi, builders::reachability(Prop::switch(3)));
+    }
+
+    #[test]
+    fn parses_guarded_reachability() {
+        let phi = parse("s1 => F s3").unwrap();
+        assert_eq!(phi, builders::reachability_from(Prop::switch(1), Prop::switch(3)));
+    }
+
+    #[test]
+    fn parses_waypoint_formula() {
+        let phi = parse("(!s3) U (s2 & F s3)").unwrap();
+        assert_eq!(phi, builders::waypoint(Prop::switch(2), Prop::switch(3)));
+    }
+
+    #[test]
+    fn parses_field_and_host_atoms() {
+        let phi = parse("G (dst=3 | at(h2))").unwrap();
+        assert_eq!(
+            phi.to_string(),
+            "G (dst=3 | at(h2))",
+        );
+    }
+
+    #[test]
+    fn parses_dropped_and_negation() {
+        let phi = parse("G !dropped").unwrap();
+        assert_eq!(phi, builders::no_drops());
+    }
+
+    #[test]
+    fn negation_of_compound_is_pushed_to_nnf() {
+        let phi = parse("!(s1 & F s2)").unwrap();
+        assert_eq!(phi.to_string(), "!s1 | (G !s2)");
+    }
+
+    #[test]
+    fn until_is_right_associative() {
+        let phi = parse("s1 U s2 U s3").unwrap();
+        assert_eq!(phi.to_string(), "s1 U (s2 U s3)");
+    }
+
+    #[test]
+    fn roundtrips_through_display() {
+        for spec in [
+            "F s3",
+            "G !dropped",
+            "(!s3) U (s2 & F s3)",
+            "s1 U (s2 R s3)",
+            "X (s1 | s2)",
+        ] {
+            let phi = parse(spec).unwrap();
+            let reparsed = parse(&phi.to_string()).unwrap();
+            assert_eq!(phi, reparsed, "roundtrip failed for {spec}");
+        }
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        assert!(parse("s1 &&& s2").is_err());
+        assert!(parse("hello").is_err());
+        assert!(parse("(s1").is_err());
+        assert!(parse("s1 s2").is_err());
+        assert!(parse("at(q3)").is_err());
+        assert!(parse("dst=").is_err());
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse("s1 @ s2").unwrap_err();
+        assert_eq!(err.position, 3);
+    }
+}

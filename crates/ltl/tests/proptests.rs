@@ -1,0 +1,133 @@
+//! Property-based tests for the LTL machinery: semantic laws over random
+//! formulas and random traces.
+
+use proptest::prelude::*;
+
+use netupd_ltl::semantics::satisfies_labels;
+use netupd_ltl::{Closure, Ltl, Prop};
+use std::collections::BTreeSet;
+
+/// A small pool of atomic propositions.
+fn arb_prop() -> impl Strategy<Value = Prop> {
+    (0u32..4).prop_map(Prop::switch)
+}
+
+/// Random NNF formulas of bounded depth.
+fn arb_formula() -> impl Strategy<Value = Ltl> {
+    let leaf = prop_oneof![
+        Just(Ltl::True),
+        Just(Ltl::False),
+        arb_prop().prop_map(Ltl::prop),
+        arb_prop().prop_map(Ltl::not_prop),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ltl::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ltl::or(a, b)),
+            inner.clone().prop_map(Ltl::next),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ltl::until(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ltl::release(a, b)),
+            inner.clone().prop_map(Ltl::eventually),
+            inner.prop_map(Ltl::globally),
+        ]
+    })
+}
+
+/// Random traces: non-empty sequences of label sets over the proposition pool.
+fn arb_trace() -> impl Strategy<Value = Vec<BTreeSet<Prop>>> {
+    proptest::collection::vec(proptest::collection::btree_set(arb_prop(), 0..3), 1..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A formula and its negation never both hold (and never both fail) on
+    /// the same trace.
+    #[test]
+    fn negation_is_complementary(phi in arb_formula(), trace in arb_trace()) {
+        let pos = satisfies_labels(&trace, &phi);
+        let neg = satisfies_labels(&trace, &phi.negated());
+        prop_assert_ne!(pos, neg);
+    }
+
+    /// Double negation is syntactically the identity on NNF formulas.
+    #[test]
+    fn double_negation_identity(phi in arb_formula()) {
+        prop_assert_eq!(phi.negated().negated(), phi);
+    }
+
+    /// Conjunction and disjunction behave pointwise.
+    #[test]
+    fn boolean_connectives_are_pointwise(a in arb_formula(), b in arb_formula(), trace in arb_trace()) {
+        let sa = satisfies_labels(&trace, &a);
+        let sb = satisfies_labels(&trace, &b);
+        prop_assert_eq!(satisfies_labels(&trace, &Ltl::and(a.clone(), b.clone())), sa && sb);
+        prop_assert_eq!(satisfies_labels(&trace, &Ltl::or(a, b)), sa || sb);
+    }
+
+    /// `F` is monotone in trace extension: if `F p` holds on a prefix it holds
+    /// on any extension; and `G p` failing on a prefix fails on any extension.
+    #[test]
+    fn eventually_monotone_under_extension(p in arb_prop(), trace in arb_trace(), extra in proptest::collection::btree_set(arb_prop(), 0..3)) {
+        let f = Ltl::eventually(Ltl::prop(p));
+        let g = Ltl::globally(Ltl::prop(p));
+        let mut extended = trace.clone();
+        extended.push(extra);
+        if satisfies_labels(&trace[..trace.len() - 1], &f) {
+            prop_assert!(satisfies_labels(&extended[..extended.len() - 1], &f) || trace.len() == 1);
+        }
+        // G on the full trace implies G on every non-empty prefix.
+        if satisfies_labels(&trace, &g) {
+            for end in 1..=trace.len() {
+                prop_assert!(satisfies_labels(&trace[..end], &g));
+            }
+        }
+    }
+
+    /// The closure-based evaluation agrees with the expansion laws:
+    /// `a U b  ≡  b ∨ (a ∧ X(a U b))` and `a R b ≡ b ∧ (a ∨ X(a R b))`.
+    #[test]
+    fn until_and_release_expansion_laws(a in arb_formula(), b in arb_formula(), trace in arb_trace()) {
+        let until = Ltl::until(a.clone(), b.clone());
+        let expanded_until = Ltl::or(
+            b.clone(),
+            Ltl::and(a.clone(), Ltl::next(until.clone())),
+        );
+        prop_assert_eq!(
+            satisfies_labels(&trace, &until),
+            satisfies_labels(&trace, &expanded_until)
+        );
+        let release = Ltl::release(a.clone(), b.clone());
+        let expanded_release = Ltl::and(b, Ltl::or(a, Ltl::next(release.clone())));
+        prop_assert_eq!(
+            satisfies_labels(&trace, &release),
+            satisfies_labels(&trace, &expanded_release)
+        );
+    }
+
+    /// Every assignment produced by the closure machinery is locally
+    /// consistent and label-consistent.
+    #[test]
+    fn closure_assignments_are_consistent(phi in arb_formula(), trace in arb_trace()) {
+        let closure = Closure::new(&phi);
+        let (last, prefix) = trace.split_last().unwrap();
+        let mut assignment = closure.sink_assignment(last);
+        prop_assert!(closure.is_locally_consistent(&assignment));
+        prop_assert!(closure.label_consistent(&assignment, last));
+        for label in prefix.iter().rev() {
+            assignment = closure.successor_assignment(label, &assignment);
+            prop_assert!(closure.is_locally_consistent(&assignment));
+            prop_assert!(closure.label_consistent(&assignment, label));
+        }
+        prop_assert_eq!(closure.satisfies_root(&assignment), satisfies_labels(&trace, &phi));
+    }
+
+    /// The parser round-trips through the pretty-printer.
+    #[test]
+    fn parser_roundtrips_pretty_printer(phi in arb_formula()) {
+        let printed = phi.to_string();
+        let reparsed = netupd_ltl::parser::parse(&printed)
+            .unwrap_or_else(|e| panic!("failed to reparse `{printed}`: {e}"));
+        prop_assert_eq!(reparsed, phi);
+    }
+}

@@ -1,0 +1,187 @@
+//! The common interface implemented by every model-checking backend.
+
+use std::fmt;
+
+use netupd_kripke::{Kripke, StateId};
+use netupd_ltl::Ltl;
+use netupd_model::SwitchId;
+
+/// A counterexample trace: a path through the Kripke structure from an
+/// initial state that violates the specification.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Counterexample {
+    /// The states along the violating path, starting from an initial state.
+    pub states: Vec<StateId>,
+    /// The switches visited along the path, in order and deduplicated.
+    pub switches: Vec<SwitchId>,
+}
+
+impl Counterexample {
+    /// Builds a counterexample from a state path, deriving the switch path
+    /// from the Kripke structure's state keys.
+    pub fn from_states(kripke: &Kripke, states: Vec<StateId>) -> Self {
+        let mut switches = Vec::new();
+        for state in &states {
+            let sw = kripke.key(*state).switch;
+            if switches.last() != Some(&sw) {
+                switches.push(sw);
+            }
+        }
+        switches.dedup();
+        Counterexample { states, switches }
+    }
+
+    /// Number of states in the counterexample path.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Returns `true` if the counterexample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+}
+
+/// Counters describing the work a check performed, used by the benchmark
+/// harness to report incrementality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CheckStats {
+    /// Number of states whose label was (re)computed.
+    pub states_labeled: usize,
+    /// Number of states in the structure at the time of the check.
+    pub total_states: usize,
+    /// Whether this check reused labels from a previous check.
+    pub incremental: bool,
+}
+
+/// The outcome of a model-checking query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckOutcome {
+    /// Whether every trace from every initial state satisfies the
+    /// specification.
+    pub holds: bool,
+    /// A violating trace, when the property does not hold and the backend
+    /// supports counterexamples.
+    pub counterexample: Option<Counterexample>,
+    /// Work counters.
+    pub stats: CheckStats,
+}
+
+impl CheckOutcome {
+    /// A successful outcome.
+    pub fn success(stats: CheckStats) -> Self {
+        CheckOutcome {
+            holds: true,
+            counterexample: None,
+            stats,
+        }
+    }
+
+    /// A failed outcome, optionally with a counterexample.
+    pub fn failure(counterexample: Option<Counterexample>, stats: CheckStats) -> Self {
+        CheckOutcome {
+            holds: false,
+            counterexample,
+            stats,
+        }
+    }
+}
+
+/// A model checker for DAG-like Kripke structures.
+///
+/// Backends may keep per-structure state (labels) between calls; the
+/// synthesizer calls [`check`](ModelChecker::check) once for the initial
+/// configuration and [`recheck`](ModelChecker::recheck) after each switch
+/// update, passing the set of states whose transitions changed.
+pub trait ModelChecker {
+    /// Checks `kripke` against `phi` from scratch.
+    fn check(&mut self, kripke: &Kripke, phi: &Ltl) -> CheckOutcome;
+
+    /// Re-checks after the outgoing transitions (or labels) of `changed`
+    /// states were modified.
+    ///
+    /// The default implementation performs a full check; incremental backends
+    /// override it.
+    fn recheck(&mut self, kripke: &Kripke, phi: &Ltl, changed: &[StateId]) -> CheckOutcome {
+        let _ = changed;
+        self.check(kripke, phi)
+    }
+
+    /// A short, stable backend name used in benchmark output.
+    fn name(&self) -> &'static str;
+
+    /// Whether this backend can produce counterexamples. Backends that cannot
+    /// (e.g. the header-space checker) put the synthesizer at the same
+    /// disadvantage NetPlumber does in the paper.
+    fn provides_counterexamples(&self) -> bool {
+        true
+    }
+}
+
+/// The backends available to the synthesizer and benchmark harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// The incremental labeling checker (the paper's contribution).
+    Incremental,
+    /// The same labeling engine, run from scratch each call.
+    Batch,
+    /// The monolithic tableau-product checker (NuSMV stand-in).
+    Product,
+    /// The header-space reachability checker (NetPlumber stand-in).
+    HeaderSpace,
+}
+
+impl Backend {
+    /// All backends, in a stable order.
+    pub const ALL: [Backend; 4] = [
+        Backend::Incremental,
+        Backend::Batch,
+        Backend::Product,
+        Backend::HeaderSpace,
+    ];
+
+    /// Instantiates the backend.
+    pub fn instantiate(self) -> Box<dyn ModelChecker> {
+        match self {
+            Backend::Incremental => Box::new(crate::IncrementalChecker::new()),
+            Backend::Batch => Box::new(crate::BatchChecker::new()),
+            Backend::Product => Box::new(crate::ProductChecker::new()),
+            Backend::HeaderSpace => Box::new(crate::HeaderSpaceChecker::new()),
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Backend::Incremental => "incremental",
+            Backend::Batch => "batch",
+            Backend::Product => "product",
+            Backend::HeaderSpace => "headerspace",
+        };
+        write!(f, "{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_display_and_instantiate() {
+        for backend in Backend::ALL {
+            let checker = backend.instantiate();
+            assert!(!checker.name().is_empty());
+            assert!(!backend.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn outcome_constructors() {
+        let ok = CheckOutcome::success(CheckStats::default());
+        assert!(ok.holds);
+        assert!(ok.counterexample.is_none());
+        let bad = CheckOutcome::failure(None, CheckStats::default());
+        assert!(!bad.holds);
+    }
+}

@@ -1,0 +1,250 @@
+//! A NetPlumber-style incremental header-space path checker.
+//!
+//! NetPlumber maintains, for designated probe nodes, the set of header-space
+//! paths that can reach them, and updates those sets incrementally as rules
+//! are inserted or removed. This backend reproduces that style of checking
+//! over the network Kripke structure:
+//!
+//! * per initial state it maintains the set of forwarding paths (sequences of
+//!   states) through the structure;
+//! * properties are evaluated over those paths with the finite-trace LTL
+//!   semantics;
+//! * on [`recheck`](crate::ModelChecker::recheck) only the paths of initial
+//!   states affected by the change are recomputed — an initial state is
+//!   affected if one of its cached paths touches a changed state or if a
+//!   changed state is reachable from it in the updated structure;
+//! * like NetPlumber, it reports **no counterexamples**, which deprives the
+//!   synthesizer of counterexample-based pruning when this backend is chosen
+//!   (exactly the handicap discussed in the paper's evaluation).
+
+use std::collections::{BTreeSet, HashMap};
+
+use netupd_kripke::{Kripke, StateId};
+use netupd_ltl::semantics::satisfies_labels;
+use netupd_ltl::{Ltl, Prop};
+
+use crate::checker::{CheckOutcome, CheckStats, ModelChecker};
+
+/// Maximum number of distinct paths tracked per initial state. Network
+/// configurations synthesized from the diamond workloads are far below this;
+/// the cap only guards against pathological inputs.
+const MAX_PATHS_PER_INGRESS: usize = 16_384;
+
+/// NetPlumber-style incremental header-space path checker.
+#[derive(Debug, Default)]
+pub struct HeaderSpaceChecker {
+    cache: Option<PathCache>,
+}
+
+#[derive(Debug)]
+struct PathCache {
+    /// Cached paths per initial state.
+    paths: HashMap<StateId, Vec<Vec<StateId>>>,
+    /// Number of states in the structure when the cache was built.
+    states: usize,
+}
+
+impl HeaderSpaceChecker {
+    /// Creates a header-space checker with an empty cache.
+    pub fn new() -> Self {
+        HeaderSpaceChecker::default()
+    }
+
+    fn evaluate(&self, kripke: &Kripke, phi: &Ltl, stats: CheckStats) -> CheckOutcome {
+        let cache = self.cache.as_ref().expect("cache present");
+        let holds = cache.paths.values().flatten().all(|path| {
+            let labels: Vec<BTreeSet<Prop>> =
+                path.iter().map(|s| kripke.label(*s).clone()).collect();
+            satisfies_labels(&labels, phi)
+        });
+        if holds {
+            CheckOutcome::success(stats)
+        } else {
+            // NetPlumber reports violations without counterexample traces.
+            CheckOutcome::failure(None, stats)
+        }
+    }
+
+    fn compute_paths(kripke: &Kripke, initial: StateId) -> Vec<Vec<StateId>> {
+        let mut paths = Vec::new();
+        let mut current = Vec::new();
+        collect_paths(kripke, initial, &mut current, &mut paths);
+        paths
+    }
+}
+
+fn collect_paths(
+    kripke: &Kripke,
+    state: StateId,
+    current: &mut Vec<StateId>,
+    out: &mut Vec<Vec<StateId>>,
+) {
+    if out.len() >= MAX_PATHS_PER_INGRESS {
+        return;
+    }
+    current.push(state);
+    if kripke.is_sink(state) {
+        out.push(current.clone());
+    } else {
+        for succ in kripke.successors(state) {
+            if *succ != state {
+                collect_paths(kripke, *succ, current, out);
+            }
+        }
+    }
+    current.pop();
+}
+
+impl ModelChecker for HeaderSpaceChecker {
+    fn check(&mut self, kripke: &Kripke, phi: &Ltl) -> CheckOutcome {
+        let mut paths = HashMap::new();
+        let mut visited_states = 0;
+        for initial in kripke.initial_states() {
+            let ingress_paths = Self::compute_paths(kripke, initial);
+            visited_states += ingress_paths.iter().map(Vec::len).sum::<usize>();
+            paths.insert(initial, ingress_paths);
+        }
+        self.cache = Some(PathCache {
+            paths,
+            states: kripke.len(),
+        });
+        let stats = CheckStats {
+            states_labeled: visited_states,
+            total_states: kripke.len(),
+            incremental: false,
+        };
+        self.evaluate(kripke, phi, stats)
+    }
+
+    fn recheck(&mut self, kripke: &Kripke, phi: &Ltl, changed: &[StateId]) -> CheckOutcome {
+        let Some(cache) = self.cache.as_ref() else {
+            return self.check(kripke, phi);
+        };
+        if cache.states != kripke.len() {
+            return self.check(kripke, phi);
+        }
+        let changed_set: BTreeSet<StateId> = changed.iter().copied().collect();
+        // Initial states whose forwarding can be affected: either a cached
+        // path touches a changed state, or a changed state is reachable from
+        // the initial state in the updated structure.
+        let reachable_from: BTreeSet<StateId> = kripke
+            .ancestors(changed)
+            .into_iter()
+            .filter(|s| kripke.initial_states().any(|i| i == *s))
+            .collect();
+        let affected: Vec<StateId> = cache
+            .paths
+            .iter()
+            .filter(|(initial, paths)| {
+                reachable_from.contains(initial)
+                    || paths
+                        .iter()
+                        .any(|p| p.iter().any(|s| changed_set.contains(s)))
+            })
+            .map(|(initial, _)| *initial)
+            .collect();
+
+        let mut visited_states = 0;
+        let mut updated_paths = Vec::with_capacity(affected.len());
+        for initial in &affected {
+            let ingress_paths = Self::compute_paths(kripke, *initial);
+            visited_states += ingress_paths.iter().map(Vec::len).sum::<usize>();
+            updated_paths.push((*initial, ingress_paths));
+        }
+        let cache = self.cache.as_mut().expect("cache present");
+        for (initial, paths) in updated_paths {
+            cache.paths.insert(initial, paths);
+        }
+        let stats = CheckStats {
+            states_labeled: visited_states,
+            total_states: kripke.len(),
+            incremental: true,
+        };
+        self.evaluate(kripke, phi, stats)
+    }
+
+    fn name(&self) -> &'static str {
+        "headerspace"
+    }
+
+    fn provides_counterexamples(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::incremental::IncrementalChecker;
+    use netupd_kripke::NetworkKripke;
+    use netupd_ltl::builders;
+    use netupd_model::prelude::*;
+
+    fn line() -> (NetworkKripke, Configuration, SwitchId, HostId) {
+        let mut topo = Topology::new();
+        let h0 = topo.add_host();
+        let h1 = topo.add_host();
+        let s0 = topo.add_switch();
+        let s1 = topo.add_switch();
+        topo.attach_host(h0, s0, PortId(1));
+        topo.add_duplex_link(s0, PortId(2), s1, PortId(1));
+        topo.attach_host(h1, s1, PortId(2));
+        let fwd = |port: u32| {
+            Table::new(vec![Rule::new(
+                Priority(1),
+                Pattern::any().with_field(Field::Dst, 1),
+                vec![Action::Forward(PortId(port))],
+            )])
+        };
+        let config = Configuration::new()
+            .with_table(s0, fwd(2))
+            .with_table(s1, fwd(2));
+        let class = TrafficClass::new().with_field(Field::Dst, 1);
+        (NetworkKripke::new(topo, vec![class]), config, s0, h1)
+    }
+
+    #[test]
+    fn agrees_with_incremental_but_gives_no_counterexamples() {
+        let (encoder, config, s0, h1) = line();
+        let mut kripke = encoder.encode(&config);
+        let spec = builders::reachability(Prop::AtHost(h1));
+
+        let mut hs = HeaderSpaceChecker::new();
+        let mut inc = IncrementalChecker::new();
+        assert_eq!(hs.check(&kripke, &spec).holds, inc.check(&kripke, &spec).holds);
+
+        let changed = encoder.apply_switch_update(&mut kripke, s0, &Table::empty());
+        let hs_out = hs.recheck(&kripke, &spec, &changed);
+        let inc_out = inc.recheck(&kripke, &spec, &changed);
+        assert_eq!(hs_out.holds, inc_out.holds);
+        assert!(!hs_out.holds);
+        assert!(hs_out.counterexample.is_none(), "NetPlumber-style backends give no traces");
+        assert!(inc_out.counterexample.is_some());
+        assert!(hs_out.stats.incremental);
+    }
+
+    #[test]
+    fn recheck_without_cache_falls_back_to_full_check() {
+        let (encoder, config, _s0, h1) = line();
+        let kripke = encoder.encode(&config);
+        let spec = builders::reachability(Prop::AtHost(h1));
+        let mut hs = HeaderSpaceChecker::new();
+        let outcome = hs.recheck(&kripke, &spec, &[]);
+        assert!(outcome.holds);
+        assert!(!outcome.stats.incremental);
+    }
+
+    #[test]
+    fn unaffected_ingresses_are_not_recomputed() {
+        let (encoder, config, s0, h1) = line();
+        let kripke_before = encoder.encode(&config);
+        let spec = builders::reachability(Prop::AtHost(h1));
+        let mut hs = HeaderSpaceChecker::new();
+        hs.check(&kripke_before, &spec);
+        // Rechecking with an empty change set recomputes nothing.
+        let outcome = hs.recheck(&kripke_before, &spec, &[]);
+        assert_eq!(outcome.stats.states_labeled, 0);
+        assert!(outcome.holds);
+        let _ = s0;
+    }
+}

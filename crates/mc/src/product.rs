@@ -1,0 +1,321 @@
+//! A monolithic explicit-state tableau-product checker (NuSMV stand-in).
+//!
+//! This backend implements the classical automata-theoretic approach: the
+//! specification is negated, the negation's closure induces a tableau of
+//! *atoms* (maximally-consistent assignments), and the checker searches the
+//! product of the Kripke structure with that tableau for a self-fulfilling
+//! lasso. Because the structures produced by the network encoding are
+//! DAG-like, every lasso is a path ending in a sink self-loop, so the search
+//! is a simple DFS.
+//!
+//! The point of this backend is its *cost profile*, which matches the
+//! external symbolic checker the paper compares against: it is a
+//! general-purpose LTL checker that rebuilds its product from scratch on
+//! every query and reuses nothing between the closely-related queries the
+//! synthesizer issues. Like NuSMV, it does produce counterexamples.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use netupd_kripke::{Kripke, StateId};
+use netupd_ltl::{Assignment, Closure, Ltl, Prop};
+
+use crate::checker::{CheckOutcome, CheckStats, Counterexample, ModelChecker};
+
+/// Monolithic tableau-product model checker.
+#[derive(Debug, Default)]
+pub struct ProductChecker {
+    _private: (),
+}
+
+impl ProductChecker {
+    /// Creates a product checker.
+    pub fn new() -> Self {
+        ProductChecker::default()
+    }
+}
+
+impl ModelChecker for ProductChecker {
+    fn check(&mut self, kripke: &Kripke, phi: &Ltl) -> CheckOutcome {
+        let negated = phi.negated();
+        let closure = Closure::new(&negated);
+        let tableau = Tableau::new(closure);
+        let stats = CheckStats {
+            states_labeled: kripke.len(),
+            total_states: kripke.len(),
+            incremental: false,
+        };
+        match tableau.find_violation(kripke) {
+            None => CheckOutcome::success(stats),
+            Some(path) => {
+                CheckOutcome::failure(Some(Counterexample::from_states(kripke, path)), stats)
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "product"
+    }
+}
+
+/// The tableau of the negated specification.
+struct Tableau {
+    closure: Closure,
+    /// Indices of the temporal subformulas whose truth value must be guessed
+    /// when enumerating atoms.
+    temporal: Vec<usize>,
+    /// `(until_id, rhs_id)` pairs used for the self-fulfillment check.
+    untils: Vec<(usize, usize)>,
+    /// Atoms cache, keyed by the state label they were enumerated against.
+    atom_cache: std::cell::RefCell<HashMap<BTreeSet<Prop>, Vec<Assignment>>>,
+}
+
+impl Tableau {
+    fn new(closure: Closure) -> Self {
+        let temporal: Vec<usize> = closure
+            .iter()
+            .filter(|(_, phi)| matches!(phi, Ltl::Next(_) | Ltl::Until(..) | Ltl::Release(..)))
+            .map(|(id, _)| id)
+            .collect();
+        let untils: Vec<(usize, usize)> = closure
+            .until_ids()
+            .into_iter()
+            .map(|id| (id, closure.until_rhs(id)))
+            .collect();
+        Tableau {
+            closure,
+            temporal,
+            untils,
+            atom_cache: std::cell::RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Enumerates the atoms consistent with a state label: every combination
+    /// of truth values for the temporal subformulas, with propositional truth
+    /// fixed by the label and boolean connectives derived bottom-up.
+    fn atoms_for_label(&self, label: &BTreeSet<Prop>) -> Vec<Assignment> {
+        if let Some(cached) = self.atom_cache.borrow().get(label) {
+            return cached.clone();
+        }
+        let t = self.temporal.len();
+        let mut atoms = Vec::with_capacity(1 << t.min(16));
+        for mask in 0u64..(1u64 << t.min(20)) {
+            let mut assignment = self.closure.empty_assignment();
+            for (id, phi) in self.closure.iter() {
+                let value = match phi {
+                    Ltl::True => true,
+                    Ltl::False => false,
+                    Ltl::Prop(p) => label.contains(p),
+                    Ltl::NotProp(p) => !label.contains(p),
+                    Ltl::And(a, b) => {
+                        assignment.get(self.closure.id_of(a).unwrap())
+                            && assignment.get(self.closure.id_of(b).unwrap())
+                    }
+                    Ltl::Or(a, b) => {
+                        assignment.get(self.closure.id_of(a).unwrap())
+                            || assignment.get(self.closure.id_of(b).unwrap())
+                    }
+                    Ltl::Next(_) | Ltl::Until(..) | Ltl::Release(..) => {
+                        let pos = self.temporal.iter().position(|x| *x == id).unwrap();
+                        (mask >> pos) & 1 == 1
+                    }
+                };
+                assignment.set(id, value);
+            }
+            // Enforce the expansion laws locally: an Until that claims to hold
+            // must have its rhs now or its lhs now; a Release that claims to
+            // hold must have its rhs now. This prunes clearly inconsistent
+            // atoms early (the `follows` relation enforces the rest).
+            if self.locally_plausible(&assignment) {
+                atoms.push(assignment);
+            }
+        }
+        atoms.sort_unstable();
+        atoms.dedup();
+        self.atom_cache
+            .borrow_mut()
+            .insert(label.clone(), atoms.clone());
+        atoms
+    }
+
+    fn locally_plausible(&self, m: &Assignment) -> bool {
+        for (id, phi) in self.closure.iter() {
+            match phi {
+                Ltl::Until(a, b) => {
+                    let a = m.get(self.closure.id_of(a).unwrap());
+                    let b = m.get(self.closure.id_of(b).unwrap());
+                    if m.get(id) && !a && !b {
+                        return false;
+                    }
+                    if !m.get(id) && b {
+                        return false;
+                    }
+                }
+                Ltl::Release(_, b) => {
+                    let b = m.get(self.closure.id_of(b).unwrap());
+                    if m.get(id) && !b {
+                        return false;
+                    }
+                }
+                _ => {}
+            }
+        }
+        true
+    }
+
+    /// Returns `true` if the atom is self-fulfilling at a sink: it can repeat
+    /// forever (follows itself) and every Until it asserts is discharged.
+    fn self_fulfilling(&self, m: &Assignment) -> bool {
+        if !self.closure.follows(m, m) {
+            return false;
+        }
+        self.untils
+            .iter()
+            .all(|(until, rhs)| !m.get(*until) || m.get(*rhs))
+    }
+
+    /// Searches for a path from an initial state, paired with an atom
+    /// asserting the negated specification, to a self-fulfilling sink atom.
+    /// Returns the state path if found (i.e. the original property fails).
+    fn find_violation(&self, kripke: &Kripke) -> Option<Vec<StateId>> {
+        let root = self.closure.root_id();
+        let mut visited: HashSet<(StateId, Assignment)> = HashSet::new();
+        for initial in kripke.initial_states() {
+            for atom in self.atoms_for_label(kripke.label(initial)) {
+                if !atom.get(root) {
+                    continue;
+                }
+                let mut path = Vec::new();
+                if self.dfs(kripke, initial, &atom, &mut visited, &mut path) {
+                    return Some(path);
+                }
+            }
+        }
+        None
+    }
+
+    fn dfs(
+        &self,
+        kripke: &Kripke,
+        state: StateId,
+        atom: &Assignment,
+        visited: &mut HashSet<(StateId, Assignment)>,
+        path: &mut Vec<StateId>,
+    ) -> bool {
+        if !visited.insert((state, atom.clone())) {
+            return false;
+        }
+        path.push(state);
+        if kripke.is_sink(state) && self.self_fulfilling(atom) {
+            return true;
+        }
+        for succ in kripke.successors(state) {
+            if *succ == state {
+                continue;
+            }
+            for next_atom in self.atoms_for_label(kripke.label(*succ)) {
+                if self.closure.follows(atom, &next_atom)
+                    && self.dfs(kripke, *succ, &next_atom, visited, path)
+                {
+                    return true;
+                }
+            }
+        }
+        path.pop();
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::BatchChecker;
+    use netupd_kripke::NetworkKripke;
+    use netupd_ltl::builders;
+    use netupd_model::prelude::*;
+
+    /// A diamond network: h0 - s0 - {s1, s2} - s3 - h1.
+    fn diamond(use_upper: bool) -> (NetworkKripke, Configuration, HostId) {
+        let mut topo = Topology::new();
+        let h0 = topo.add_host();
+        let h1 = topo.add_host();
+        let s = topo.add_switches(4);
+        topo.attach_host(h0, s[0], PortId(1));
+        topo.add_duplex_link(s[0], PortId(2), s[1], PortId(1));
+        topo.add_duplex_link(s[0], PortId(3), s[2], PortId(1));
+        topo.add_duplex_link(s[1], PortId(2), s[3], PortId(1));
+        topo.add_duplex_link(s[2], PortId(2), s[3], PortId(2));
+        topo.attach_host(h1, s[3], PortId(3));
+        let fwd = |port: u32| {
+            Table::new(vec![Rule::new(
+                Priority(1),
+                Pattern::any().with_field(Field::Dst, 1),
+                vec![Action::Forward(PortId(port))],
+            )])
+        };
+        let config = Configuration::new()
+            .with_table(s[0], fwd(if use_upper { 2 } else { 3 }))
+            .with_table(s[1], fwd(2))
+            .with_table(s[2], fwd(2))
+            .with_table(s[3], fwd(3));
+        let class = TrafficClass::new().with_field(Field::Dst, 1);
+        let encoder = NetworkKripke::new(topo, vec![class]).with_ingress_hosts([h0]);
+        (encoder, config, h1)
+    }
+
+    #[test]
+    fn agrees_with_batch_on_reachability() {
+        let (encoder, config, h1) = diamond(true);
+        let kripke = encoder.encode(&config);
+        let spec = builders::reachability(Prop::AtHost(h1));
+        let mut product = ProductChecker::new();
+        let mut batch = BatchChecker::new();
+        assert_eq!(
+            product.check(&kripke, &spec).holds,
+            batch.check(&kripke, &spec).holds
+        );
+        assert!(product.check(&kripke, &spec).holds);
+    }
+
+    #[test]
+    fn agrees_with_batch_on_waypointing() {
+        let (encoder, config, h1) = diamond(true);
+        let kripke = encoder.encode(&config);
+        // Traffic goes through s1 (the upper path).
+        let good = builders::waypoint(Prop::switch(1), Prop::AtHost(h1));
+        let bad = builders::waypoint(Prop::switch(2), Prop::AtHost(h1));
+        let mut product = ProductChecker::new();
+        let mut batch = BatchChecker::new();
+        for spec in [&good, &bad] {
+            assert_eq!(
+                product.check(&kripke, spec).holds,
+                batch.check(&kripke, spec).holds,
+                "disagreement on {spec}"
+            );
+        }
+        assert!(product.check(&kripke, &good).holds);
+        let failure = product.check(&kripke, &bad);
+        assert!(!failure.holds);
+        assert!(failure.counterexample.is_some());
+    }
+
+    #[test]
+    fn agrees_with_batch_on_drop_freedom() {
+        let (encoder, config, _h1) = diamond(false);
+        let kripke = encoder.encode(&config);
+        let spec = builders::no_drops();
+        let mut product = ProductChecker::new();
+        let mut batch = BatchChecker::new();
+        assert_eq!(
+            product.check(&kripke, &spec).holds,
+            batch.check(&kripke, &spec).holds
+        );
+        // Breaking a switch in the middle of the active path introduces drops.
+        let broken = config.updated(SwitchId(2), Table::empty());
+        let kripke = encoder.encode(&broken);
+        assert_eq!(
+            product.check(&kripke, &spec).holds,
+            batch.check(&kripke, &spec).holds
+        );
+        assert!(!product.check(&kripke, &spec).holds);
+    }
+}

@@ -1,0 +1,64 @@
+//! Error types for the network model.
+
+use std::fmt;
+
+use crate::types::{HostId, SwitchId};
+
+/// Errors produced by the network model and simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A command referenced a switch that does not exist in the topology.
+    UnknownSwitch(SwitchId),
+    /// A packet was injected at a host that does not exist in the topology.
+    UnknownHost(HostId),
+    /// A configuration induces a forwarding loop for the given traffic class
+    /// description.
+    ForwardingLoop(String),
+    /// The simulator exceeded its step budget without quiescing.
+    StepBudgetExceeded {
+        /// The budget that was exceeded.
+        budget: usize,
+    },
+    /// A flush command could not complete because packets never drained.
+    FlushStalled,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownSwitch(sw) => write!(f, "unknown switch {sw}"),
+            ModelError::UnknownHost(h) => write!(f, "unknown host {h}"),
+            ModelError::ForwardingLoop(desc) => write!(f, "forwarding loop detected: {desc}"),
+            ModelError::StepBudgetExceeded { budget } => {
+                write!(f, "simulator exceeded step budget of {budget}")
+            }
+            ModelError::FlushStalled => write!(f, "flush did not drain in-flight packets"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            ModelError::UnknownSwitch(SwitchId(4)).to_string(),
+            "unknown switch s4"
+        );
+        assert_eq!(
+            ModelError::StepBudgetExceeded { budget: 10 }.to_string(),
+            "simulator exceeded step budget of 10"
+        );
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: std::error::Error + Send + Sync>() {}
+        assert_error::<ModelError>();
+    }
+}

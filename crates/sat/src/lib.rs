@@ -1,0 +1,39 @@
+//! # netupd-sat
+//!
+//! A small incremental CDCL SAT solver.
+//!
+//! The update synthesizer uses SAT to implement *early search termination*
+//! (§4.2 B of the paper): every counterexample induces an ordering constraint
+//! of the form "some switch of set *B* must be updated before some switch of
+//! set *A*"; if the accumulated constraints become jointly unsatisfiable, no
+//! update order exists and the search can stop immediately. The constraints
+//! are encoded over precedence variables and solved incrementally — clauses
+//! are added as counterexamples arrive and the solver is re-invoked under
+//! assumptions.
+//!
+//! The solver is a conventional conflict-driven clause-learning (CDCL) solver
+//! with two-literal watching, first-UIP conflict analysis, activity-based
+//! (VSIDS-style) branching, Luby restarts, and assumption-based incremental
+//! solving. It is deliberately small but complete and correct for the problem
+//! sizes the synthesizer produces.
+//!
+//! ```
+//! use netupd_sat::{Lit, Solver};
+//!
+//! let mut solver = Solver::new();
+//! let a = solver.new_var();
+//! let b = solver.new_var();
+//! solver.add_clause([Lit::pos(a), Lit::pos(b)]);
+//! solver.add_clause([Lit::neg(a)]);
+//! assert!(solver.solve().is_sat());
+//! assert_eq!(solver.value(b), Some(true));
+//! solver.add_clause([Lit::neg(b)]);
+//! assert!(!solver.solve().is_sat());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod solver;
+
+pub use solver::{Lit, SolveResult, Solver, Var};

@@ -1,0 +1,737 @@
+//! The CDCL solver implementation.
+
+use std::fmt;
+
+/// A propositional variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+/// A literal: a variable or its negation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    pub fn pos(var: Var) -> Lit {
+        Lit(var.0 << 1)
+    }
+
+    /// The negative literal of `var`.
+    pub fn neg(var: Var) -> Lit {
+        Lit((var.0 << 1) | 1)
+    }
+
+    /// The literal's variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Returns `true` if the literal is positive.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The complement of this literal.
+    #[must_use]
+    pub fn negated(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "x{}", self.var().0)
+        } else {
+            write!(f, "!x{}", self.var().0)
+        }
+    }
+}
+
+/// Result of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found (query [`Solver::value`] to read it).
+    Sat,
+    /// The clauses (under the given assumptions, if any) are unsatisfiable.
+    Unsat,
+}
+
+impl SolveResult {
+    /// Returns `true` for [`SolveResult::Sat`].
+    pub fn is_sat(self) -> bool {
+        self == SolveResult::Sat
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Value {
+    Unassigned,
+    True,
+    False,
+}
+
+impl Value {
+    fn from_bool(b: bool) -> Value {
+        if b {
+            Value::True
+        } else {
+            Value::False
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Clause {
+    literals: Vec<Lit>,
+    learnt: bool,
+}
+
+const UNDEF_CLAUSE: usize = usize::MAX;
+
+/// An incremental CDCL SAT solver. See the [crate documentation](crate) for an
+/// overview and example.
+#[derive(Debug, Default)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    /// For each literal index, the clauses watching that literal.
+    watches: Vec<Vec<usize>>,
+    /// Current assignment per variable.
+    values: Vec<Value>,
+    /// Decision level at which each variable was assigned.
+    levels: Vec<u32>,
+    /// Clause that implied each variable (or `UNDEF_CLAUSE` for decisions).
+    reasons: Vec<usize>,
+    /// VSIDS-style activity per variable.
+    activity: Vec<f64>,
+    activity_inc: f64,
+    /// Assignment trail and per-level offsets.
+    trail: Vec<Lit>,
+    trail_limits: Vec<usize>,
+    /// Head of the propagation queue within the trail.
+    propagated: usize,
+    /// Set when an empty clause or a top-level conflict makes the instance
+    /// permanently unsatisfiable.
+    unsat: bool,
+    conflicts: u64,
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            activity_inc: 1.0,
+            ..Solver::default()
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let var = Var(self.values.len() as u32);
+        self.values.push(Value::Unassigned);
+        self.levels.push(0);
+        self.reasons.push(UNDEF_CLAUSE);
+        self.activity.push(0.0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        var
+    }
+
+    /// Number of variables allocated.
+    pub fn num_vars(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of clauses added (including learnt clauses).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Number of conflicts encountered so far (a rough effort measure).
+    pub fn num_conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Adds a clause. Returns `false` if the solver is already known to be
+    /// unsatisfiable (adding the empty clause, or deriving a top-level
+    /// conflict).
+    ///
+    /// Clauses may be added between `solve` calls (incremental use).
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, literals: I) -> bool {
+        if self.unsat {
+            return false;
+        }
+        // Work at decision level 0.
+        self.backtrack_to(0);
+        let mut literals: Vec<Lit> = literals.into_iter().collect();
+        literals.sort_unstable();
+        literals.dedup();
+        // A clause containing both a literal and its negation is a tautology.
+        if literals.windows(2).any(|w| w[0].var() == w[1].var()) {
+            return true;
+        }
+        // Remove literals already false at level 0; a clause with a literal
+        // already true at level 0 is satisfied.
+        let mut reduced = Vec::with_capacity(literals.len());
+        for lit in literals {
+            match self.literal_value(lit) {
+                Value::True => return true,
+                Value::False => {}
+                Value::Unassigned => reduced.push(lit),
+            }
+        }
+        match reduced.len() {
+            0 => {
+                self.unsat = true;
+                false
+            }
+            1 => {
+                self.enqueue(reduced[0], UNDEF_CLAUSE);
+                if self.propagate().is_some() {
+                    self.unsat = true;
+                    false
+                } else {
+                    true
+                }
+            }
+            _ => {
+                self.attach_clause(reduced, false);
+                true
+            }
+        }
+    }
+
+    /// Solves the current clause set.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves under the given assumptions (literals forced true for this call
+    /// only). The clause database and learnt clauses persist across calls.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if self.unsat {
+            return SolveResult::Unsat;
+        }
+        self.backtrack_to(0);
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return SolveResult::Unsat;
+        }
+
+        let mut next_restart = 32u64;
+        let mut restart_idx = 1u64;
+        let mut conflicts_since_restart = 0u64;
+
+        loop {
+            // Install every assumption (as its own decision level) before
+            // making any free decisions; a conflict or falsified assumption
+            // at this stage means unsatisfiability under the assumptions.
+            let mut conflict = None;
+            while self.trail_limits.len() < assumptions.len() && conflict.is_none() {
+                let assumption = assumptions[self.trail_limits.len()];
+                match self.literal_value(assumption) {
+                    Value::True => {
+                        // Already implied; open an empty level to keep the
+                        // assumption/level correspondence simple.
+                        self.trail_limits.push(self.trail.len());
+                    }
+                    Value::False => {
+                        self.backtrack_to(0);
+                        return SolveResult::Unsat;
+                    }
+                    Value::Unassigned => {
+                        self.trail_limits.push(self.trail.len());
+                        self.enqueue(assumption, UNDEF_CLAUSE);
+                        conflict = self.propagate();
+                    }
+                }
+            }
+
+            if conflict.is_none() {
+                conflict = self.propagate();
+            }
+
+            if let Some(conflict_clause) = conflict {
+                self.conflicts += 1;
+                conflicts_since_restart += 1;
+                if self.decision_level() <= assumptions.len() as u32 {
+                    // Conflict that does not involve a free decision: the
+                    // instance is unsatisfiable under the assumptions.
+                    self.backtrack_to(0);
+                    if assumptions.is_empty() {
+                        self.unsat = true;
+                    }
+                    return SolveResult::Unsat;
+                }
+                let (learnt, backtrack_level) = self.analyze(conflict_clause);
+                let backtrack_level = backtrack_level.max(assumptions.len() as u32);
+                self.backtrack_to(backtrack_level);
+                let asserting = learnt[0];
+                if learnt.len() == 1 {
+                    self.enqueue(asserting, UNDEF_CLAUSE);
+                } else {
+                    let clause_idx = self.attach_clause(learnt, true);
+                    self.enqueue(asserting, clause_idx);
+                }
+                self.decay_activity();
+            } else if conflicts_since_restart >= next_restart {
+                // Luby-style restart, preserving assumptions semantics by
+                // backtracking to level 0 (assumptions are re-installed).
+                conflicts_since_restart = 0;
+                restart_idx += 1;
+                next_restart = 32 * luby(restart_idx);
+                self.backtrack_to(0);
+            } else {
+                match self.pick_branch_var() {
+                    None => return SolveResult::Sat,
+                    Some(var) => {
+                        self.trail_limits.push(self.trail.len());
+                        self.enqueue(Lit::neg(var), UNDEF_CLAUSE);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The value assigned to `var` by the most recent satisfiable solve, if
+    /// it was assigned.
+    pub fn value(&self, var: Var) -> Option<bool> {
+        match self.values[var.0 as usize] {
+            Value::Unassigned => None,
+            Value::True => Some(true),
+            Value::False => Some(false),
+        }
+    }
+
+    // ---- internals ---------------------------------------------------------
+
+    fn literal_value(&self, lit: Lit) -> Value {
+        match self.values[lit.var().0 as usize] {
+            Value::Unassigned => Value::Unassigned,
+            Value::True => Value::from_bool(lit.is_positive()),
+            Value::False => Value::from_bool(!lit.is_positive()),
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_limits.len() as u32
+    }
+
+    fn attach_clause(&mut self, literals: Vec<Lit>, learnt: bool) -> usize {
+        debug_assert!(literals.len() >= 2);
+        let idx = self.clauses.len();
+        self.watches[literals[0].negated().index()].push(idx);
+        self.watches[literals[1].negated().index()].push(idx);
+        self.clauses.push(Clause { literals, learnt });
+        idx
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: usize) {
+        debug_assert_eq!(self.literal_value(lit), Value::Unassigned);
+        let var = lit.var().0 as usize;
+        self.values[var] = Value::from_bool(lit.is_positive());
+        self.levels[var] = self.decision_level();
+        self.reasons[var] = reason;
+        self.trail.push(lit);
+    }
+
+    fn backtrack_to(&mut self, level: u32) {
+        while self.decision_level() > level {
+            let limit = self.trail_limits.pop().expect("limit exists");
+            while self.trail.len() > limit {
+                let lit = self.trail.pop().expect("trail non-empty");
+                let var = lit.var().0 as usize;
+                self.values[var] = Value::Unassigned;
+                self.reasons[var] = UNDEF_CLAUSE;
+            }
+        }
+        self.propagated = self.propagated.min(self.trail.len());
+    }
+
+    /// Unit propagation. Returns the index of a conflicting clause, if any.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.propagated < self.trail.len() {
+            let lit = self.trail[self.propagated];
+            self.propagated += 1;
+            // Clauses watching `lit` (i.e. containing `!lit`) must be checked.
+            let mut watch_list = std::mem::take(&mut self.watches[lit.index()]);
+            let mut i = 0;
+            while i < watch_list.len() {
+                let clause_idx = watch_list[i];
+                match self.propagate_clause(clause_idx, lit) {
+                    PropagationOutcome::KeepWatch => i += 1,
+                    PropagationOutcome::WatchMoved => {
+                        watch_list.swap_remove(i);
+                    }
+                    PropagationOutcome::Conflict => {
+                        self.watches[lit.index()].extend(watch_list.drain(..));
+                        // Re-append untouched suffix handled by extend above.
+                        let existing = std::mem::take(&mut self.watches[lit.index()]);
+                        self.watches[lit.index()] = existing;
+                        self.propagated = self.trail.len();
+                        return Some(clause_idx);
+                    }
+                }
+            }
+            self.watches[lit.index()].extend(watch_list);
+        }
+        None
+    }
+
+    fn propagate_clause(&mut self, clause_idx: usize, lit: Lit) -> PropagationOutcome {
+        let false_lit = lit.negated();
+        // Normalize: the falsified literal goes to position 1.
+        {
+            let clause = &mut self.clauses[clause_idx];
+            if clause.literals[0] == false_lit {
+                clause.literals.swap(0, 1);
+            }
+        }
+        let first = self.clauses[clause_idx].literals[0];
+        if self.literal_value(first) == Value::True {
+            return PropagationOutcome::KeepWatch;
+        }
+        // Look for a new literal to watch.
+        let len = self.clauses[clause_idx].literals.len();
+        for k in 2..len {
+            let candidate = self.clauses[clause_idx].literals[k];
+            if self.literal_value(candidate) != Value::False {
+                self.clauses[clause_idx].literals.swap(1, k);
+                self.watches[candidate.negated().index()].push(clause_idx);
+                return PropagationOutcome::WatchMoved;
+            }
+        }
+        // Clause is unit or conflicting.
+        if self.literal_value(first) == Value::False {
+            PropagationOutcome::Conflict
+        } else {
+            self.enqueue(first, clause_idx);
+            PropagationOutcome::KeepWatch
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, conflict: usize) -> (Vec<Lit>, u32) {
+        let current_level = self.decision_level();
+        let mut learnt: Vec<Lit> = Vec::new();
+        let mut seen = vec![false; self.values.len()];
+        let mut counter = 0usize;
+        let mut trail_idx = self.trail.len();
+        let mut asserting = None;
+        let mut clause_idx = conflict;
+
+        loop {
+            let literals: Vec<Lit> = self.clauses[clause_idx].literals.clone();
+            let skip = usize::from(asserting.is_some());
+            for lit in literals.into_iter().skip(skip) {
+                let var = lit.var().0 as usize;
+                if seen[var] || self.levels[var] == 0 {
+                    continue;
+                }
+                seen[var] = true;
+                self.bump_activity(lit.var());
+                if self.levels[var] >= current_level {
+                    counter += 1;
+                } else {
+                    learnt.push(lit);
+                }
+            }
+            // Find the next seen literal on the trail at the current level.
+            loop {
+                trail_idx -= 1;
+                let lit = self.trail[trail_idx];
+                if seen[lit.var().0 as usize] {
+                    asserting = Some(lit);
+                    break;
+                }
+            }
+            counter -= 1;
+            if counter == 0 {
+                break;
+            }
+            clause_idx = self.reasons[asserting.expect("asserting literal").var().0 as usize];
+            debug_assert_ne!(clause_idx, UNDEF_CLAUSE);
+        }
+
+        let asserting = asserting.expect("asserting literal").negated();
+        let backtrack_level = learnt
+            .iter()
+            .map(|l| self.levels[l.var().0 as usize])
+            .max()
+            .unwrap_or(0);
+        let mut clause = Vec::with_capacity(learnt.len() + 1);
+        clause.push(asserting);
+        clause.extend(learnt);
+        // Put a literal from the backtrack level in the second watch slot so
+        // the clause stays watched correctly after backtracking.
+        if clause.len() > 2 {
+            let mut best = 1;
+            for (i, lit) in clause.iter().enumerate().skip(1) {
+                if self.levels[lit.var().0 as usize] > self.levels[clause[best].var().0 as usize] {
+                    best = i;
+                }
+            }
+            clause.swap(1, best);
+        }
+        (clause, backtrack_level)
+    }
+
+    fn pick_branch_var(&self) -> Option<Var> {
+        self.values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v == Value::Unassigned)
+            .max_by(|(a, _), (b, _)| {
+                self.activity[*a]
+                    .partial_cmp(&self.activity[*b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| Var(i as u32))
+    }
+
+    fn bump_activity(&mut self, var: Var) {
+        let idx = var.0 as usize;
+        self.activity[idx] += self.activity_inc;
+        if self.activity[idx] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.activity_inc *= 1e-100;
+        }
+    }
+
+    fn decay_activity(&mut self) {
+        self.activity_inc /= 0.95;
+    }
+
+    /// Number of learnt clauses currently stored.
+    pub fn num_learnt(&self) -> usize {
+        self.clauses.iter().filter(|c| c.learnt).count()
+    }
+}
+
+enum PropagationOutcome {
+    KeepWatch,
+    WatchMoved,
+    Conflict,
+}
+
+/// The Luby sequence (1, 1, 2, 1, 1, 2, 4, ...), used for restart scheduling.
+/// `i` is 1-based.
+fn luby(i: u64) -> u64 {
+    let mut x = i - 1;
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) / 2;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(solver_vars: &[Var], i: i32) -> Lit {
+        let var = solver_vars[(i.unsigned_abs() as usize) - 1];
+        if i > 0 {
+            Lit::pos(var)
+        } else {
+            Lit::neg(var)
+        }
+    }
+
+    fn make_vars(solver: &mut Solver, n: usize) -> Vec<Var> {
+        (0..n).map(|_| solver.new_var()).collect()
+    }
+
+    #[test]
+    fn trivially_sat() {
+        let mut solver = Solver::new();
+        let vars = make_vars(&mut solver, 1);
+        solver.add_clause([lit(&vars, 1)]);
+        assert!(solver.solve().is_sat());
+        assert_eq!(solver.value(vars[0]), Some(true));
+    }
+
+    #[test]
+    fn trivially_unsat() {
+        let mut solver = Solver::new();
+        let vars = make_vars(&mut solver, 1);
+        solver.add_clause([lit(&vars, 1)]);
+        assert!(!solver.add_clause([lit(&vars, -1)]));
+        assert!(!solver.solve().is_sat());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut solver = Solver::new();
+        assert!(!solver.add_clause(std::iter::empty()));
+        assert!(!solver.solve().is_sat());
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        // (a) & (!a | b) & (!b | c) forces c.
+        let mut solver = Solver::new();
+        let vars = make_vars(&mut solver, 3);
+        solver.add_clause([lit(&vars, 1)]);
+        solver.add_clause([lit(&vars, -1), lit(&vars, 2)]);
+        solver.add_clause([lit(&vars, -2), lit(&vars, 3)]);
+        assert!(solver.solve().is_sat());
+        assert_eq!(solver.value(vars[2]), Some(true));
+    }
+
+    #[test]
+    fn simple_conflict_learning() {
+        // Pigeonhole-ish: (a|b) & (!a|b) & (a|!b) & (!a|!b) is unsat.
+        let mut solver = Solver::new();
+        let vars = make_vars(&mut solver, 2);
+        solver.add_clause([lit(&vars, 1), lit(&vars, 2)]);
+        solver.add_clause([lit(&vars, -1), lit(&vars, 2)]);
+        solver.add_clause([lit(&vars, 1), lit(&vars, -2)]);
+        solver.add_clause([lit(&vars, -1), lit(&vars, -2)]);
+        assert!(!solver.solve().is_sat());
+    }
+
+    #[test]
+    fn tautological_clause_is_ignored() {
+        let mut solver = Solver::new();
+        let vars = make_vars(&mut solver, 1);
+        assert!(solver.add_clause([lit(&vars, 1), lit(&vars, -1)]));
+        assert!(solver.solve().is_sat());
+    }
+
+    #[test]
+    fn satisfiable_3sat_instance() {
+        // A small satisfiable instance with several solutions.
+        let mut solver = Solver::new();
+        let vars = make_vars(&mut solver, 5);
+        let clauses: &[&[i32]] = &[
+            &[1, 2, -3],
+            &[-1, 3, 4],
+            &[2, -4, 5],
+            &[-2, -5, 1],
+            &[3, 4, 5],
+            &[-3, -4, -5],
+        ];
+        for clause in clauses {
+            solver.add_clause(clause.iter().map(|i| lit(&vars, *i)));
+        }
+        assert!(solver.solve().is_sat());
+        // Verify the model satisfies every clause.
+        for clause in clauses {
+            assert!(clause.iter().any(|i| {
+                let value = solver.value(vars[(i.unsigned_abs() as usize) - 1]).unwrap();
+                if *i > 0 {
+                    value
+                } else {
+                    !value
+                }
+            }));
+        }
+    }
+
+    #[test]
+    fn unsat_ordering_cycle() {
+        // Precedence cycle: before(a,b) & before(b,c) & before(c,a) with
+        // transitivity is unsatisfiable when antisymmetry clauses are added.
+        let mut solver = Solver::new();
+        // Variables x_ab, x_bc, x_ca, x_ba, x_cb, x_ac.
+        let vars = make_vars(&mut solver, 6);
+        let (ab, bc, ca, ba, cb, ac) = (1, 2, 3, 4, 5, 6);
+        // Required orderings.
+        for v in [ab, bc, ca] {
+            solver.add_clause([lit(&vars, v)]);
+        }
+        // Antisymmetry: !(x_ab & x_ba) etc.
+        for (x, y) in [(ab, ba), (bc, cb), (ca, ac)] {
+            solver.add_clause([lit(&vars, -x), lit(&vars, -y)]);
+        }
+        // Transitivity: ab & bc -> ac; bc & ca -> ba; ca & ab -> cb.
+        solver.add_clause([lit(&vars, -ab), lit(&vars, -bc), lit(&vars, ac)]);
+        solver.add_clause([lit(&vars, -bc), lit(&vars, -ca), lit(&vars, ba)]);
+        solver.add_clause([lit(&vars, -ca), lit(&vars, -ab), lit(&vars, cb)]);
+        // ac contradicts ca via antisymmetry only if both present; add it.
+        solver.add_clause([lit(&vars, -ac), lit(&vars, -ca)]);
+        assert!(!solver.solve().is_sat());
+    }
+
+    #[test]
+    fn assumptions_are_temporary() {
+        let mut solver = Solver::new();
+        let vars = make_vars(&mut solver, 2);
+        solver.add_clause([lit(&vars, 1), lit(&vars, 2)]);
+        // Assuming !a and !b is inconsistent with the clause.
+        assert!(!solver
+            .solve_with_assumptions(&[lit(&vars, -1), lit(&vars, -2)])
+            .is_sat());
+        // Without assumptions the instance is still satisfiable.
+        assert!(solver.solve().is_sat());
+        // Assuming only !a forces b.
+        assert!(solver.solve_with_assumptions(&[lit(&vars, -1)]).is_sat());
+        assert_eq!(solver.value(vars[1]), Some(true));
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut solver = Solver::new();
+        let vars = make_vars(&mut solver, 3);
+        solver.add_clause([lit(&vars, 1), lit(&vars, 2)]);
+        assert!(solver.solve().is_sat());
+        solver.add_clause([lit(&vars, -1)]);
+        assert!(solver.solve().is_sat());
+        assert_eq!(solver.value(vars[1]), Some(true));
+        solver.add_clause([lit(&vars, -2)]);
+        assert!(!solver.solve().is_sat());
+        // Once unsat, further solves stay unsat.
+        assert!(!solver.solve().is_sat());
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let actual: Vec<u64> = (1..=15).map(luby).collect();
+        assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn larger_random_style_instance_is_handled() {
+        // A structured satisfiable instance: chain of implications plus a few
+        // "xor-ish" side constraints, 40 variables.
+        let mut solver = Solver::new();
+        let vars = make_vars(&mut solver, 40);
+        for i in 1..40 {
+            solver.add_clause([lit(&vars, -(i as i32)), lit(&vars, (i + 1) as i32)]);
+        }
+        solver.add_clause([lit(&vars, 1)]);
+        for i in (2..38).step_by(5) {
+            let i = i as i32;
+            solver.add_clause([lit(&vars, -i), lit(&vars, i + 2), lit(&vars, -(i + 1))]);
+        }
+        assert!(solver.solve().is_sat());
+        // The chain forces everything true.
+        assert_eq!(solver.value(vars[39]), Some(true));
+    }
+
+    #[test]
+    fn display_of_literals() {
+        let v = Var(3);
+        assert_eq!(Lit::pos(v).to_string(), "x3");
+        assert_eq!(Lit::neg(v).to_string(), "!x3");
+        assert_eq!(Lit::pos(v).negated(), Lit::neg(v));
+        assert!(Lit::pos(v).is_positive());
+        assert_eq!(Lit::neg(v).var(), v);
+    }
+}

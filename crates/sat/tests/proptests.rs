@@ -1,0 +1,97 @@
+//! Property-based tests comparing the CDCL solver against brute force on
+//! small random instances.
+
+use proptest::prelude::*;
+
+use netupd_sat::{Lit, Solver, Var};
+
+/// A clause is a non-empty set of literals over `num_vars` variables,
+/// encoded as (variable index, polarity) pairs.
+fn arb_clause(num_vars: usize) -> impl Strategy<Value = Vec<(usize, bool)>> {
+    proptest::collection::vec((0..num_vars, any::<bool>()), 1..4)
+}
+
+fn arb_instance() -> impl Strategy<Value = (usize, Vec<Vec<(usize, bool)>>)> {
+    (3usize..8).prop_flat_map(|num_vars| {
+        proptest::collection::vec(arb_clause(num_vars), 1..12)
+            .prop_map(move |clauses| (num_vars, clauses))
+    })
+}
+
+/// Brute-force satisfiability check.
+fn brute_force(num_vars: usize, clauses: &[Vec<(usize, bool)>]) -> bool {
+    (0u32..(1 << num_vars)).any(|assignment| {
+        clauses.iter().all(|clause| {
+            clause
+                .iter()
+                .any(|(var, positive)| ((assignment >> var) & 1 == 1) == *positive)
+        })
+    })
+}
+
+fn build_solver(num_vars: usize, clauses: &[Vec<(usize, bool)>]) -> (Solver, Vec<Var>) {
+    let mut solver = Solver::new();
+    let vars: Vec<Var> = (0..num_vars).map(|_| solver.new_var()).collect();
+    for clause in clauses {
+        solver.add_clause(clause.iter().map(|(var, positive)| {
+            if *positive {
+                Lit::pos(vars[*var])
+            } else {
+                Lit::neg(vars[*var])
+            }
+        }));
+    }
+    (solver, vars)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The solver's verdict always matches brute force.
+    #[test]
+    fn agrees_with_brute_force((num_vars, clauses) in arb_instance()) {
+        let (mut solver, _) = build_solver(num_vars, &clauses);
+        let expected = brute_force(num_vars, &clauses);
+        prop_assert_eq!(solver.solve().is_sat(), expected);
+    }
+
+    /// When the solver reports SAT, the model it returns satisfies every clause.
+    #[test]
+    fn models_satisfy_every_clause((num_vars, clauses) in arb_instance()) {
+        let (mut solver, vars) = build_solver(num_vars, &clauses);
+        if solver.solve().is_sat() {
+            for clause in &clauses {
+                let satisfied = clause.iter().any(|(var, positive)| {
+                    solver.value(vars[*var]).map_or(false, |v| v == *positive)
+                });
+                prop_assert!(satisfied, "clause {clause:?} not satisfied by the model");
+            }
+        }
+    }
+
+    /// Solving under assumptions is consistent with adding the assumptions as
+    /// unit clauses to a fresh solver.
+    #[test]
+    fn assumptions_match_unit_clauses((num_vars, clauses) in arb_instance(), toggle in any::<bool>()) {
+        let assumption_var = 0usize;
+        let (mut incremental, vars) = build_solver(num_vars, &clauses);
+        let assumption = if toggle {
+            Lit::pos(vars[assumption_var])
+        } else {
+            Lit::neg(vars[assumption_var])
+        };
+        let with_assumption = incremental.solve_with_assumptions(&[assumption]).is_sat();
+
+        let (mut reference, ref_vars) = build_solver(num_vars, &clauses);
+        reference.add_clause([if toggle {
+            Lit::pos(ref_vars[assumption_var])
+        } else {
+            Lit::neg(ref_vars[assumption_var])
+        }]);
+        prop_assert_eq!(with_assumption, reference.solve().is_sat());
+
+        // Assumptions are temporary: the original instance's verdict is unchanged.
+        let expected = brute_force(num_vars, &clauses);
+        prop_assert_eq!(incremental.solve().is_sat(), expected);
+    }
+}

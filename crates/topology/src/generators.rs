@@ -1,0 +1,239 @@
+//! Topology generators: FatTree, Small-World, Waxman WAN, and Figure 1.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use netupd_model::{HostId, SwitchId};
+
+use crate::graph::NetworkGraph;
+
+/// A `k`-ary FatTree [Al-Fares et al., SIGCOMM 2008]: `(k/2)^2` core
+/// switches, `k` pods of `k/2` aggregation and `k/2` edge switches, and one
+/// host per edge switch.
+///
+/// # Panics
+///
+/// Panics if `k` is odd or less than 2.
+pub fn fat_tree(k: usize) -> NetworkGraph {
+    assert!(k >= 2 && k % 2 == 0, "fat-tree arity must be even and >= 2");
+    let half = k / 2;
+    let mut graph = NetworkGraph::new();
+    let core = graph.add_switches(half * half);
+    let mut pods: Vec<(Vec<SwitchId>, Vec<SwitchId>)> = Vec::with_capacity(k);
+    for _ in 0..k {
+        let aggregation = graph.add_switches(half);
+        let edge = graph.add_switches(half);
+        // Aggregation <-> edge full mesh within the pod.
+        for agg in &aggregation {
+            for e in &edge {
+                graph.connect(*agg, *e);
+            }
+        }
+        // Aggregation switch `i` connects to core group `i`.
+        for (i, agg) in aggregation.iter().enumerate() {
+            for j in 0..half {
+                graph.connect(*agg, core[i * half + j]);
+            }
+        }
+        pods.push((aggregation, edge));
+    }
+    // One host per edge switch.
+    for (_, edge) in &pods {
+        for sw in edge {
+            graph.attach_host(*sw);
+        }
+    }
+    graph
+}
+
+/// A Watts–Strogatz Small-World graph over `n` switches: a ring lattice where
+/// each switch connects to its `k` nearest neighbors, with each edge rewired
+/// to a random target with probability `p`. One host is attached to every
+/// switch so that any switch can serve as a flow endpoint.
+///
+/// # Panics
+///
+/// Panics if `n < 4` or `k < 2`.
+pub fn small_world<R: Rng>(n: usize, k: usize, p: f64, rng: &mut R) -> NetworkGraph {
+    assert!(n >= 4, "small-world graphs need at least 4 switches");
+    assert!(k >= 2, "small-world degree must be at least 2");
+    let mut graph = NetworkGraph::new();
+    let switches = graph.add_switches(n);
+    for i in 0..n {
+        for j in 1..=(k / 2) {
+            let target = (i + j) % n;
+            let rewired = rng.gen_bool(p.clamp(0.0, 1.0));
+            let dest = if rewired {
+                let mut candidate = rng.gen_range(0..n);
+                while candidate == i {
+                    candidate = rng.gen_range(0..n);
+                }
+                candidate
+            } else {
+                target
+            };
+            graph.connect(switches[i], switches[dest]);
+        }
+    }
+    // Ensure connectivity: link any isolated stretch back to the ring.
+    for i in 0..n {
+        if graph.neighbors(switches[i]).is_empty() {
+            graph.connect(switches[i], switches[(i + 1) % n]);
+        }
+    }
+    for sw in &switches {
+        graph.attach_host(*sw);
+    }
+    graph
+}
+
+/// A Waxman-style random wide-area topology over `n` switches: switches are
+/// placed uniformly in the unit square and each pair is connected with
+/// probability `alpha * exp(-d / (beta * L))`, where `d` is their Euclidean
+/// distance and `L` the maximal distance. A spanning ring is added to
+/// guarantee connectivity, and one host is attached per switch.
+///
+/// This generator stands in for the Topology Zoo dataset used in the paper:
+/// it produces sparse, irregular, WAN-like graphs across the same size range.
+pub fn waxman<R: Rng>(n: usize, alpha: f64, beta: f64, rng: &mut R) -> NetworkGraph {
+    assert!(n >= 2, "waxman graphs need at least 2 switches");
+    let mut graph = NetworkGraph::new();
+    let switches = graph.add_switches(n);
+    let positions: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let max_distance = 2f64.sqrt();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = positions[i].0 - positions[j].0;
+            let dy = positions[i].1 - positions[j].1;
+            let d = (dx * dx + dy * dy).sqrt();
+            let probability = alpha * (-d / (beta * max_distance)).exp();
+            if rng.gen_bool(probability.clamp(0.0, 1.0)) {
+                graph.connect(switches[i], switches[j]);
+            }
+        }
+    }
+    // Guarantee connectivity with a random ring.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    for w in order.windows(2) {
+        graph.connect(switches[w[0]], switches[w[1]]);
+    }
+    for sw in &switches {
+        graph.attach_host(*sw);
+    }
+    graph
+}
+
+/// The example topology of Figure 1 in the paper: two core switches, four
+/// aggregation switches, four top-of-rack switches, and four hosts.
+///
+/// Returns the graph along with the named switch groups
+/// `(cores, aggregations, tors)` and the hosts, in the paper's order
+/// (C1, C2), (A1..A4), (T1..T4), (H1..H4).
+pub fn figure1() -> (
+    NetworkGraph,
+    Vec<SwitchId>,
+    Vec<SwitchId>,
+    Vec<SwitchId>,
+    Vec<HostId>,
+) {
+    let mut graph = NetworkGraph::new();
+    let cores = graph.add_switches(2);
+    let aggs = graph.add_switches(4);
+    let tors = graph.add_switches(4);
+    // Left pod: A1, A2 serve T1, T2; right pod: A3, A4 serve T3, T4.
+    for (agg_group, tor_group) in [(&aggs[0..2], &tors[0..2]), (&aggs[2..4], &tors[2..4])] {
+        for agg in agg_group {
+            for tor in tor_group {
+                graph.connect(*agg, *tor);
+            }
+        }
+    }
+    // Core connectivity: C1 connects to A1 and A3 (odd aggregates), C2 to all.
+    for agg in &aggs {
+        graph.connect(cores[0], *agg);
+        graph.connect(cores[1], *agg);
+    }
+    let hosts = tors.iter().map(|t| graph.attach_host(*t)).collect();
+    (graph, cores, aggs, tors, hosts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fat_tree_counts() {
+        let k = 4;
+        let graph = fat_tree(k);
+        // (k/2)^2 core + k * (k/2 agg + k/2 edge).
+        assert_eq!(graph.num_switches(), 4 + 4 * 4);
+        assert_eq!(graph.topology().num_hosts(), 8);
+        assert!(graph.is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn fat_tree_rejects_odd_arity() {
+        let _ = fat_tree(3);
+    }
+
+    #[test]
+    fn small_world_is_connected_and_deterministic() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let a = small_world(40, 4, 0.1, &mut rng);
+        assert_eq!(a.num_switches(), 40);
+        assert!(a.is_connected());
+        let mut rng = StdRng::seed_from_u64(42);
+        let b = small_world(40, 4, 0.1, &mut rng);
+        assert_eq!(a.topology().num_links(), b.topology().num_links());
+    }
+
+    #[test]
+    fn waxman_is_connected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let graph = waxman(30, 0.4, 0.2, &mut rng);
+        assert_eq!(graph.num_switches(), 30);
+        assert!(graph.is_connected());
+        assert_eq!(graph.topology().num_hosts(), 30);
+    }
+
+    #[test]
+    fn figure1_structure() {
+        let (graph, cores, aggs, tors, hosts) = figure1();
+        assert_eq!(cores.len(), 2);
+        assert_eq!(aggs.len(), 4);
+        assert_eq!(tors.len(), 4);
+        assert_eq!(hosts.len(), 4);
+        assert!(graph.is_connected());
+        // T1 and T3 are in different pods, so the red path T1-A1-C1-A3-T3
+        // exists: check its hops are adjacent.
+        let red = [tors[0], aggs[0], cores[0], aggs[2], tors[2]];
+        for pair in red.windows(2) {
+            assert!(
+                graph.neighbors(pair[0]).contains(&pair[1]),
+                "{:?} should be adjacent to {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn generated_graphs_have_disjoint_paths_between_random_pairs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let graph = small_world(50, 4, 0.2, &mut rng);
+        let switches = graph.topology().switches().to_vec();
+        let mut found = 0;
+        for i in 0..10 {
+            let a = switches[i * 3 % switches.len()];
+            let b = switches[(i * 7 + 11) % switches.len()];
+            if a != b && graph.two_disjoint_paths(a, b).is_some() {
+                found += 1;
+            }
+        }
+        assert!(found > 0, "expected at least one diamond in a small-world graph");
+    }
+}

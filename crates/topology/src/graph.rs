@@ -1,0 +1,345 @@
+//! Switch-level network graphs with port management and path compilation.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+use netupd_model::{
+    Action, Configuration, Field, HostId, Pattern, PortId, Priority, Rule, SwitchId, Topology,
+    TrafficClass,
+};
+
+/// A switch-level view of a network: an undirected graph of switches with
+/// hosts attached at some of them.
+///
+/// `NetworkGraph` owns the port-number bookkeeping (every switch hands out
+/// ports sequentially), exposes path-finding utilities, and compiles
+/// switch-level paths into destination-based forwarding rules — the pieces
+/// the workload generators and the benchmark harness need on top of the raw
+/// [`Topology`].
+#[derive(Debug, Clone, Default)]
+pub struct NetworkGraph {
+    topology: Topology,
+    next_port: HashMap<SwitchId, u32>,
+    /// Outgoing port of `a` on the (duplex) link toward `b`.
+    port_toward: HashMap<(SwitchId, SwitchId), PortId>,
+    /// Outgoing port of a switch toward an attached host.
+    host_port: HashMap<HostId, (SwitchId, PortId)>,
+    adjacency: BTreeMap<SwitchId, Vec<SwitchId>>,
+}
+
+impl NetworkGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        NetworkGraph::default()
+    }
+
+    /// Adds `n` switches, returning their identifiers.
+    pub fn add_switches(&mut self, n: usize) -> Vec<SwitchId> {
+        let switches = self.topology.add_switches(n);
+        for sw in &switches {
+            self.adjacency.entry(*sw).or_default();
+            self.next_port.entry(*sw).or_insert(1);
+        }
+        switches
+    }
+
+    /// Connects two switches with a duplex link (idempotent).
+    pub fn connect(&mut self, a: SwitchId, b: SwitchId) {
+        if a == b || self.port_toward.contains_key(&(a, b)) {
+            return;
+        }
+        let pa = self.fresh_port(a);
+        let pb = self.fresh_port(b);
+        self.topology.add_duplex_link(a, pa, b, pb);
+        self.port_toward.insert((a, b), pa);
+        self.port_toward.insert((b, a), pb);
+        self.adjacency.entry(a).or_default().push(b);
+        self.adjacency.entry(b).or_default().push(a);
+    }
+
+    /// Attaches a new host to `sw`, returning its identifier.
+    pub fn attach_host(&mut self, sw: SwitchId) -> HostId {
+        let host = self.topology.add_host();
+        let port = self.fresh_port(sw);
+        self.topology.attach_host(host, sw, port);
+        self.host_port.insert(host, (sw, port));
+        host
+    }
+
+    fn fresh_port(&mut self, sw: SwitchId) -> PortId {
+        let counter = self.next_port.entry(sw).or_insert(1);
+        let port = PortId(*counter);
+        *counter += 1;
+        port
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Number of switches.
+    pub fn num_switches(&self) -> usize {
+        self.topology.num_switches()
+    }
+
+    /// The switch a host is attached to.
+    pub fn host_switch(&self, host: HostId) -> Option<SwitchId> {
+        self.host_port.get(&host).map(|(sw, _)| *sw)
+    }
+
+    /// The neighbors of a switch, in insertion order.
+    pub fn neighbors(&self, sw: SwitchId) -> &[SwitchId] {
+        self.adjacency.get(&sw).map_or(&[], Vec::as_slice)
+    }
+
+    /// The output port of `a` on the link toward adjacent switch `b`.
+    pub fn port_toward(&self, a: SwitchId, b: SwitchId) -> Option<PortId> {
+        self.port_toward.get(&(a, b)).copied()
+    }
+
+    /// The output port of the attachment switch toward `host`.
+    pub fn port_to_host(&self, host: HostId) -> Option<(SwitchId, PortId)> {
+        self.host_port.get(&host).copied()
+    }
+
+    /// Returns `true` if every switch can reach every other switch.
+    pub fn is_connected(&self) -> bool {
+        let switches = self.topology.switches();
+        let Some(first) = switches.first() else {
+            return true;
+        };
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::from([*first]);
+        seen.insert(*first);
+        while let Some(sw) = queue.pop_front() {
+            for n in self.neighbors(sw) {
+                if seen.insert(*n) {
+                    queue.push_back(*n);
+                }
+            }
+        }
+        seen.len() == switches.len()
+    }
+
+    /// Breadth-first shortest path between two switches, avoiding the given
+    /// intermediate switches (endpoints are always allowed).
+    pub fn shortest_path_avoiding(
+        &self,
+        from: SwitchId,
+        to: SwitchId,
+        avoid: &BTreeSet<SwitchId>,
+    ) -> Option<Vec<SwitchId>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut predecessor: HashMap<SwitchId, SwitchId> = HashMap::new();
+        let mut queue = VecDeque::from([from]);
+        let mut seen = BTreeSet::from([from]);
+        while let Some(sw) = queue.pop_front() {
+            for next in self.neighbors(sw) {
+                if seen.contains(next) {
+                    continue;
+                }
+                if *next != to && avoid.contains(next) {
+                    continue;
+                }
+                predecessor.insert(*next, sw);
+                if *next == to {
+                    let mut path = vec![to];
+                    let mut cur = to;
+                    while cur != from {
+                        cur = predecessor[&cur];
+                        path.push(cur);
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                seen.insert(*next);
+                queue.push_back(*next);
+            }
+        }
+        None
+    }
+
+    /// Breadth-first shortest path between two switches.
+    pub fn shortest_path(&self, from: SwitchId, to: SwitchId) -> Option<Vec<SwitchId>> {
+        self.shortest_path_avoiding(from, to, &BTreeSet::new())
+    }
+
+    /// Two internally-disjoint paths from `from` to `to`, if they exist: the
+    /// shortest path, and a second path avoiding the first one's interior.
+    pub fn two_disjoint_paths(
+        &self,
+        from: SwitchId,
+        to: SwitchId,
+    ) -> Option<(Vec<SwitchId>, Vec<SwitchId>)> {
+        let first = self.shortest_path(from, to)?;
+        let interior: BTreeSet<SwitchId> = first
+            .iter()
+            .copied()
+            .filter(|sw| *sw != from && *sw != to)
+            .collect();
+        let second = self.shortest_path_avoiding(from, to, &interior)?;
+        if second.len() < 2 || second == first {
+            return None;
+        }
+        Some((first, second))
+    }
+
+    /// Compiles a switch-level path from `src_host` to `dst_host` into
+    /// destination-based forwarding rules for packets of `class`.
+    ///
+    /// Every switch on the path gets one rule matching the class and
+    /// forwarding toward the next hop; the last switch forwards to the
+    /// destination host's port. The first element of `path` must be the
+    /// switch `src_host` attaches to, and the last the switch `dst_host`
+    /// attaches to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if consecutive path switches are not adjacent or the hosts are
+    /// not attached to the path's endpoints.
+    pub fn compile_path(
+        &self,
+        path: &[SwitchId],
+        dst_host: HostId,
+        class: &TrafficClass,
+        priority: Priority,
+    ) -> Configuration {
+        let mut config = Configuration::new();
+        let (dst_switch, dst_port) = self
+            .port_to_host(dst_host)
+            .expect("destination host is attached");
+        assert_eq!(
+            path.last(),
+            Some(&dst_switch),
+            "path must end at the destination host's switch"
+        );
+        for (i, sw) in path.iter().enumerate() {
+            let out_port = if i + 1 < path.len() {
+                self.port_toward(*sw, path[i + 1])
+                    .expect("consecutive path switches are adjacent")
+            } else {
+                dst_port
+            };
+            let rule = Rule::new(
+                priority,
+                Pattern::from_class(class),
+                vec![Action::Forward(out_port)],
+            );
+            let mut table = config.table(*sw);
+            table.add_rule(rule);
+            config.set_table(*sw, table);
+        }
+        config
+    }
+
+    /// Convenience: a traffic class identified by the destination host id.
+    pub fn class_to_host(dst_host: HostId) -> TrafficClass {
+        TrafficClass::new().with_field(Field::Dst, u64::from(dst_host.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netupd_model::Network;
+
+    /// A 2x2 grid with two hosts on opposite corners.
+    fn grid() -> (NetworkGraph, Vec<SwitchId>, HostId, HostId) {
+        let mut graph = NetworkGraph::new();
+        let s = graph.add_switches(4);
+        graph.connect(s[0], s[1]);
+        graph.connect(s[1], s[3]);
+        graph.connect(s[0], s[2]);
+        graph.connect(s[2], s[3]);
+        let h_src = graph.attach_host(s[0]);
+        let h_dst = graph.attach_host(s[3]);
+        (graph, s, h_src, h_dst)
+    }
+
+    #[test]
+    fn connectivity_and_neighbors() {
+        let (graph, s, ..) = grid();
+        assert!(graph.is_connected());
+        assert_eq!(graph.neighbors(s[0]), &[s[1], s[2]]);
+        assert_eq!(graph.num_switches(), 4);
+    }
+
+    #[test]
+    fn connect_is_idempotent() {
+        let mut graph = NetworkGraph::new();
+        let s = graph.add_switches(2);
+        graph.connect(s[0], s[1]);
+        graph.connect(s[0], s[1]);
+        graph.connect(s[1], s[0]);
+        assert_eq!(graph.neighbors(s[0]).len(), 1);
+        assert_eq!(graph.topology().num_links(), 2);
+    }
+
+    #[test]
+    fn shortest_path_in_grid() {
+        let (graph, s, ..) = grid();
+        let path = graph.shortest_path(s[0], s[3]).unwrap();
+        assert_eq!(path.len(), 3);
+        assert_eq!(path[0], s[0]);
+        assert_eq!(path[2], s[3]);
+    }
+
+    #[test]
+    fn disjoint_paths_in_grid() {
+        let (graph, s, ..) = grid();
+        let (a, b) = graph.two_disjoint_paths(s[0], s[3]).unwrap();
+        assert_ne!(a, b);
+        let interior_a: BTreeSet<_> = a[1..a.len() - 1].iter().collect();
+        let interior_b: BTreeSet<_> = b[1..b.len() - 1].iter().collect();
+        assert!(interior_a.is_disjoint(&interior_b));
+    }
+
+    #[test]
+    fn no_disjoint_paths_on_a_line() {
+        let mut graph = NetworkGraph::new();
+        let s = graph.add_switches(3);
+        graph.connect(s[0], s[1]);
+        graph.connect(s[1], s[2]);
+        assert!(graph.two_disjoint_paths(s[0], s[2]).is_none());
+    }
+
+    #[test]
+    fn path_avoiding_switches() {
+        let (graph, s, ..) = grid();
+        let avoid = BTreeSet::from([s[1]]);
+        let path = graph.shortest_path_avoiding(s[0], s[3], &avoid).unwrap();
+        assert!(!path.contains(&s[1]));
+    }
+
+    #[test]
+    fn compiled_path_forwards_traffic_end_to_end() {
+        let (graph, s, h_src, h_dst) = grid();
+        let class = NetworkGraph::class_to_host(h_dst);
+        let path = vec![s[0], s[1], s[3]];
+        let config = graph.compile_path(&path, h_dst, &class, Priority(10));
+        assert_eq!(config.len(), 3);
+        let net = Network::new(graph.topology().clone(), config);
+        let (src_sw, src_port) = {
+            let sw = graph.host_switch(h_src).unwrap();
+            let port = graph
+                .topology()
+                .switch_of_host(h_src)
+                .map(|(_, p)| p)
+                .unwrap();
+            (sw, port)
+        };
+        let traces = net.traces_from(src_sw, src_port, &class);
+        assert!(!traces.is_empty());
+        assert!(traces.iter().all(|t| t.reaches_host(h_dst)));
+    }
+
+    #[test]
+    #[should_panic(expected = "path must end at the destination host's switch")]
+    fn compile_path_validates_endpoint() {
+        let (graph, s, _h_src, h_dst) = grid();
+        let class = NetworkGraph::class_to_host(h_dst);
+        graph.compile_path(&[s[0], s[1]], h_dst, &class, Priority(1));
+    }
+}

@@ -1,0 +1,43 @@
+//! # netupd-topo
+//!
+//! Topology and workload generators for the network-update synthesizer.
+//!
+//! The paper's evaluation (§6) runs the synthesizer on three families of
+//! topologies — real wide-area networks from the Topology Zoo, synthetic
+//! FatTrees, and Small-World graphs — with "diamond" update scenarios: a
+//! random source/destination pair is connected via disjoint initial and final
+//! paths, and the update must preserve reachability, waypointing, or service
+//! chaining.
+//!
+//! This crate provides:
+//!
+//! * [`NetworkGraph`] — a switch-level graph with automatic port assignment,
+//!   path finding, and compilation of paths into per-switch forwarding rules;
+//! * [`generators`] — FatTree, Small-World (Watts–Strogatz), Waxman-style
+//!   WAN (a stand-in for the Topology Zoo dataset, which is not distributed
+//!   with this repository), and the paper's Figure 1 example;
+//! * [`scenario`] — diamond update scenarios (initial/final configurations,
+//!   traffic classes, and the LTL specification for each property family),
+//!   plus the "double diamond" variants used for the infeasibility
+//!   experiments.
+//!
+//! ```
+//! use netupd_topo::{generators, scenario::{diamond_scenario, PropertyKind}};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let graph = generators::small_world(30, 4, 0.1, &mut rng);
+//! let scenario = diamond_scenario(&graph, PropertyKind::Reachability, &mut rng)
+//!     .expect("a diamond exists in a connected graph");
+//! assert!(scenario.updating_switches() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod generators;
+pub mod graph;
+pub mod scenario;
+
+pub use graph::NetworkGraph;
+pub use scenario::{FlowPair, PropertyKind, UpdateScenario};

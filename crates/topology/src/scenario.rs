@@ -1,0 +1,530 @@
+//! Diamond update scenarios (§6 of the paper).
+//!
+//! A *diamond* connects a random source/destination host pair via two
+//! internally-disjoint paths; the update must move traffic from the initial
+//! path to the final path while preserving a property (reachability,
+//! waypointing, or service chaining). The *double diamond* adds a second
+//! flow in the opposite direction whose initial path is the first flow's
+//! final path (and vice versa), which generically makes switch-granularity
+//! ordering updates impossible — the workload for the paper's infeasibility
+//! and rule-granularity experiments.
+
+use std::collections::BTreeSet;
+
+use rand::Rng;
+
+use netupd_ltl::{builders, Ltl, Prop};
+use netupd_model::{Configuration, Field, HostId, Priority, SwitchId, Topology, TrafficClass};
+
+use crate::graph::NetworkGraph;
+
+/// The property family asserted for each flow of a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PropertyKind {
+    /// Traffic must reach the destination.
+    Reachability,
+    /// Traffic must traverse a waypoint switch before the destination.
+    Waypoint,
+    /// Traffic must traverse a chain of waypoints, in order.
+    ServiceChain {
+        /// Desired number of chained waypoints (the generator may use fewer
+        /// if the topology does not admit that many shared waypoints).
+        length: usize,
+    },
+}
+
+impl PropertyKind {
+    /// A short name used in benchmark output.
+    pub fn name(self) -> &'static str {
+        match self {
+            PropertyKind::Reachability => "reachability",
+            PropertyKind::Waypoint => "waypointing",
+            PropertyKind::ServiceChain { .. } => "service-chaining",
+        }
+    }
+}
+
+/// One flow of an update scenario.
+#[derive(Debug, Clone)]
+pub struct FlowPair {
+    /// Host at which the flow enters the network.
+    pub src_host: HostId,
+    /// Host the flow must reach.
+    pub dst_host: HostId,
+    /// Traffic class of the flow (destination-based).
+    pub class: TrafficClass,
+    /// Switch-level path used by the initial configuration.
+    pub initial_path: Vec<SwitchId>,
+    /// Switch-level path used by the final configuration.
+    pub final_path: Vec<SwitchId>,
+    /// Waypoints the property requires, in order (empty for reachability).
+    pub waypoints: Vec<SwitchId>,
+    /// The flow's LTL property, guarded by its traffic class so that the
+    /// conjunction over flows can be checked on one Kripke structure.
+    pub spec: Ltl,
+}
+
+/// A complete update scenario: topology, initial/final configurations,
+/// traffic classes, and specification.
+#[derive(Debug, Clone)]
+pub struct UpdateScenario {
+    /// The network graph the scenario runs on.
+    pub graph: NetworkGraph,
+    /// The flows being updated.
+    pub pairs: Vec<FlowPair>,
+    /// The initial configuration.
+    pub initial: Configuration,
+    /// The target configuration.
+    pub final_config: Configuration,
+    /// The conjunction of all flow properties.
+    pub spec: Ltl,
+    /// The property family the scenario was generated for.
+    pub kind: PropertyKind,
+}
+
+impl UpdateScenario {
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        self.graph.topology()
+    }
+
+    /// The traffic classes of all flows.
+    pub fn classes(&self) -> Vec<TrafficClass> {
+        self.pairs.iter().map(|p| p.class.clone()).collect()
+    }
+
+    /// The hosts at which scenario traffic enters the network.
+    pub fn ingress_hosts(&self) -> Vec<HostId> {
+        self.pairs.iter().map(|p| p.src_host).collect()
+    }
+
+    /// Number of switches whose tables differ between the initial and final
+    /// configurations — i.e. the switches the synthesizer must order.
+    pub fn updating_switches(&self) -> usize {
+        self.initial.differing_switches(&self.final_config).len()
+    }
+
+    /// Total number of rules across both configurations, the size measure
+    /// used for the rule-granularity experiments.
+    pub fn total_rules(&self) -> usize {
+        self.initial.total_rules() + self.final_config.total_rules()
+    }
+}
+
+/// The destination-based traffic class of a flow toward `dst_host`.
+fn flow_class(dst_host: HostId) -> TrafficClass {
+    TrafficClass::new().with_field(Field::Dst, u64::from(dst_host.0))
+}
+
+/// Builds the guarded per-flow property.
+///
+/// The guard follows the paper's formulations (`port = s ⇒ ...`): the
+/// property only constrains packets of the flow's traffic class that enter
+/// the network at the flow's source switch. Packets of the same class
+/// injected elsewhere (possible when several flows share one Kripke
+/// structure) satisfy the implication vacuously.
+fn flow_spec(
+    kind: PropertyKind,
+    src_switch: SwitchId,
+    dst_host: HostId,
+    waypoints: &[SwitchId],
+) -> Ltl {
+    let dst = Prop::AtHost(dst_host);
+    let body = match kind {
+        PropertyKind::Reachability => builders::reachability(dst),
+        PropertyKind::Waypoint => match waypoints.first() {
+            Some(w) => builders::waypoint(Prop::Switch(*w), dst),
+            None => builders::reachability(dst),
+        },
+        PropertyKind::ServiceChain { .. } => {
+            let props: Vec<Prop> = waypoints.iter().map(|w| Prop::Switch(*w)).collect();
+            builders::service_chain(&props, dst)
+        }
+    };
+    let guard = Ltl::and(
+        Ltl::prop(Prop::FieldIs(Field::Dst, u64::from(dst_host.0))),
+        Ltl::prop(Prop::Switch(src_switch)),
+    );
+    Ltl::implies(guard, body)
+}
+
+/// Chooses the waypoints for a flow: up to `count` interior switches of the
+/// initial path, evenly spaced, in path order.
+fn choose_waypoints(initial_path: &[SwitchId], count: usize) -> Vec<SwitchId> {
+    if initial_path.len() <= 2 || count == 0 {
+        return Vec::new();
+    }
+    let interior = &initial_path[1..initial_path.len() - 1];
+    let count = count.min(interior.len());
+    let mut waypoints = Vec::with_capacity(count);
+    for i in 0..count {
+        let idx = i * interior.len() / count;
+        waypoints.push(interior[idx]);
+    }
+    waypoints.dedup();
+    waypoints
+}
+
+/// Builds a final path from `src` to `dst` that visits `waypoints` in order
+/// while avoiding the remaining interior switches of the initial path.
+fn final_path_through(
+    graph: &NetworkGraph,
+    src: SwitchId,
+    dst: SwitchId,
+    initial_path: &[SwitchId],
+    waypoints: &[SwitchId],
+) -> Option<Vec<SwitchId>> {
+    let forbidden: BTreeSet<SwitchId> = initial_path
+        .iter()
+        .copied()
+        .filter(|sw| *sw != src && *sw != dst && !waypoints.contains(sw))
+        .collect();
+    let mut path: Vec<SwitchId> = vec![src];
+    let mut used: BTreeSet<SwitchId> = BTreeSet::from([src]);
+    let mut current = src;
+    for target in waypoints.iter().copied().chain(std::iter::once(dst)) {
+        let mut avoid = forbidden.clone();
+        avoid.extend(used.iter().copied().filter(|sw| *sw != current));
+        let segment = graph.shortest_path_avoiding(current, target, &avoid)?;
+        for sw in segment.into_iter().skip(1) {
+            if used.contains(&sw) {
+                return None;
+            }
+            used.insert(sw);
+            path.push(sw);
+        }
+        current = target;
+    }
+    if path.len() < 2 || path == initial_path {
+        None
+    } else {
+        Some(path)
+    }
+}
+
+/// Generates one flow (a diamond) between two random host-attached switches.
+fn generate_flow<R: Rng>(
+    graph: &NetworkGraph,
+    kind: PropertyKind,
+    rng: &mut R,
+    priority: Priority,
+) -> Option<(FlowPair, Configuration, Configuration)> {
+    let hosts = graph.topology().hosts().to_vec();
+    if hosts.len() < 2 {
+        return None;
+    }
+    for _ in 0..64 {
+        let src_host = hosts[rng.gen_range(0..hosts.len())];
+        let dst_host = hosts[rng.gen_range(0..hosts.len())];
+        if src_host == dst_host {
+            continue;
+        }
+        let (Some(src_sw), Some(dst_sw)) =
+            (graph.host_switch(src_host), graph.host_switch(dst_host))
+        else {
+            continue;
+        };
+        if src_sw == dst_sw {
+            continue;
+        }
+        let Some(initial_path) = graph.shortest_path(src_sw, dst_sw) else {
+            continue;
+        };
+        let waypoint_count = match kind {
+            PropertyKind::Reachability => 0,
+            PropertyKind::Waypoint => 1,
+            PropertyKind::ServiceChain { length } => length,
+        };
+        let waypoints = choose_waypoints(&initial_path, waypoint_count);
+        let Some(final_path) =
+            final_path_through(graph, src_sw, dst_sw, &initial_path, &waypoints)
+        else {
+            continue;
+        };
+        let class = flow_class(dst_host);
+        let initial = graph.compile_path(&initial_path, dst_host, &class, priority);
+        let final_config = graph.compile_path(&final_path, dst_host, &class, priority);
+        let spec = flow_spec(kind, src_sw, dst_host, &waypoints);
+        let pair = FlowPair {
+            src_host,
+            dst_host,
+            class,
+            initial_path,
+            final_path,
+            waypoints,
+            spec,
+        };
+        return Some((pair, initial, final_config));
+    }
+    None
+}
+
+/// Completes a scenario from a set of flows: switches that appear in some
+/// flow's initial configuration but not in its final configuration must be
+/// emptied by the update, so the final configuration explicitly carries an
+/// empty table for them (making them part of the update).
+fn assemble(graph: &NetworkGraph, kind: PropertyKind, flows: Vec<(FlowPair, Configuration, Configuration)>) -> UpdateScenario {
+    let mut initial = Configuration::new();
+    let mut final_config = Configuration::new();
+    let mut pairs = Vec::with_capacity(flows.len());
+    for (pair, flow_initial, flow_final) in flows {
+        // Merge rule-by-rule so that several flows can share a switch.
+        for (sw, table) in flow_initial.iter() {
+            let mut merged = initial.table(sw);
+            merged.extend(table.iter().cloned());
+            initial.set_table(sw, merged);
+        }
+        for (sw, table) in flow_final.iter() {
+            let mut merged = final_config.table(sw);
+            merged.extend(table.iter().cloned());
+            final_config.set_table(sw, merged);
+        }
+        pairs.push(pair);
+    }
+    // Switches only used initially end up with an explicitly empty table.
+    for sw in initial.switches().collect::<Vec<_>>() {
+        if final_config.table_ref(sw).is_none() {
+            final_config.set_table(sw, netupd_model::Table::empty());
+        }
+    }
+    let spec = Ltl::and_all(pairs.iter().map(|p| p.spec.clone()));
+    UpdateScenario {
+        graph: graph.clone(),
+        pairs,
+        initial,
+        final_config,
+        spec,
+        kind,
+    }
+}
+
+/// Generates a single-flow diamond scenario on `graph`.
+///
+/// Returns `None` if no suitable source/destination pair could be found
+/// (e.g. the graph has fewer than two host-attached switches or admits no
+/// disjoint paths).
+pub fn diamond_scenario<R: Rng>(
+    graph: &NetworkGraph,
+    kind: PropertyKind,
+    rng: &mut R,
+) -> Option<UpdateScenario> {
+    let flow = generate_flow(graph, kind, rng, Priority(10))?;
+    Some(assemble(graph, kind, vec![flow]))
+}
+
+/// Generates a scenario with `count` independent diamonds (distinct
+/// destination hosts and pairwise switch-disjoint paths), increasing the
+/// number of switches that must be updated — the knob used by the
+/// scalability experiments.
+///
+/// Keeping the diamonds switch-disjoint mirrors the paper's workload and
+/// guarantees that the flows do not impose conflicting ordering constraints
+/// on any shared switch.
+pub fn multi_diamond_scenario<R: Rng>(
+    graph: &NetworkGraph,
+    kind: PropertyKind,
+    count: usize,
+    rng: &mut R,
+) -> Option<UpdateScenario> {
+    let mut flows = Vec::with_capacity(count);
+    let mut used_destinations = BTreeSet::new();
+    let mut used_switches: BTreeSet<SwitchId> = BTreeSet::new();
+    let mut attempts = 0;
+    while flows.len() < count && attempts < count * 32 {
+        attempts += 1;
+        if let Some(flow) = generate_flow(graph, kind, rng, Priority(10)) {
+            let touched: BTreeSet<SwitchId> = flow
+                .0
+                .initial_path
+                .iter()
+                .chain(flow.0.final_path.iter())
+                .copied()
+                .collect();
+            if used_destinations.contains(&flow.0.dst_host)
+                || !touched.is_disjoint(&used_switches)
+            {
+                continue;
+            }
+            used_destinations.insert(flow.0.dst_host);
+            used_switches.extend(touched);
+            flows.push(flow);
+        }
+    }
+    if flows.is_empty() {
+        return None;
+    }
+    Some(assemble(graph, kind, flows))
+}
+
+/// Generates the paper's "double diamond" scenario: the first flow moves from
+/// path `P1` to path `P2`, and a second flow in the opposite direction moves
+/// from `P2` (reversed) to `P1` (reversed). The crossed dependencies
+/// generically rule out any switch-granularity ordering update, while
+/// rule-granularity updates still succeed.
+pub fn double_diamond_scenario<R: Rng>(
+    graph: &NetworkGraph,
+    kind: PropertyKind,
+    rng: &mut R,
+) -> Option<UpdateScenario> {
+    let (forward, fwd_initial, fwd_final) = generate_flow(graph, kind, rng, Priority(10))?;
+    // The reverse flow enters at the forward flow's destination host and
+    // targets its source host, using the forward flow's final path (reversed)
+    // initially and its initial path (reversed) finally.
+    let src_host = forward.dst_host;
+    let dst_host = forward.src_host;
+    let mut initial_path: Vec<SwitchId> = forward.final_path.clone();
+    initial_path.reverse();
+    let mut final_path: Vec<SwitchId> = forward.initial_path.clone();
+    final_path.reverse();
+    let class = flow_class(dst_host);
+    let rev_initial = graph.compile_path(&initial_path, dst_host, &class, Priority(10));
+    let rev_final = graph.compile_path(&final_path, dst_host, &class, Priority(10));
+    let waypoints = choose_waypoints(
+        &initial_path,
+        match kind {
+            PropertyKind::Reachability => 0,
+            PropertyKind::Waypoint => 1,
+            PropertyKind::ServiceChain { length } => length,
+        },
+    );
+    let spec = flow_spec(kind, initial_path[0], dst_host, &waypoints);
+    let reverse = FlowPair {
+        src_host,
+        dst_host,
+        class,
+        initial_path,
+        final_path,
+        waypoints,
+        spec,
+    };
+    Some(assemble(
+        graph,
+        kind,
+        vec![(forward, fwd_initial, fwd_final), (reverse, rev_initial, rev_final)],
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use netupd_model::Network;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_config_delivers(scenario: &UpdateScenario, config: &Configuration) {
+        let net = Network::new(scenario.topology().clone(), config.clone());
+        for pair in &scenario.pairs {
+            let (sw, port) = scenario
+                .topology()
+                .switch_of_host(pair.src_host)
+                .expect("source host attached");
+            let traces = net.traces_from(sw, port, &pair.class);
+            assert!(!traces.is_empty());
+            assert!(
+                traces.iter().all(|t| t.reaches_host(pair.dst_host)),
+                "flow to {:?} must be delivered",
+                pair.dst_host
+            );
+        }
+    }
+
+    #[test]
+    fn diamond_on_small_world_has_valid_configs() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let graph = generators::small_world(40, 4, 0.1, &mut rng);
+        let scenario =
+            diamond_scenario(&graph, PropertyKind::Reachability, &mut rng).expect("diamond");
+        assert!(scenario.updating_switches() > 0);
+        check_config_delivers(&scenario, &scenario.initial);
+        check_config_delivers(&scenario, &scenario.final_config);
+        // Initial and final paths differ.
+        let pair = &scenario.pairs[0];
+        assert_ne!(pair.initial_path, pair.final_path);
+    }
+
+    #[test]
+    fn waypoint_scenario_keeps_waypoint_on_both_paths() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let graph = generators::fat_tree(4);
+        let scenario = diamond_scenario(&graph, PropertyKind::Waypoint, &mut rng).expect("diamond");
+        let pair = &scenario.pairs[0];
+        for w in &pair.waypoints {
+            assert!(pair.initial_path.contains(w));
+            assert!(pair.final_path.contains(w));
+        }
+        check_config_delivers(&scenario, &scenario.initial);
+        check_config_delivers(&scenario, &scenario.final_config);
+    }
+
+    #[test]
+    fn service_chain_waypoints_in_path_order() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let graph = generators::small_world(60, 4, 0.05, &mut rng);
+        let scenario = diamond_scenario(&graph, PropertyKind::ServiceChain { length: 2 }, &mut rng)
+            .expect("diamond");
+        let pair = &scenario.pairs[0];
+        // Waypoints appear in the final path in the same relative order.
+        let positions: Vec<usize> = pair
+            .waypoints
+            .iter()
+            .map(|w| pair.final_path.iter().position(|s| s == w).expect("waypoint on final path"))
+            .collect();
+        let mut sorted = positions.clone();
+        sorted.sort_unstable();
+        assert_eq!(positions, sorted);
+    }
+
+    #[test]
+    fn multi_diamond_increases_update_size() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let graph = generators::small_world(80, 4, 0.1, &mut rng);
+        let single =
+            diamond_scenario(&graph, PropertyKind::Reachability, &mut rng).expect("single");
+        let multi = multi_diamond_scenario(&graph, PropertyKind::Reachability, 6, &mut rng)
+            .expect("multi");
+        assert!(multi.pairs.len() > 1);
+        assert!(multi.updating_switches() >= single.updating_switches());
+        check_config_delivers(&multi, &multi.initial);
+        check_config_delivers(&multi, &multi.final_config);
+    }
+
+    #[test]
+    fn double_diamond_has_two_opposite_flows() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let graph = generators::fat_tree(4);
+        let scenario = double_diamond_scenario(&graph, PropertyKind::Reachability, &mut rng)
+            .expect("double diamond");
+        assert_eq!(scenario.pairs.len(), 2);
+        let forward = &scenario.pairs[0];
+        let reverse = &scenario.pairs[1];
+        assert_eq!(forward.src_host, reverse.dst_host);
+        assert_eq!(forward.dst_host, reverse.src_host);
+        // The reverse flow's initial path is the forward flow's final path,
+        // reversed.
+        let mut reversed = forward.final_path.clone();
+        reversed.reverse();
+        assert_eq!(reverse.initial_path, reversed);
+        check_config_delivers(&scenario, &scenario.initial);
+        check_config_delivers(&scenario, &scenario.final_config);
+    }
+
+    #[test]
+    fn scenarios_are_deterministic_for_a_seed() {
+        let mut rng_a = StdRng::seed_from_u64(33);
+        let mut rng_b = StdRng::seed_from_u64(33);
+        let graph_a = generators::small_world(30, 4, 0.1, &mut rng_a);
+        let graph_b = generators::small_world(30, 4, 0.1, &mut rng_b);
+        let a = diamond_scenario(&graph_a, PropertyKind::Reachability, &mut rng_a).unwrap();
+        let b = diamond_scenario(&graph_b, PropertyKind::Reachability, &mut rng_b).unwrap();
+        assert_eq!(a.pairs[0].initial_path, b.pairs[0].initial_path);
+        assert_eq!(a.pairs[0].final_path, b.pairs[0].final_path);
+    }
+
+    #[test]
+    fn property_kind_names() {
+        assert_eq!(PropertyKind::Reachability.name(), "reachability");
+        assert_eq!(PropertyKind::Waypoint.name(), "waypointing");
+        assert_eq!(PropertyKind::ServiceChain { length: 3 }.name(), "service-chaining");
+    }
+}

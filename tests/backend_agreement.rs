@@ -1,0 +1,85 @@
+//! Cross-crate property tests: all model-checking backends agree on whether a
+//! configuration satisfies a specification, and the incremental backend does
+//! strictly less relabeling work than the batch backend during synthesis.
+
+use netupd_kripke::NetworkKripke;
+use netupd_mc::Backend;
+use netupd_synth::{SynthesisOptions, Synthesizer, UpdateProblem};
+use netupd_topo::generators;
+use netupd_topo::scenario::{diamond_scenario, PropertyKind};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn scenario_problem(seed: u64, kind: PropertyKind) -> UpdateProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = generators::small_world(24, 4, 0.15, &mut rng);
+    let scenario = diamond_scenario(&graph, kind, &mut rng).expect("diamond");
+    UpdateProblem::from_scenario(&scenario)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every backend agrees with every other on arbitrary intermediate
+    /// configurations reached by updating a random subset of switches.
+    #[test]
+    fn backends_agree_on_intermediate_configurations(seed in 0u64..64, mask in 0u32..256) {
+        let problem = scenario_problem(seed, PropertyKind::Reachability);
+        let encoder = NetworkKripke::new(problem.topology.clone(), problem.classes.clone())
+            .with_ingress_hosts(problem.ingress_hosts.iter().copied());
+        // Build an arbitrary intermediate configuration.
+        let mut config = problem.initial.clone();
+        for (i, sw) in problem.switches_to_update().into_iter().enumerate() {
+            if (mask >> (i % 8)) & 1 == 1 {
+                config.set_table(sw, problem.final_config.table(sw));
+            }
+        }
+        let kripke = encoder.encode(&config);
+        let verdicts: Vec<bool> = Backend::ALL
+            .iter()
+            .map(|b| b.instantiate().check(&kripke, &problem.spec).holds)
+            .collect();
+        prop_assert!(
+            verdicts.iter().all(|v| *v == verdicts[0]),
+            "backends disagree: {verdicts:?}"
+        );
+    }
+}
+
+#[test]
+fn incremental_relabels_fewer_states_than_batch_during_synthesis() {
+    let problem = scenario_problem(5, PropertyKind::Reachability);
+    let incremental = Synthesizer::new(problem.clone())
+        .with_options(SynthesisOptions::with_backend(Backend::Incremental))
+        .synthesize()
+        .expect("incremental solution");
+    let batch = Synthesizer::new(problem)
+        .with_options(SynthesisOptions::with_backend(Backend::Batch))
+        .synthesize()
+        .expect("batch solution");
+    assert!(
+        incremental.stats.states_relabeled < batch.stats.states_relabeled,
+        "incremental ({}) should relabel fewer states than batch ({})",
+        incremental.stats.states_relabeled,
+        batch.stats.states_relabeled
+    );
+}
+
+#[test]
+fn synthesized_orders_agree_across_backends_on_feasibility() {
+    for seed in [3u64, 9, 21] {
+        let problem = scenario_problem(seed, PropertyKind::Waypoint);
+        let mut verdicts = Vec::new();
+        for backend in Backend::ALL {
+            let result = Synthesizer::new(problem.clone())
+                .with_options(SynthesisOptions::with_backend(backend))
+                .synthesize();
+            verdicts.push(result.is_ok());
+        }
+        assert!(
+            verdicts.iter().all(|v| *v == verdicts[0]),
+            "backends disagree on feasibility for seed {seed}: {verdicts:?}"
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! End-to-end integration tests spanning all crates: workload generation →
+//! synthesis → replay on the operational-semantics simulator.
+
+use netupd_synth::exec::{run_with_probes, ProbeExperiment};
+use netupd_synth::{baselines, Granularity, SynthesisOptions, Synthesizer, UpdateProblem};
+use netupd_topo::generators;
+use netupd_topo::scenario::{diamond_scenario, multi_diamond_scenario, PropertyKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn problem_for(kind: PropertyKind, seed: u64) -> UpdateProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = generators::small_world(40, 4, 0.1, &mut rng);
+    let scenario = diamond_scenario(&graph, kind, &mut rng).expect("diamond scenario");
+    UpdateProblem::from_scenario(&scenario)
+}
+
+#[test]
+fn synthesized_updates_lose_no_probes_across_property_families() {
+    for (kind, seed) in [
+        (PropertyKind::Reachability, 1),
+        (PropertyKind::Waypoint, 2),
+        (PropertyKind::ServiceChain { length: 2 }, 3),
+    ] {
+        let problem = problem_for(kind, seed);
+        let result = Synthesizer::new(problem.clone())
+            .synthesize()
+            .unwrap_or_else(|e| panic!("{} failed: {e}", kind.name()));
+        let experiment = ProbeExperiment::for_problem(&problem);
+        let report = run_with_probes(&problem, &result.commands, &experiment).expect("simulation");
+        assert_eq!(
+            report.total_dropped(),
+            0,
+            "{} update dropped probes",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn multi_diamond_scalability_workloads_are_feasible() {
+    // The Figure 8(g) workloads (several switch-disjoint diamonds) must admit
+    // a switch-granularity ordering update; otherwise the scalability bench
+    // would be measuring failure paths.
+    let mut rng = StdRng::seed_from_u64(7);
+    let graph = generators::small_world(60, 4, 0.1, &mut rng);
+    let scenario = multi_diamond_scenario(&graph, PropertyKind::Waypoint, 4, &mut rng)
+        .expect("multi-diamond scenario");
+    let problem = UpdateProblem::from_scenario(&scenario);
+    let result = Synthesizer::new(problem)
+        .synthesize()
+        .expect("disjoint diamonds are always orderable");
+    assert!(result.commands.num_updates() >= scenario.pairs.len());
+}
+
+#[test]
+fn synthesized_update_never_worse_than_naive_baseline() {
+    let problem = problem_for(PropertyKind::Reachability, 7);
+    let ordered = Synthesizer::new(problem.clone()).synthesize().expect("solution");
+    let naive = baselines::naive_update(&problem);
+    let experiment = ProbeExperiment::for_problem(&problem);
+    let ordered_report =
+        run_with_probes(&problem, &ordered.commands, &experiment).expect("simulation");
+    let naive_report = run_with_probes(&problem, &naive, &experiment).expect("simulation");
+    assert!(ordered_report.delivery_ratio() >= naive_report.delivery_ratio());
+    assert_eq!(ordered_report.total_dropped(), 0);
+}
+
+#[test]
+fn two_phase_needs_more_rules_than_ordering_update() {
+    let problem = problem_for(PropertyKind::Reachability, 11);
+    let plan = baselines::two_phase_update(&problem);
+    let ordering = baselines::ordering_rule_overhead(&problem);
+    let two_phase_total: usize = plan.max_rules_per_switch.values().sum();
+    let ordering_total: usize = ordering.values().sum();
+    assert!(
+        two_phase_total > ordering_total,
+        "two-phase should need strictly more rules in total ({two_phase_total} vs {ordering_total})"
+    );
+}
+
+#[test]
+fn rule_granularity_reaches_the_final_configuration() {
+    let problem = problem_for(PropertyKind::Reachability, 13);
+    let result = Synthesizer::new(problem.clone())
+        .with_options(SynthesisOptions::default().granularity(Granularity::Rule))
+        .synthesize()
+        .expect("rule-granularity solution");
+    let mut config = problem.initial.clone();
+    for (sw, table) in result.commands.updates() {
+        config.set_table(sw, table.clone());
+    }
+    for sw in problem.final_config.switches() {
+        assert!(config.table(sw).same_rules(&problem.final_config.table(sw)));
+    }
+}
