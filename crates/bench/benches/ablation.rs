@@ -39,14 +39,23 @@ fn bench_ablation(c: &mut Criterion) {
 
     print_header(
         "Ablation: effect of each optimization",
-        &["workload", "configuration", "runtime", "mc calls", "states relabeled"],
+        &[
+            "workload",
+            "configuration",
+            "runtime",
+            "mc calls",
+            "states relabeled",
+        ],
     );
     let mut group = c.benchmark_group("ablation");
     group
         .sample_size(10)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(800));
-    for (workload_name, workload) in [("feasible diamond", &feasible), ("infeasible double-diamond", &infeasible)] {
+    for (workload_name, workload) in [
+        ("feasible diamond", &feasible),
+        ("infeasible double-diamond", &infeasible),
+    ] {
         for (name, options) in configurations() {
             // Without counterexample pruning the search on an infeasible
             // instance degenerates to enumerating all orders; skip that

@@ -23,7 +23,13 @@ fn main() {
 
     print_header(
         "Figure 2(a): probes received during the update",
-        &["update", "probes sent", "delivered", "dropped", "delivery ratio"],
+        &[
+            "update",
+            "probes sent",
+            "delivered",
+            "dropped",
+            "delivery ratio",
+        ],
     );
     for (name, commands) in [
         ("naive", &naive),

@@ -26,8 +26,12 @@ fn bench_infeasible(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(800));
     for size in SIZES {
-        let workload =
-            double_diamond_workload(TopologyFamily::FatTree, size, PropertyKind::Reachability, 17);
+        let workload = double_diamond_workload(
+            TopologyFamily::FatTree,
+            size,
+            PropertyKind::Reachability,
+            17,
+        );
         let single = time_synthesis(&workload.problem, Backend::Incremental, Granularity::Switch);
         let outcome = match &single.outcome {
             Ok(_) => "solved (unexpected)".to_string(),
@@ -48,9 +52,15 @@ fn bench_infeasible(c: &mut Criterion) {
             fmt_ms(single.elapsed),
             outcome,
         ]);
-        group.bench_with_input(BenchmarkId::from_parameter(size), &workload, |b, workload| {
-            b.iter(|| time_synthesis(&workload.problem, Backend::Incremental, Granularity::Switch))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(size),
+            &workload,
+            |b, workload| {
+                b.iter(|| {
+                    time_synthesis(&workload.problem, Backend::Incremental, Granularity::Switch)
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -31,9 +31,9 @@ fn bench_scalability(c: &mut Criterion) {
         .measurement_time(Duration::from_millis(800));
     for property in PROPERTIES {
         for size in SIZES {
-            let workload =
-                multi_diamond_workload(TopologyFamily::SmallWorld, size, property, 4, 7);
-            let single = time_synthesis(&workload.problem, Backend::Incremental, Granularity::Switch);
+            let workload = multi_diamond_workload(TopologyFamily::SmallWorld, size, property, 4, 7);
+            let single =
+                time_synthesis(&workload.problem, Backend::Incremental, Granularity::Switch);
             print_row(&[
                 property.name().to_string(),
                 workload.switches.to_string(),

@@ -4,9 +4,7 @@
 
 use std::time::Instant;
 
-use netupd_bench::{
-    fmt_ms, multi_diamond_workload, print_header, print_row, TopologyFamily,
-};
+use netupd_bench::{fmt_ms, multi_diamond_workload, print_header, print_row, TopologyFamily};
 use netupd_synth::wait_removal::remove_unnecessary_waits;
 use netupd_synth::{SynthesisOptions, Synthesizer};
 use netupd_topo::scenario::PropertyKind;
@@ -30,8 +28,7 @@ fn main() {
         PropertyKind::ServiceChain { length: 3 },
     ] {
         for size in [50usize, 100, 200] {
-            let workload =
-                multi_diamond_workload(TopologyFamily::SmallWorld, size, property, 4, 7);
+            let workload = multi_diamond_workload(TopologyFamily::SmallWorld, size, property, 4, 7);
             // Synthesize the order without wait removal, then time the pass
             // separately so its cost is visible on its own.
             let result = Synthesizer::new(workload.problem.clone())

@@ -231,8 +231,18 @@ mod tests {
 
     #[test]
     fn diamond_workload_is_deterministic() {
-        let a = diamond_workload(TopologyFamily::SmallWorld, 40, PropertyKind::Reachability, 3);
-        let b = diamond_workload(TopologyFamily::SmallWorld, 40, PropertyKind::Reachability, 3);
+        let a = diamond_workload(
+            TopologyFamily::SmallWorld,
+            40,
+            PropertyKind::Reachability,
+            3,
+        );
+        let b = diamond_workload(
+            TopologyFamily::SmallWorld,
+            40,
+            PropertyKind::Reachability,
+            3,
+        );
         assert_eq!(a.switches, b.switches);
         assert_eq!(a.rules, b.rules);
         assert_eq!(
@@ -243,8 +253,7 @@ mod tests {
 
     #[test]
     fn timed_synthesis_succeeds_on_a_small_diamond() {
-        let workload =
-            diamond_workload(TopologyFamily::FatTree, 20, PropertyKind::Reachability, 5);
+        let workload = diamond_workload(TopologyFamily::FatTree, 20, PropertyKind::Reachability, 5);
         let measurement =
             time_synthesis(&workload.problem, Backend::Incremental, Granularity::Switch);
         assert!(measurement.succeeded());

@@ -246,7 +246,10 @@ mod tests {
             vec![Action::Forward(netupd_model::PortId(1))],
         );
         let guarded = tag_guarded(&rule);
-        assert_eq!(guarded.pattern().field(Field::Tag), Some(TWO_PHASE_NEW_VERSION));
+        assert_eq!(
+            guarded.pattern().field(Field::Tag),
+            Some(TWO_PHASE_NEW_VERSION)
+        );
         assert!(guarded.priority() > rule.priority());
         let stamped = stamp_version(&rule);
         assert_eq!(

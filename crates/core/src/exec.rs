@@ -37,7 +37,10 @@ impl ProbeExperiment {
             .ingress_hosts
             .first()
             .expect("problem has an ingress host");
-        let class = problem.classes.first().expect("problem has a traffic class");
+        let class = problem
+            .classes
+            .first()
+            .expect("problem has a traffic class");
         let probe = class.representative().with_field(Field::Typ, 1);
         ProbeExperiment {
             src_host,
@@ -63,7 +66,11 @@ pub fn run_with_probes(
 ) -> Result<ProbeReport, netupd_model::ModelError> {
     let mut sim = Simulator::new(problem.topology.clone(), problem.initial.clone())
         .with_options(experiment.sim_options.clone());
-    sim.add_probe_stream(experiment.src_host, experiment.probe.clone(), experiment.period);
+    sim.add_probe_stream(
+        experiment.src_host,
+        experiment.probe.clone(),
+        experiment.period,
+    );
     sim.schedule_commands(commands.clone());
     sim.run(experiment.duration)?;
     Ok(sim.report().clone())
@@ -90,7 +97,9 @@ mod tests {
     #[test]
     fn synthesized_update_delivers_every_probe() {
         let problem = sample_problem();
-        let result = Synthesizer::new(problem.clone()).synthesize().expect("solution");
+        let result = Synthesizer::new(problem.clone())
+            .synthesize()
+            .expect("solution");
         let experiment = ProbeExperiment::for_problem(&problem);
         let report = run_with_probes(&problem, &result.commands, &experiment).expect("simulation");
         // Probes still in flight at the end of the run are not counted as

@@ -211,7 +211,8 @@ impl Synthesizer {
     }
 
     fn encoder(&self) -> NetworkKripke {
-        let encoder = NetworkKripke::new(self.problem.topology.clone(), self.problem.classes.clone());
+        let encoder =
+            NetworkKripke::new(self.problem.topology.clone(), self.problem.classes.clone());
         if self.problem.ingress_hosts.is_empty() {
             encoder
         } else {
@@ -295,9 +296,7 @@ impl Search<'_> {
                 continue;
             }
             self.visited.insert(&candidate);
-            if self.options.use_counterexamples
-                && self.options.granularity == Granularity::Switch
-            {
+            if self.options.use_counterexamples && self.options.granularity == Granularity::Switch {
                 let mut updated = self.updated_switches();
                 updated.insert(switch);
                 if self.wrong.excludes(&updated) {
@@ -380,10 +379,8 @@ mod tests {
     use super::*;
     use netupd_ltl::semantics;
     use netupd_model::Network;
-    use netupd_topo::scenario::{
-        diamond_scenario, double_diamond_scenario, PropertyKind,
-    };
     use netupd_topo::generators;
+    use netupd_topo::scenario::{diamond_scenario, double_diamond_scenario, PropertyKind};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -395,7 +392,10 @@ mod tests {
             let net = Network::new(problem.topology.clone(), config.clone());
             for class in &problem.classes {
                 for host in &problem.ingress_hosts {
-                    let (sw, pt) = problem.topology.switch_of_host(*host).expect("ingress host");
+                    let (sw, pt) = problem
+                        .topology
+                        .switch_of_host(*host)
+                        .expect("ingress host");
                     for trace in net.traces_from(sw, pt, class) {
                         assert!(
                             semantics::satisfies(&trace, &problem.spec),
@@ -430,7 +430,9 @@ mod tests {
     #[test]
     fn synthesizes_reachability_preserving_update() {
         let problem = fat_tree_problem(PropertyKind::Reachability, 3);
-        let result = Synthesizer::new(problem.clone()).synthesize().expect("solution");
+        let result = Synthesizer::new(problem.clone())
+            .synthesize()
+            .expect("solution");
         assert!(result.commands.is_simple());
         assert!(result.commands.num_updates() > 0);
         assert_sequence_correct(&problem, &result.commands);
@@ -446,7 +448,9 @@ mod tests {
     #[test]
     fn synthesizes_waypoint_preserving_update() {
         let problem = fat_tree_problem(PropertyKind::Waypoint, 5);
-        let result = Synthesizer::new(problem.clone()).synthesize().expect("solution");
+        let result = Synthesizer::new(problem.clone())
+            .synthesize()
+            .expect("solution");
         assert_sequence_correct(&problem, &result.commands);
     }
 
@@ -539,7 +543,10 @@ mod tests {
             .synthesize()
             .expect("solution without optimizations");
         assert_sequence_correct(&problem, &result.commands);
-        assert_eq!(result.stats.waits_before_removal, result.stats.waits_after_removal);
+        assert_eq!(
+            result.stats.waits_before_removal,
+            result.stats.waits_after_removal
+        );
     }
 
     #[test]

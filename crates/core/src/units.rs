@@ -88,10 +88,7 @@ pub fn plan_units(problem: &UpdateProblem, granularity: Granularity) -> Vec<Upda
         let old = problem.initial.table(switch);
         let new = problem.final_config.table(switch);
         match granularity {
-            Granularity::Switch => units.push(UpdateUnit::ReplaceTable {
-                switch,
-                table: new,
-            }),
+            Granularity::Switch => units.push(UpdateUnit::ReplaceTable { switch, table: new }),
             Granularity::Rule => {
                 let (removed, added) = old.diff(&new);
                 for rule in added {

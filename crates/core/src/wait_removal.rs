@@ -48,11 +48,7 @@ fn forwarding_edges(
     edges
 }
 
-fn reachable(
-    edges: &BTreeMap<SwitchId, BTreeSet<SwitchId>>,
-    from: SwitchId,
-    to: SwitchId,
-) -> bool {
+fn reachable(edges: &BTreeMap<SwitchId, BTreeSet<SwitchId>>, from: SwitchId, to: SwitchId) -> bool {
     if from == to {
         return true;
     }
@@ -162,7 +158,9 @@ mod tests {
         // configurations; updating s0 then s1 must keep a wait because s1 can
         // still receive packets forwarded by the old s0.
         use netupd_ltl::Ltl;
-        use netupd_model::{Action, Pattern, PortId, Priority, Rule, Table, Topology, TrafficClass};
+        use netupd_model::{
+            Action, Pattern, PortId, Priority, Rule, Table, Topology, TrafficClass,
+        };
         let mut topo = Topology::new();
         let h0 = topo.add_host();
         let h1 = topo.add_host();

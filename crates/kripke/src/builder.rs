@@ -295,7 +295,11 @@ mod tests {
             let label = kripke.label(state);
             let is_egress = label.iter().any(|p| matches!(p, Prop::AtHost(_)));
             if !is_egress {
-                assert!(label.contains(&Prop::Dropped), "state {} not dropped", kripke.key(state));
+                assert!(
+                    label.contains(&Prop::Dropped),
+                    "state {} not dropped",
+                    kripke.key(state)
+                );
                 assert!(kripke.is_sink(state));
             }
         }
@@ -330,13 +334,21 @@ mod tests {
         for state in incremental.states() {
             let key = incremental.key(state);
             let other = fresh.state_by_key(&key).expect("same state space");
-            assert_eq!(incremental.label(state), fresh.label(other), "label of {key}");
+            assert_eq!(
+                incremental.label(state),
+                fresh.label(other),
+                "label of {key}"
+            );
             let mut a: Vec<_> = incremental
                 .successors(state)
                 .iter()
                 .map(|s| incremental.key(*s))
                 .collect();
-            let mut b: Vec<_> = fresh.successors(other).iter().map(|s| fresh.key(*s)).collect();
+            let mut b: Vec<_> = fresh
+                .successors(other)
+                .iter()
+                .map(|s| fresh.key(*s))
+                .collect();
             a.sort_unstable();
             b.sort_unstable();
             assert_eq!(a, b, "successors of {key}");

@@ -69,7 +69,11 @@ impl fmt::Display for StateKey {
             StateRole::Arrival => "in",
             StateRole::Egress => "out",
         };
-        write!(f, "({}, {}, c{}, {role})", self.switch, self.port, self.class)
+        write!(
+            f,
+            "({}, {}, c{}, {role})",
+            self.switch, self.port, self.class
+        )
     }
 }
 
@@ -227,17 +231,10 @@ impl Kripke {
         let n = self.keys.len();
         // Count non-self outgoing edges.
         let mut remaining: Vec<usize> = (0..n)
-            .map(|i| {
-                self.successors[i]
-                    .iter()
-                    .filter(|s| s.0 != i)
-                    .count()
-            })
+            .map(|i| self.successors[i].iter().filter(|s| s.0 != i).count())
             .collect();
-        let mut queue: VecDeque<StateId> = (0..n)
-            .filter(|i| remaining[*i] == 0)
-            .map(StateId)
-            .collect();
+        let mut queue: VecDeque<StateId> =
+            (0..n).filter(|i| remaining[*i] == 0).map(StateId).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(state) = queue.pop_front() {
             order.push(state);

@@ -134,7 +134,10 @@ mod tests {
 
     #[test]
     fn empty_service_chain_is_reachability() {
-        assert_eq!(service_chain(&[], Prop::switch(9)), reachability(Prop::switch(9)));
+        assert_eq!(
+            service_chain(&[], Prop::switch(9)),
+            reachability(Prop::switch(9))
+        );
     }
 
     #[test]
@@ -148,7 +151,11 @@ mod tests {
     #[test]
     fn no_drops_builder() {
         let dropped = Trace::new(
-            vec![netupd_model::Observation::new(SwitchId(1), PortId(1), Packet::new())],
+            vec![netupd_model::Observation::new(
+                SwitchId(1),
+                PortId(1),
+                Packet::new(),
+            )],
             TraceEnd::Dropped,
         );
         assert!(!satisfies(&dropped, &no_drops()));

@@ -230,7 +230,8 @@ impl Parser {
     }
 
     fn peek_text(&self) -> String {
-        self.peek().map_or("end of input".to_string(), |t| format!("{t:?}"))
+        self.peek()
+            .map_or("end of input".to_string(), |t| format!("{t:?}"))
     }
 
     fn bump(&mut self) -> Option<Token> {
@@ -360,7 +361,10 @@ mod tests {
     #[test]
     fn parses_guarded_reachability() {
         let phi = parse("s1 => F s3").unwrap();
-        assert_eq!(phi, builders::reachability_from(Prop::switch(1), Prop::switch(3)));
+        assert_eq!(
+            phi,
+            builders::reachability_from(Prop::switch(1), Prop::switch(3))
+        );
     }
 
     #[test]
@@ -372,10 +376,7 @@ mod tests {
     #[test]
     fn parses_field_and_host_atoms() {
         let phi = parse("G (dst=3 | at(h2))").unwrap();
-        assert_eq!(
-            phi.to_string(),
-            "G (dst=3 | at(h2))",
-        );
+        assert_eq!(phi.to_string(), "G (dst=3 | at(h2))");
     }
 
     #[test]

@@ -30,7 +30,8 @@ pub fn observation_label(obs: &Observation) -> BTreeSet<Prop> {
 ///
 /// Returns an empty sequence for traces with no observations.
 pub fn trace_labels(trace: &Trace) -> Vec<BTreeSet<Prop>> {
-    let mut labels: Vec<BTreeSet<Prop>> = trace.observations().iter().map(observation_label).collect();
+    let mut labels: Vec<BTreeSet<Prop>> =
+        trace.observations().iter().map(observation_label).collect();
     if let Some(last) = labels.last_mut() {
         match trace.end() {
             TraceEnd::Egress(h) => {
@@ -93,9 +94,18 @@ mod tests {
     #[test]
     fn reachability_on_trace() {
         let trace = egress_trace(&[1, 2, 3], 9);
-        assert!(satisfies(&trace, &Ltl::eventually(Ltl::prop(Prop::switch(3)))));
-        assert!(!satisfies(&trace, &Ltl::eventually(Ltl::prop(Prop::switch(4)))));
-        assert!(satisfies(&trace, &Ltl::eventually(Ltl::prop(Prop::at_host(9)))));
+        assert!(satisfies(
+            &trace,
+            &Ltl::eventually(Ltl::prop(Prop::switch(3)))
+        ));
+        assert!(!satisfies(
+            &trace,
+            &Ltl::eventually(Ltl::prop(Prop::switch(4)))
+        ));
+        assert!(satisfies(
+            &trace,
+            &Ltl::eventually(Ltl::prop(Prop::at_host(9)))
+        ));
     }
 
     #[test]
@@ -106,7 +116,10 @@ mod tests {
             Ltl::prop(Prop::switch(2)),
         ));
         assert!(satisfies(&trace, &stays_low));
-        assert!(!satisfies(&trace, &Ltl::globally(Ltl::prop(Prop::switch(1)))));
+        assert!(!satisfies(
+            &trace,
+            &Ltl::globally(Ltl::prop(Prop::switch(1)))
+        ));
     }
 
     #[test]
@@ -130,8 +143,14 @@ mod tests {
     #[test]
     fn dropped_label_appears() {
         let trace = Trace::new(vec![obs(1), obs(2)], TraceEnd::Dropped);
-        assert!(satisfies(&trace, &Ltl::eventually(Ltl::prop(Prop::Dropped))));
-        assert!(!satisfies(&trace, &Ltl::globally(Ltl::not_prop(Prop::Dropped))));
+        assert!(satisfies(
+            &trace,
+            &Ltl::eventually(Ltl::prop(Prop::Dropped))
+        ));
+        assert!(!satisfies(
+            &trace,
+            &Ltl::globally(Ltl::not_prop(Prop::Dropped))
+        ));
         let ok = egress_trace(&[1, 2], 9);
         assert!(satisfies(&ok, &Ltl::globally(Ltl::not_prop(Prop::Dropped))));
     }

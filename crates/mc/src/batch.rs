@@ -70,8 +70,7 @@ mod tests {
             vec![Action::Forward(PortId(2))],
         )]);
         let config = Configuration::new().with_table(s0, table);
-        let encoder =
-            NetworkKripke::new(topo, vec![TrafficClass::new()]).with_ingress_hosts([h0]);
+        let encoder = NetworkKripke::new(topo, vec![TrafficClass::new()]).with_ingress_hosts([h0]);
         let kripke = encoder.encode(&config);
 
         let mut checker = BatchChecker::new();

@@ -211,14 +211,20 @@ mod tests {
 
         let mut hs = HeaderSpaceChecker::new();
         let mut inc = IncrementalChecker::new();
-        assert_eq!(hs.check(&kripke, &spec).holds, inc.check(&kripke, &spec).holds);
+        assert_eq!(
+            hs.check(&kripke, &spec).holds,
+            inc.check(&kripke, &spec).holds
+        );
 
         let changed = encoder.apply_switch_update(&mut kripke, s0, &Table::empty());
         let hs_out = hs.recheck(&kripke, &spec, &changed);
         let inc_out = inc.recheck(&kripke, &spec, &changed);
         assert_eq!(hs_out.holds, inc_out.holds);
         assert!(!hs_out.holds);
-        assert!(hs_out.counterexample.is_none(), "NetPlumber-style backends give no traces");
+        assert!(
+            hs_out.counterexample.is_none(),
+            "NetPlumber-style backends give no traces"
+        );
         assert!(inc_out.counterexample.is_some());
         assert!(hs_out.stats.incremental);
     }

@@ -274,9 +274,7 @@ mod tests {
         assert_eq!(count, 7);
         assert!(!labeling.holds(&k));
         // All traces eventually reach *some* sink labeled 3..6: s3 | s4 | s5 | s6.
-        let any = Ltl::eventually(Ltl::or_all(
-            (3..=6).map(|n| Ltl::prop(Prop::switch(n))),
-        ));
+        let any = Ltl::eventually(Ltl::or_all((3..=6).map(|n| Ltl::prop(Prop::switch(n)))));
         let (labeling, _) = Labeling::label_all(&k, &any);
         assert!(labeling.holds(&k));
     }

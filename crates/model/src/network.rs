@@ -124,7 +124,9 @@ impl Network {
                 match self.topology.link_from_port(sw, out_port) {
                     None => out.push(Trace::new(path.clone(), TraceEnd::Dropped)),
                     Some((_, link)) => match link.dst {
-                        Endpoint::Host(h) => out.push(Trace::new(path.clone(), TraceEnd::Egress(h))),
+                        Endpoint::Host(h) => {
+                            out.push(Trace::new(path.clone(), TraceEnd::Egress(h)))
+                        }
                         Endpoint::SwitchPort(next_sw, next_pt) => {
                             self.walk(next_sw, next_pt, &next_packet, path, visited, out);
                         }

@@ -186,7 +186,9 @@ mod tests {
 
     #[test]
     fn display_format() {
-        let pat = Pattern::any().with_in_port(PortId(1)).with_field(Field::Dst, 3);
+        let pat = Pattern::any()
+            .with_in_port(PortId(1))
+            .with_field(Field::Dst, 3);
         assert_eq!(pat.to_string(), "<in=p1, dst=3>");
         assert_eq!(Pattern::any().to_string(), "<*>");
     }

@@ -104,7 +104,11 @@ mod tests {
 
     #[test]
     fn apply_forwards_packet() {
-        let rule = Rule::new(Priority(1), Pattern::any(), vec![Action::Forward(PortId(5))]);
+        let rule = Rule::new(
+            Priority(1),
+            Pattern::any(),
+            vec![Action::Forward(PortId(5))],
+        );
         let pkt = Packet::new().with_field(Field::Dst, 3);
         let out = rule.apply(&pkt);
         assert_eq!(out, vec![(pkt, PortId(5))]);
@@ -159,6 +163,9 @@ mod tests {
             vec![Action::Forward(PortId(2))],
         );
         assert_eq!(rule.to_string(), "[pri7] <dst=3> -> fwd p2");
-        assert_eq!(Rule::drop(Priority(1), Pattern::any()).to_string(), "[pri1] <*> -> drop");
+        assert_eq!(
+            Rule::drop(Priority(1), Pattern::any()).to_string(),
+            "[pri1] <*> -> drop"
+        );
     }
 }

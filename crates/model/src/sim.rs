@@ -156,11 +156,7 @@ impl ProbeReport {
     /// Fraction of probes received within the window `[from, to)` of
     /// injection ticks, in `[0, 1]`. Uses sent counts as the denominator.
     pub fn delivery_ratio_in(&self, from: u64, to: u64) -> f64 {
-        let sent: usize = self
-            .sent_per_tick
-            .range(from..to)
-            .map(|(_, c)| *c)
-            .sum();
+        let sent: usize = self.sent_per_tick.range(from..to).map(|(_, c)| *c).sum();
         let received: usize = self
             .received_per_tick
             .range(from..to)
@@ -180,10 +176,14 @@ enum ControllerState {
     Idle,
     /// Waiting `remaining` ticks before the command at the head of the queue
     /// takes effect.
-    Busy { remaining: u64 },
+    Busy {
+        remaining: u64,
+    },
     /// Blocked on a flush: waiting for all packets with epoch `< target` to
     /// leave the network.
-    Flushing { target: Epoch },
+    Flushing {
+        target: Epoch,
+    },
 }
 
 /// The discrete-event simulator.
@@ -449,11 +449,7 @@ impl Simulator {
         }
 
         for (host, inflight) in deliveries {
-            *self
-                .report
-                .received_per_tick
-                .entry(self.tick)
-                .or_insert(0) += 1;
+            *self.report.received_per_tick.entry(self.tick).or_insert(0) += 1;
             self.events.push(SimEvent::Egress {
                 tick: self.tick,
                 host,
@@ -487,11 +483,7 @@ impl Simulator {
     }
 
     fn record_drop(&mut self, switch: SwitchId, packet: Packet) {
-        *self
-            .report
-            .dropped_per_tick
-            .entry(self.tick)
-            .or_insert(0) += 1;
+        *self.report.dropped_per_tick.entry(self.tick).or_insert(0) += 1;
         self.events.push(SimEvent::Drop {
             tick: self.tick,
             switch,
@@ -584,7 +576,9 @@ mod tests {
     }
 
     fn probe() -> Packet {
-        Packet::new().with_field(Field::Dst, 1).with_field(Field::Typ, 1)
+        Packet::new()
+            .with_field(Field::Dst, 1)
+            .with_field(Field::Typ, 1)
     }
 
     #[test]
@@ -699,8 +693,16 @@ mod tests {
         });
         // Install a second rule set on s0: max rules observed is old + new.
         let bigger = Table::new(vec![
-            Rule::new(Priority(5), Pattern::any(), vec![Action::Forward(PortId(2))]),
-            Rule::new(Priority(4), Pattern::any(), vec![Action::Forward(PortId(2))]),
+            Rule::new(
+                Priority(5),
+                Pattern::any(),
+                vec![Action::Forward(PortId(2))],
+            ),
+            Rule::new(
+                Priority(4),
+                Pattern::any(),
+                vec![Action::Forward(PortId(2))],
+            ),
         ]);
         let mut cmds = CommandSeq::new();
         cmds.push_update(s0, bigger);

@@ -236,7 +236,9 @@ mod tests {
 
     #[test]
     fn collect_from_iterator() {
-        let table: Table = vec![fwd_rule(2, 3, 1), fwd_rule(9, 3, 2)].into_iter().collect();
+        let table: Table = vec![fwd_rule(2, 3, 1), fwd_rule(9, 3, 2)]
+            .into_iter()
+            .collect();
         assert_eq!(table.rules()[0].priority(), Priority(9));
     }
 }

@@ -39,15 +39,21 @@ fn arb_pattern() -> impl Strategy<Value = Pattern> {
 }
 
 fn arb_rule() -> impl Strategy<Value = Rule> {
-    (0u32..8, arb_pattern(), proptest::collection::vec(0u32..4, 0..3)).prop_map(
-        |(priority, pattern, ports)| {
+    (
+        0u32..8,
+        arb_pattern(),
+        proptest::collection::vec(0u32..4, 0..3),
+    )
+        .prop_map(|(priority, pattern, ports)| {
             Rule::new(
                 Priority(priority),
                 pattern,
-                ports.into_iter().map(|p| Action::Forward(PortId(p))).collect(),
+                ports
+                    .into_iter()
+                    .map(|p| Action::Forward(PortId(p)))
+                    .collect(),
             )
-        },
-    )
+        })
 }
 
 fn arb_table() -> impl Strategy<Value = Table> {

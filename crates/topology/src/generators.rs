@@ -99,7 +99,9 @@ pub fn waxman<R: Rng>(n: usize, alpha: f64, beta: f64, rng: &mut R) -> NetworkGr
     assert!(n >= 2, "waxman graphs need at least 2 switches");
     let mut graph = NetworkGraph::new();
     let switches = graph.add_switches(n);
-    let positions: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let positions: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let max_distance = 2f64.sqrt();
     for i in 0..n {
         for j in (i + 1)..n {
@@ -234,6 +236,9 @@ mod tests {
                 found += 1;
             }
         }
-        assert!(found > 0, "expected at least one diamond in a small-world graph");
+        assert!(
+            found > 0,
+            "expected at least one diamond in a small-world graph"
+        );
     }
 }

@@ -236,8 +236,7 @@ fn generate_flow<R: Rng>(
             PropertyKind::ServiceChain { length } => length,
         };
         let waypoints = choose_waypoints(&initial_path, waypoint_count);
-        let Some(final_path) =
-            final_path_through(graph, src_sw, dst_sw, &initial_path, &waypoints)
+        let Some(final_path) = final_path_through(graph, src_sw, dst_sw, &initial_path, &waypoints)
         else {
             continue;
         };
@@ -263,7 +262,11 @@ fn generate_flow<R: Rng>(
 /// flow's initial configuration but not in its final configuration must be
 /// emptied by the update, so the final configuration explicitly carries an
 /// empty table for them (making them part of the update).
-fn assemble(graph: &NetworkGraph, kind: PropertyKind, flows: Vec<(FlowPair, Configuration, Configuration)>) -> UpdateScenario {
+fn assemble(
+    graph: &NetworkGraph,
+    kind: PropertyKind,
+    flows: Vec<(FlowPair, Configuration, Configuration)>,
+) -> UpdateScenario {
     let mut initial = Configuration::new();
     let mut final_config = Configuration::new();
     let mut pairs = Vec::with_capacity(flows.len());
@@ -340,8 +343,7 @@ pub fn multi_diamond_scenario<R: Rng>(
                 .chain(flow.0.final_path.iter())
                 .copied()
                 .collect();
-            if used_destinations.contains(&flow.0.dst_host)
-                || !touched.is_disjoint(&used_switches)
+            if used_destinations.contains(&flow.0.dst_host) || !touched.is_disjoint(&used_switches)
             {
                 continue;
             }
@@ -400,7 +402,10 @@ pub fn double_diamond_scenario<R: Rng>(
     Some(assemble(
         graph,
         kind,
-        vec![(forward, fwd_initial, fwd_final), (reverse, rev_initial, rev_final)],
+        vec![
+            (forward, fwd_initial, fwd_final),
+            (reverse, rev_initial, rev_final),
+        ],
     ))
 }
 
@@ -468,7 +473,12 @@ mod tests {
         let positions: Vec<usize> = pair
             .waypoints
             .iter()
-            .map(|w| pair.final_path.iter().position(|s| s == w).expect("waypoint on final path"))
+            .map(|w| {
+                pair.final_path
+                    .iter()
+                    .position(|s| s == w)
+                    .expect("waypoint on final path")
+            })
             .collect();
         let mut sorted = positions.clone();
         sorted.sort_unstable();
@@ -481,8 +491,8 @@ mod tests {
         let graph = generators::small_world(80, 4, 0.1, &mut rng);
         let single =
             diamond_scenario(&graph, PropertyKind::Reachability, &mut rng).expect("single");
-        let multi = multi_diamond_scenario(&graph, PropertyKind::Reachability, 6, &mut rng)
-            .expect("multi");
+        let multi =
+            multi_diamond_scenario(&graph, PropertyKind::Reachability, 6, &mut rng).expect("multi");
         assert!(multi.pairs.len() > 1);
         assert!(multi.updating_switches() >= single.updating_switches());
         check_config_delivers(&multi, &multi.initial);
@@ -525,6 +535,9 @@ mod tests {
     fn property_kind_names() {
         assert_eq!(PropertyKind::Reachability.name(), "reachability");
         assert_eq!(PropertyKind::Waypoint.name(), "waypointing");
-        assert_eq!(PropertyKind::ServiceChain { length: 3 }.name(), "service-chaining");
+        assert_eq!(
+            PropertyKind::ServiceChain { length: 3 }.name(),
+            "service-chaining"
+        );
     }
 }

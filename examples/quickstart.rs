@@ -41,8 +41,11 @@ fn main() {
     println!("Synthesizing an update from the red path to the green path...");
     match Synthesizer::new(problem).synthesize() {
         Ok(result) => {
-            println!("Found a correct update with {} switch updates and {} waits:",
-                result.commands.num_updates(), result.commands.num_waits());
+            println!(
+                "Found a correct update with {} switch updates and {} waits:",
+                result.commands.num_updates(),
+                result.commands.num_waits()
+            );
             for command in result.commands.iter() {
                 println!("  {command}");
             }

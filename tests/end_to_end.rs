@@ -56,7 +56,9 @@ fn multi_diamond_scalability_workloads_are_feasible() {
 #[test]
 fn synthesized_update_never_worse_than_naive_baseline() {
     let problem = problem_for(PropertyKind::Reachability, 7);
-    let ordered = Synthesizer::new(problem.clone()).synthesize().expect("solution");
+    let ordered = Synthesizer::new(problem.clone())
+        .synthesize()
+        .expect("solution");
     let naive = baselines::naive_update(&problem);
     let experiment = ProbeExperiment::for_problem(&problem);
     let ordered_report =

@@ -1,0 +1,82 @@
+//! Smoke tests for the umbrella crate itself: the workspace-level integration
+//! suites must stay wired as test targets, and the whole pipeline must
+//! round-trip on the smallest interesting scenario.
+
+use std::path::Path;
+
+use netupd_synth::exec::{run_with_probes, ProbeExperiment};
+use netupd_synth::{Synthesizer, UpdateProblem};
+use netupd_topo::generators;
+use netupd_topo::scenario::{diamond_scenario, PropertyKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The three cross-crate integration suites this PR promises. Cargo's
+/// auto-discovery turns every `tests/*.rs` file into a test target, so it is
+/// enough to check that the files exist and that auto-discovery has not been
+/// switched off in the manifest.
+#[test]
+fn integration_suites_are_wired_as_test_targets() {
+    let manifest_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    for suite in ["end_to_end.rs", "backend_agreement.rs", "infeasibility.rs"] {
+        let path = manifest_dir.join("tests").join(suite);
+        assert!(
+            path.is_file(),
+            "integration suite {suite} is missing from tests/"
+        );
+    }
+
+    let manifest = std::fs::read_to_string(manifest_dir.join("Cargo.toml"))
+        .expect("umbrella Cargo.toml is readable");
+    // Ignore comment lines so a mention of these keys in prose can't trip the
+    // guard; only uncommented manifest state counts.
+    let uncommented: String = manifest
+        .lines()
+        .filter(|line| !line.trim_start().starts_with('#'))
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(
+        !uncommented.contains("autotests = false"),
+        "tests/ auto-discovery must stay enabled for the suites to run"
+    );
+    assert!(
+        !uncommented.contains("[[test]]"),
+        "explicit [[test]] targets would shadow auto-discovery; keep it automatic"
+    );
+}
+
+/// Minimal end-to-end round-trip: generate a diamond scenario, synthesize an
+/// ordering update, and replay it on the operational-semantics simulator
+/// without losing a single probe.
+#[test]
+fn diamond_scenario_synthesis_round_trips() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let graph = generators::small_world(30, 4, 0.1, &mut rng);
+    let scenario =
+        diamond_scenario(&graph, PropertyKind::Reachability, &mut rng).expect("diamond scenario");
+    let problem = UpdateProblem::from_scenario(&scenario);
+
+    let result = Synthesizer::new(problem.clone())
+        .synthesize()
+        .expect("diamond scenarios admit an ordering update");
+    assert!(
+        result.commands.num_updates() > 0,
+        "update must do something"
+    );
+    assert!(
+        result.commands.is_simple(),
+        "each switch updates at most once"
+    );
+
+    let experiment = ProbeExperiment::for_problem(&problem);
+    let report = run_with_probes(&problem, &result.commands, &experiment).expect("simulation runs");
+    assert!(
+        report.total_sent() > 0,
+        "probe experiment must send traffic"
+    );
+    assert_eq!(
+        report.total_dropped(),
+        0,
+        "synthesized update dropped probes"
+    );
+}

@@ -1,0 +1,85 @@
+//! The [`Arbitrary`] trait and the [`any`] entry point.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Types with a canonical "anything goes" strategy, usable via [`any`].
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for this type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Returns the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Returns the canonical strategy for `A`, mirroring `proptest::arbitrary::any`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Strategy generating `true`/`false` with equal probability.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+/// Strategy generating a uniformly random integer over the full value range.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyInt<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyInt<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen::<$t>()
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = AnyInt<$t>;
+
+            fn arbitrary() -> AnyInt<$t> {
+                AnyInt(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn any_bool_produces_both_values() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let strat = any::<bool>();
+        let mut saw = (false, false);
+        for _ in 0..64 {
+            match strat.generate(&mut rng) {
+                true => saw.0 = true,
+                false => saw.1 = true,
+            }
+        }
+        assert!(saw.0 && saw.1);
+    }
+}

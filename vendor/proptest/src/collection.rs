@@ -1,0 +1,114 @@
+//! Strategies for collections, mirroring `proptest::collection`.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from a range.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generates vectors whose length is drawn uniformly from `size` and whose
+/// elements come from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(
+        size.start < size.end,
+        "empty size range for collection::vec"
+    );
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let len = rng.gen_range(self.size.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<S::Value>` with a target size drawn from a range.
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generates ordered sets with a target size drawn uniformly from `size`.
+///
+/// As in real proptest, the resulting set can be smaller than the drawn size
+/// when the element strategy produces duplicates, but never smaller than the
+/// lower bound (duplicates are re-drawn a bounded number of times).
+pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    assert!(
+        size.start < size.end,
+        "empty size range for collection::btree_set"
+    );
+    BTreeSetStrategy { element, size }
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let target = rng.gen_range(self.size.clone());
+        let mut set = BTreeSet::new();
+        // Bounded retries: give up on reaching `target` if the element
+        // domain is too small, but keep at least the lower bound when
+        // possible.
+        let mut attempts = 0usize;
+        let max_attempts = 32 * (target + 1);
+        while set.len() < target && attempts < max_attempts {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        while set.len() < self.size.start && attempts < 2 * max_attempts {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_lengths_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let strat = vec(0u32..10, 2..6);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn btree_set_respects_lower_bound_when_domain_allows() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let strat = btree_set(0u32..100, 1..6);
+        for _ in 0..100 {
+            let s = strat.generate(&mut rng);
+            assert!(!s.is_empty());
+            assert!(s.len() < 6);
+        }
+    }
+}

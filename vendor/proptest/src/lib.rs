@@ -1,0 +1,180 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing framework.
+//!
+//! The netupd workspace builds without network access to a crates registry,
+//! so external dependencies are vendored as minimal re-implementations. This
+//! shim keeps the `proptest` 1.x surface the workspace's property tests use:
+//!
+//! - the [`Strategy`](strategy::Strategy) trait with `prop_map`, `prop_flat_map`,
+//!   `prop_recursive`, and `boxed`,
+//! - strategies for integer ranges, tuples, [`strategy::Just`],
+//!   [`collection::vec`], [`collection::btree_set`], [`option::of`], and
+//!   [`any::<bool>()`](arbitrary::any),
+//! - the [`prop_oneof!`], [`proptest!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`], and [`prop_assert_ne!`] macros, and
+//! - [`test_runner::ProptestConfig`] with `with_cases`.
+//!
+//! What it deliberately drops is *shrinking*: a failing case is reported with
+//! its case number and message but not minimized. Inputs are generated from a
+//! deterministic per-test seed (a hash of the test's module path and name),
+//! so failures reproduce exactly across runs and machines. Swapping in the
+//! real `proptest` later is a one-line `Cargo.toml` change.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod strategy;
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod test_runner;
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    //! Runtime support for the [`proptest!`](crate::proptest) macro. Not
+    //! public API.
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+
+    /// Derives a deterministic seed from a test's fully qualified name
+    /// (FNV-1a), so every property test has a stable, distinct input stream.
+    pub fn seed_for(test_name: &str) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Allow overriding the number of cases but not the seed: determinism
+        // across CI runs is the point.
+        hash
+    }
+
+    /// Reads `PROPTEST_CASES` from the environment, if set, to scale test
+    /// effort up or down without recompiling.
+    pub fn cases_override() -> Option<u32> {
+        std::env::var("PROPTEST_CASES").ok()?.parse().ok()
+    }
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current case
+/// (rather than panicking) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left_val, right_val) => {
+                if !(*left_val == *right_val) {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `left == right`\n  left: `{left_val:?}`\n right: `{right_val:?}`",
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left_val, right_val) => {
+                if *left_val == *right_val {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!("assertion failed: `left != right`\n  both: `{left_val:?}`",),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Builds a strategy choosing uniformly among the given strategies (which may
+/// have different types but must produce the same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `config.cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($bind:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let cases = $crate::__rt::cases_override().unwrap_or(config.cases);
+            let mut rng = <$crate::__rt::StdRng as $crate::__rt::SeedableRng>::seed_from_u64(
+                $crate::__rt::seed_for(concat!(module_path!(), "::", stringify!($name))),
+            );
+            let strategies = ($($strat,)+);
+            for case in 0..cases {
+                let ($($bind,)+) =
+                    $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(err) = outcome {
+                    panic!(
+                        "proptest `{}` failed at case {}/{}: {}",
+                        stringify!($name),
+                        case + 1,
+                        cases,
+                        err
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+}

@@ -1,0 +1,54 @@
+//! Strategies for `Option`, mirroring `proptest::option`.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Strategy producing `Some(inner)` most of the time and `None` occasionally.
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// Wraps `inner` so roughly a quarter of generated values are `None`,
+/// matching the spirit of `proptest::option::of`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        if rng.gen_bool(0.25) {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn produces_both_none_and_some() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let strat = of(0u32..5);
+        let mut none = 0;
+        let mut some = 0;
+        for _ in 0..200 {
+            match strat.generate(&mut rng) {
+                None => none += 1,
+                Some(x) => {
+                    assert!(x < 5);
+                    some += 1;
+                }
+            }
+        }
+        assert!(none > 0 && some > 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Test-runner configuration and errors, mirroring `proptest::test_runner`.
+
+use std::fmt;
+
+/// Configuration for a [`proptest!`](crate::proptest) block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property case. Carries the assertion message; unlike real
+/// proptest there is no shrinking, so no minimized input is attached.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure carrying `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    // Exercise the full macro pipeline, config form included.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn generated_pairs_satisfy_bounds(a in 0u32..10, b in 5usize..9) {
+            prop_assert!(a < 10);
+            prop_assert!((5..9).contains(&b), "b out of range: {b}");
+            prop_assert_eq!(a as u64 + 1, u64::from(a) + 1);
+            prop_assert_ne!(b, 100);
+        }
+
+        #[test]
+        fn tuple_patterns_destructure((x, y) in (0u32..4, 0u32..4)) {
+            prop_assert!(x < 4 && y < 4);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_form_works(flag in crate::arbitrary::any::<bool>()) {
+            prop_assert!(flag || !flag);
+        }
+    }
+
+    // Declared without `#[test]` so it can be invoked directly below to
+    // observe the failure path.
+    proptest! {
+        fn always_fails(x in 0u32..4) {
+            prop_assert!(x > 100);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_case_number() {
+        always_fails();
+    }
+}

@@ -1,0 +1,31 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! The netupd workspace builds in environments without network access to a
+//! crates registry, so external dependencies are vendored as minimal
+//! re-implementations. No code in the workspace serializes values at runtime
+//! yet; the `#[derive(Serialize, Deserialize)]` attributes on the model types
+//! document which types form the (future) wire format. This shim therefore
+//! provides:
+//!
+//! - [`Serialize`] / [`Deserialize`] as marker traits with blanket impls, and
+//! - no-op derive macros of the same names behind the `derive` feature,
+//!
+//! so `use serde::{Deserialize, Serialize};` plus the derives compile
+//! unchanged, and swapping in the real `serde` later is a one-line
+//! `Cargo.toml` change.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

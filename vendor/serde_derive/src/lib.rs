@@ -1,0 +1,26 @@
+//! Offline stand-in for the `serde_derive` crate.
+//!
+//! The workspace vendors its external dependencies because it builds without
+//! network access to a crates registry. Nothing in the workspace currently
+//! serializes at runtime — the `#[derive(Serialize, Deserialize)]` attributes
+//! on the model types declare *intent* (wire formats for a future distributed
+//! deployment) — so these derives simply register the marker-trait impls via
+//! the blanket impls in the vendored `serde` crate and expand to nothing.
+
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive. The vendored `serde::Serialize` is a marker
+/// trait with a blanket impl, so no generated code is needed.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive. The vendored `serde::Deserialize` is a marker
+/// trait with a blanket impl, so no generated code is needed.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
