@@ -7,7 +7,8 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use netupd_bench::{
-    diamond_workload, fmt_ms, print_header, print_row, time_synthesis, TopologyFamily,
+    diamond_workload, fmt_min_mean_max, print_header, print_row, sample_synthesis, time_synthesis,
+    BenchReport, TopologyFamily,
 };
 use netupd_mc::Backend;
 use netupd_synth::Granularity;
@@ -16,11 +17,15 @@ use netupd_topo::scenario::PropertyKind;
 const SIZES: [usize; 3] = [20, 50, 100];
 const BACKENDS: [Backend; 3] = [Backend::Incremental, Backend::Batch, Backend::Product];
 
+/// Samples per series for the machine-readable report.
+const REPORT_SAMPLES: usize = 5;
+
 fn bench_backends(c: &mut Criterion) {
     print_header(
         "Figure 7(a-c): synthesis runtime by backend (reachability)",
-        &["family", "switches", "backend", "runtime"],
+        &["family", "switches", "backend", "[min mean max]"],
     );
+    let mut report = BenchReport::new("fig7");
     for family in TopologyFamily::ALL {
         let mut group = c.benchmark_group(format!("fig7/{}", family.name()));
         group
@@ -35,13 +40,28 @@ fn bench_backends(c: &mut Criterion) {
                 if backend == Backend::Product && size > 50 {
                     continue;
                 }
-                let single = time_synthesis(&workload.problem, backend, Granularity::Switch);
+                let samples = sample_synthesis(
+                    &workload.problem,
+                    backend,
+                    Granularity::Switch,
+                    REPORT_SAMPLES,
+                );
                 print_row(&[
                     family.name().to_string(),
                     workload.switches.to_string(),
                     backend.to_string(),
-                    fmt_ms(single.elapsed),
+                    fmt_min_mean_max(&samples),
                 ]);
+                report.record(
+                    format!("fig7/{}/{}/{}", family.name(), backend, size),
+                    &[
+                        ("family", family.name()),
+                        ("backend", &backend.to_string()),
+                        ("switches", &workload.switches.to_string()),
+                        ("rules", &workload.rules.to_string()),
+                    ],
+                    &samples,
+                );
                 group.bench_with_input(
                     BenchmarkId::new(backend.to_string(), size),
                     &workload,
@@ -53,6 +73,7 @@ fn bench_backends(c: &mut Criterion) {
         }
         group.finish();
     }
+    report.write().expect("write BENCH_fig7.json");
 }
 
 criterion_group!(benches, bench_backends);

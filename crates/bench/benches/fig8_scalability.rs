@@ -6,7 +6,8 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use netupd_bench::{
-    fmt_ms, multi_diamond_workload, print_header, print_row, time_synthesis, TopologyFamily,
+    fmt_min_mean_max, multi_diamond_workload, print_header, print_row, sample_synthesis,
+    time_synthesis, BenchReport, TopologyFamily,
 };
 use netupd_mc::Backend;
 use netupd_synth::Granularity;
@@ -19,11 +20,20 @@ const PROPERTIES: [PropertyKind; 3] = [
     PropertyKind::ServiceChain { length: 3 },
 ];
 
+/// Samples per series for the machine-readable report.
+const REPORT_SAMPLES: usize = 5;
+
 fn bench_scalability(c: &mut Criterion) {
     print_header(
         "Figure 8(g): Incremental scalability on Small-World topologies",
-        &["property", "switches", "updating switches", "runtime"],
+        &[
+            "property",
+            "switches",
+            "updating switches",
+            "[min mean max]",
+        ],
     );
+    let mut report = BenchReport::new("fig8");
     let mut group = c.benchmark_group("fig8_scalability");
     group
         .sample_size(10)
@@ -32,14 +42,31 @@ fn bench_scalability(c: &mut Criterion) {
     for property in PROPERTIES {
         for size in SIZES {
             let workload = multi_diamond_workload(TopologyFamily::SmallWorld, size, property, 4, 7);
-            let single =
-                time_synthesis(&workload.problem, Backend::Incremental, Granularity::Switch);
+            let samples = sample_synthesis(
+                &workload.problem,
+                Backend::Incremental,
+                Granularity::Switch,
+                REPORT_SAMPLES,
+            );
             print_row(&[
                 property.name().to_string(),
                 workload.switches.to_string(),
                 workload.scenario.updating_switches().to_string(),
-                fmt_ms(single.elapsed),
+                fmt_min_mean_max(&samples),
             ]);
+            report.record(
+                format!("fig8/{}/{}", property.name(), size),
+                &[
+                    ("property", property.name()),
+                    ("backend", "incremental"),
+                    ("switches", &workload.switches.to_string()),
+                    (
+                        "updating_switches",
+                        &workload.scenario.updating_switches().to_string(),
+                    ),
+                ],
+                &samples,
+            );
             group.bench_with_input(
                 BenchmarkId::new(property.name(), size),
                 &workload,
@@ -52,6 +79,7 @@ fn bench_scalability(c: &mut Criterion) {
         }
     }
     group.finish();
+    report.write().expect("write BENCH_fig8.json");
 }
 
 criterion_group!(benches, bench_scalability);

@@ -15,6 +15,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod report;
+
+pub use report::{fmt_min_mean_max, BenchRecord, BenchReport};
+
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
@@ -197,6 +201,20 @@ pub fn time_synthesis_with(
         elapsed,
         outcome: result.map(|r| r.stats),
     }
+}
+
+/// Runs the synthesizer `runs` times and returns the wall-clock samples
+/// (used by the figure-level benches to report `[min mean max]` series and
+/// feed the machine-readable [`BenchReport`]).
+pub fn sample_synthesis(
+    problem: &UpdateProblem,
+    backend: Backend,
+    granularity: Granularity,
+    runs: usize,
+) -> Vec<Duration> {
+    (0..runs.max(1))
+        .map(|_| time_synthesis(problem, backend, granularity).elapsed)
+        .collect()
 }
 
 /// Prints one row of a results table to standard error (so it is visible in

@@ -1,0 +1,196 @@
+//! Machine-readable benchmark reports.
+//!
+//! The textual tables the bench targets print are good for eyeballing a
+//! shape; tracking a perf trajectory across PRs needs numbers a script can
+//! diff. Each figure-level bench target collects its measured series into a
+//! [`BenchReport`] and writes it as `BENCH_<name>.json` at the workspace
+//! root (override the directory with `NETUPD_BENCH_JSON_DIR`).
+//!
+//! The JSON is emitted by hand: the workspace's `serde` is a vendored no-op
+//! shim (see `vendor/README.md`), and the format here is flat enough that a
+//! hand-rolled writer is clearer than carrying a real dependency.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// One measured series: an identifier, labeled parameters, and the
+/// `[min mean max]` of its wall-clock samples.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Stable identifier, e.g. `fig7/wan-zoo/incremental/20`.
+    pub id: String,
+    /// Labeled parameters (`family`, `backend`, `switches`, ...).
+    pub params: Vec<(String, String)>,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Fastest sample, in milliseconds.
+    pub min_ms: f64,
+    /// Mean over all samples, in milliseconds.
+    pub mean_ms: f64,
+    /// Slowest sample, in milliseconds.
+    pub max_ms: f64,
+}
+
+/// A collection of [`BenchRecord`]s for one figure-level bench target.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    name: String,
+    records: Vec<BenchRecord>,
+}
+
+impl BenchReport {
+    /// Creates an empty report for the bench target `name` (e.g. `fig7`).
+    pub fn new(name: impl Into<String>) -> Self {
+        BenchReport {
+            name: name.into(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Adds one measured series.
+    pub fn record(&mut self, id: impl Into<String>, params: &[(&str, &str)], samples: &[Duration]) {
+        let ms: Vec<f64> = samples.iter().map(|d| d.as_secs_f64() * 1e3).collect();
+        let (min, max) = ms.iter().fold((f64::INFINITY, 0f64), |(lo, hi), v| {
+            (lo.min(*v), hi.max(*v))
+        });
+        let mean = if ms.is_empty() {
+            0.0
+        } else {
+            ms.iter().sum::<f64>() / ms.len() as f64
+        };
+        self.records.push(BenchRecord {
+            id: id.into(),
+            params: params
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            samples: ms.len(),
+            min_ms: if ms.is_empty() { 0.0 } else { min },
+            mean_ms: mean,
+            max_ms: max,
+        });
+    }
+
+    /// The records collected so far.
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+
+    /// Serializes the report as a JSON string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"bench\": {},\n", json_string(&self.name)));
+        out.push_str("  \"unit\": \"ms\",\n");
+        out.push_str("  \"results\": [\n");
+        for (i, rec) in self.records.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!("\"id\": {}", json_string(&rec.id)));
+            for (key, value) in &rec.params {
+                out.push_str(&format!(", {}: ", json_string(key)));
+                // Numeric-looking parameters stay numbers in the JSON.
+                if value.parse::<i64>().is_ok() {
+                    out.push_str(value);
+                } else {
+                    out.push_str(&json_string(value));
+                }
+            }
+            out.push_str(&format!(
+                ", \"samples\": {}, \"min_ms\": {:.4}, \"mean_ms\": {:.4}, \"max_ms\": {:.4}}}",
+                rec.samples, rec.min_ms, rec.mean_ms, rec.max_ms
+            ));
+            out.push_str(if i + 1 == self.records.len() {
+                "\n"
+            } else {
+                ",\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the report to `BENCH_<name>.json` in the output directory:
+    /// `NETUPD_BENCH_JSON_DIR` if set, otherwise the workspace root. Returns
+    /// the path written.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let dir = std::env::var_os("NETUPD_BENCH_JSON_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| {
+                // crates/bench -> workspace root
+                Path::new(env!("CARGO_MANIFEST_DIR"))
+                    .ancestors()
+                    .nth(2)
+                    .expect("bench crate lives two levels below the workspace root")
+                    .to_path_buf()
+            });
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(self.to_json().as_bytes())?;
+        eprintln!("  wrote {}", path.display());
+        Ok(path)
+    }
+}
+
+/// Formats `[min mean max]` of a sample series, for the textual tables.
+pub fn fmt_min_mean_max(samples: &[Duration]) -> String {
+    if samples.is_empty() {
+        return "[no samples]".to_string();
+    }
+    let ms: Vec<f64> = samples.iter().map(|d| d.as_secs_f64() * 1e3).collect();
+    let min = ms.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = ms.iter().cloned().fold(0f64, f64::max);
+    let mean = ms.iter().sum::<f64>() / ms.len() as f64;
+    format!("[{min:.2} {mean:.2} {max:.2}] ms")
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_serializes_numbers_and_strings() {
+        let mut report = BenchReport::new("test");
+        report.record(
+            "fig/x/1",
+            &[("family", "wan-zoo"), ("switches", "21")],
+            &[Duration::from_millis(2), Duration::from_millis(4)],
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"test\""));
+        assert!(json.contains("\"family\": \"wan-zoo\""));
+        assert!(json.contains("\"switches\": 21"));
+        assert!(json.contains("\"samples\": 2"));
+        assert!(json.contains("\"min_ms\": 2.0000"));
+        assert!(json.contains("\"max_ms\": 4.0000"));
+        assert_eq!(report.records().len(), 1);
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+
+    #[test]
+    fn min_mean_max_formatting() {
+        let samples = [Duration::from_millis(1), Duration::from_millis(3)];
+        assert_eq!(fmt_min_mean_max(&samples), "[1.00 2.00 3.00] ms");
+        assert_eq!(fmt_min_mean_max(&[]), "[no samples]");
+    }
+}

@@ -4,7 +4,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 use netupd_kripke::{Kripke, NetworkKripke};
-use netupd_mc::{Backend, ModelChecker};
+use netupd_mc::ModelChecker;
 use netupd_model::{CommandSeq, Configuration, SwitchId};
 
 use crate::constraints::{VisitedSet, WrongSet};
@@ -158,9 +158,12 @@ impl Synthesizer {
 
         // Reject problems whose target configuration is itself incorrect:
         // every complete sequence would end in a violating configuration.
+        // The probe uses the *configured* backend (a fresh instance, so the
+        // search checker's incremental labels survive) so that SynthStats
+        // attributes all model-checking work to one backend.
         {
             let final_kripke = encoder.encode(&self.problem.final_config);
-            let mut probe = Backend::Batch.instantiate();
+            let mut probe = self.options.backend.instantiate();
             stats.model_checker_calls += 1;
             let outcome = probe.check(&final_kripke, &self.problem.spec);
             stats.states_relabeled += outcome.stats.states_labeled;
@@ -378,6 +381,7 @@ impl Search<'_> {
 mod tests {
     use super::*;
     use netupd_ltl::semantics;
+    use netupd_mc::Backend;
     use netupd_model::Network;
     use netupd_topo::generators;
     use netupd_topo::scenario::{diamond_scenario, double_diamond_scenario, PropertyKind};

@@ -1,8 +1,6 @@
 //! The network-to-Kripke encoding (Definition 9 of the paper).
 
-use std::collections::BTreeSet;
-
-use netupd_ltl::Prop;
+use netupd_ltl::{Prop, PropId};
 use netupd_model::{Configuration, Endpoint, PortId, SwitchId, Table, Topology, TrafficClass};
 
 use crate::structure::{Kripke, StateId, StateKey, StateRole};
@@ -78,11 +76,14 @@ impl NetworkKripke {
     /// Builds the Kripke structure of `config`.
     pub fn encode(&self, config: &Configuration) -> Kripke {
         let mut kripke = Kripke::new();
+        // Intern the dynamic proposition first so its id is available (and
+        // stable) before any state label is written.
+        let dropped = kripke.intern_prop(Prop::Dropped);
         self.add_states(&mut kripke);
         for state in kripke.states().collect::<Vec<_>>() {
             let key = kripke.key(state);
             let table = config.table(key.switch);
-            self.encode_state(&mut kripke, state, &table);
+            self.encode_state(&mut kripke, state, &table, dropped);
         }
         kripke
     }
@@ -100,10 +101,10 @@ impl NetworkKripke {
         switch: SwitchId,
         new_table: &Table,
     ) -> Vec<StateId> {
+        let dropped = kripke.intern_prop(Prop::Dropped);
         let mut changed = Vec::new();
         for state in kripke.states_of_switch(switch) {
-            let before_label = kripke.label(state).clone();
-            if self.encode_state(kripke, state, new_table) || *kripke.label(state) != before_label {
+            if self.encode_state(kripke, state, new_table, dropped) {
                 changed.push(state);
             }
         }
@@ -123,7 +124,7 @@ impl NetworkKripke {
                         let admitted = self
                             .ingress_hosts
                             .as_ref()
-                            .map_or(true, |hosts| hosts.contains(&h));
+                            .is_none_or(|hosts| hosts.contains(&h));
                         if admitted {
                             kripke.mark_initial(id);
                         }
@@ -134,27 +135,37 @@ impl NetworkKripke {
             for (_, link) in self.topology.egress_links() {
                 if let (Endpoint::SwitchPort(sw, pt), Endpoint::Host(h)) = (link.src, link.dst) {
                     let key = StateKey::egress(sw, pt, class_idx);
-                    let mut label = self.base_label(sw, pt, class);
-                    label.insert(Prop::AtHost(h));
+                    let label = self
+                        .base_label(sw, pt, class)
+                        .chain(std::iter::once(Prop::AtHost(h)));
                     kripke.add_state(key, label);
                 }
             }
         }
     }
 
-    fn base_label(&self, sw: SwitchId, pt: PortId, class: &TrafficClass) -> BTreeSet<Prop> {
-        let mut label = BTreeSet::new();
-        label.insert(Prop::Switch(sw));
-        label.insert(Prop::Port(pt));
-        for (field, value) in class.iter() {
-            label.insert(Prop::FieldIs(field, value));
-        }
-        label
+    fn base_label<'a>(
+        &'a self,
+        sw: SwitchId,
+        pt: PortId,
+        class: &'a TrafficClass,
+    ) -> impl Iterator<Item = Prop> + 'a {
+        [Prop::Switch(sw), Prop::Port(pt)].into_iter().chain(
+            class
+                .iter()
+                .map(|(field, value)| Prop::FieldIs(field, value)),
+        )
     }
 
     /// Recomputes the outgoing transitions (and drop labeling) of one state.
-    /// Returns `true` if the transitions changed.
-    fn encode_state(&self, kripke: &mut Kripke, state: StateId, table: &Table) -> bool {
+    /// Returns `true` if the transitions or the label changed.
+    fn encode_state(
+        &self,
+        kripke: &mut Kripke,
+        state: StateId,
+        table: &Table,
+        dropped: PropId,
+    ) -> bool {
         let key = kripke.key(state);
         let class = &self.classes[key.class];
 
@@ -168,7 +179,7 @@ impl NetworkKripke {
         let outputs = table.process(&packet, key.port);
 
         let mut successors = Vec::new();
-        let mut dropped = outputs.is_empty();
+        let mut is_dropped = outputs.is_empty();
         for (_, out_port) in &outputs {
             match self.topology.link_from_port(key.switch, *out_port) {
                 None => {}
@@ -192,20 +203,14 @@ impl NetworkKripke {
             // Every output dangled, or there were none: the packet is stuck
             // here. Definition 9 gives such states a self-loop; we also label
             // them as dropped so drop-freedom properties can see it.
-            dropped = true;
+            is_dropped = true;
             successors.push(state);
         }
 
-        let mut label = kripke.label(state).clone();
-        let label_changed = if dropped {
-            label.insert(Prop::Dropped)
-        } else {
-            label.remove(&Prop::Dropped)
-        };
-        if label_changed {
-            kripke.set_label(state, label);
-        }
-        kripke.set_successors(state, successors)
+        // Only the Dropped proposition is dynamic; toggling one interned bit
+        // replaces the old clone-modify-store of the whole label set.
+        let label_changed = kripke.set_label_bit(state, dropped, is_dropped);
+        kripke.set_successors(state, successors) || label_changed
     }
 }
 
@@ -271,8 +276,7 @@ mod tests {
                 continue;
             }
             if kripke
-                .label(state)
-                .iter()
+                .label_props(state)
                 .any(|p| matches!(p, Prop::AtHost(_)))
             {
                 reaches_host = true;
@@ -292,11 +296,12 @@ mod tests {
         let kripke = encoder.encode(&Configuration::new());
         // Every non-egress state must be labeled Dropped and self-loop.
         for state in kripke.states() {
-            let label = kripke.label(state);
-            let is_egress = label.iter().any(|p| matches!(p, Prop::AtHost(_)));
+            let is_egress = kripke
+                .label_props(state)
+                .any(|p| matches!(p, Prop::AtHost(_)));
             if !is_egress {
                 assert!(
-                    label.contains(&Prop::Dropped),
+                    kripke.has_prop(state, &Prop::Dropped),
                     "state {} not dropped",
                     kripke.key(state)
                 );
@@ -334,11 +339,9 @@ mod tests {
         for state in incremental.states() {
             let key = incremental.key(state);
             let other = fresh.state_by_key(&key).expect("same state space");
-            assert_eq!(
-                incremental.label(state),
-                fresh.label(other),
-                "label of {key}"
-            );
+            let a: std::collections::BTreeSet<Prop> = incremental.label_props(state).collect();
+            let b: std::collections::BTreeSet<Prop> = fresh.label_props(other).collect();
+            assert_eq!(a, b, "label of {key}");
             let mut a: Vec<_> = incremental
                 .successors(state)
                 .iter()

@@ -18,7 +18,14 @@
 //! * [`NetworkKripke`] — the encoder that builds a [`Kripke`] from a
 //!   topology, a configuration, and a set of traffic classes, and that can
 //!   incrementally re-encode a single switch after an update, reporting the
-//!   set of changed states.
+//!   set of changed states;
+//! * [`StateSet`] — a dense bitmap over state ids, the representation the
+//!   incremental checkers use for region and dirty tracking.
+//!
+//! Labels are interned: each [`Kripke`] owns a
+//! [`PropTable`](netupd_ltl::PropTable) and stores labels in a flat bitset
+//! arena, handing out [`PropSetRef`](netupd_ltl::PropSetRef) views (see
+//! `DESIGN.md` §"Interned core representation").
 //!
 //! # Example
 //!
@@ -50,7 +57,9 @@
 #![warn(rust_2018_idioms)]
 
 pub mod builder;
+pub mod stateset;
 pub mod structure;
 
 pub use builder::NetworkKripke;
+pub use stateset::StateSet;
 pub use structure::{Kripke, StateId, StateKey, StateRole};

@@ -1,10 +1,21 @@
 //! The Kripke structure representation.
+//!
+//! Labels are stored in an *interned, dense* form: the structure owns a
+//! [`PropTable`] that maps every proposition appearing in it to a
+//! [`PropId`], and all state labels live in one flat `Vec<u64>` arena with a
+//! fixed per-state stride. [`Kripke::label`] hands out a borrowed
+//! [`PropSetRef`] view — no allocation, membership is a bit probe — which is
+//! what the model checkers consume on their hot paths. The state index is
+//! keyed by a packed 128-bit encoding of [`StateKey`] instead of hashing the
+//! four-field struct.
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::fmt;
 
-use netupd_ltl::Prop;
+use netupd_ltl::{Prop, PropId, PropSet, PropSetRef, PropTable};
 use netupd_model::{PortId, SwitchId};
+
+use crate::stateset::StateSet;
 
 /// Index of a state within a [`Kripke`] structure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -61,6 +72,21 @@ impl StateKey {
             role: StateRole::Egress,
         }
     }
+
+    /// A compact, collision-free 128-bit encoding of the key, used as the
+    /// state-index key so lookups hash a single integer instead of a
+    /// four-field struct.
+    #[inline]
+    pub fn packed(&self) -> u128 {
+        debug_assert!(self.class < (1 << 62), "traffic class index too large");
+        (self.switch.0 as u128)
+            | ((self.port.0 as u128) << 32)
+            | ((self.class as u128) << 64)
+            | (match self.role {
+                StateRole::Arrival => 0u128,
+                StateRole::Egress => 1u128,
+            } << 127)
+    }
 }
 
 impl fmt::Display for StateKey {
@@ -83,14 +109,39 @@ impl fmt::Display for StateKey {
 /// state has a successor) and *DAG-like* (the only cycles are self-loops on
 /// sink states); [`Kripke::is_complete`] and [`Kripke::is_dag_like`] verify
 /// those invariants.
-#[derive(Debug, Clone, Default)]
+///
+/// Labels are interned: the structure owns the [`PropTable`] for its
+/// propositions and stores all labels in a dense arena (see
+/// [`Kripke::label`]). Prop ids are stable for the lifetime of the
+/// structure, so callers may cache them across queries.
+#[derive(Debug, Clone)]
 pub struct Kripke {
+    props: PropTable,
     keys: Vec<StateKey>,
-    index: HashMap<StateKey, StateId>,
-    labels: Vec<BTreeSet<Prop>>,
+    index: HashMap<u128, StateId>,
+    /// Arena stride: number of `u64` words each state's label row occupies.
+    /// Grows (rarely — at 64-proposition boundaries) via `ensure_stride`.
+    label_words: usize,
+    /// Dense label arena: `keys.len() * label_words` words.
+    labels: Vec<u64>,
     successors: Vec<Vec<StateId>>,
     predecessors: Vec<Vec<StateId>>,
     initial: BTreeSet<StateId>,
+}
+
+impl Default for Kripke {
+    fn default() -> Self {
+        Kripke {
+            props: PropTable::new(),
+            keys: Vec::new(),
+            index: HashMap::new(),
+            label_words: 1,
+            labels: Vec::new(),
+            successors: Vec::new(),
+            predecessors: Vec::new(),
+            initial: BTreeSet::new(),
+        }
+    }
 }
 
 impl Kripke {
@@ -99,18 +150,52 @@ impl Kripke {
         Kripke::default()
     }
 
-    /// Adds a state with the given key and label, returning its id.
+    /// The proposition table of this structure.
+    pub fn props(&self) -> &PropTable {
+        &self.props
+    }
+
+    /// Interns a proposition into this structure's table, widening the label
+    /// arena if the proposition universe outgrew the current stride.
+    pub fn intern_prop(&mut self, prop: Prop) -> PropId {
+        let id = self.props.intern(prop);
+        self.ensure_stride();
+        id
+    }
+
+    /// Widens every arena row when the table needs more words per label.
+    fn ensure_stride(&mut self) {
+        let needed = self.props.words();
+        if needed <= self.label_words {
+            return;
+        }
+        let old = self.label_words;
+        let mut widened = vec![0u64; self.keys.len() * needed];
+        for state in 0..self.keys.len() {
+            widened[state * needed..state * needed + old]
+                .copy_from_slice(&self.labels[state * old..(state + 1) * old]);
+        }
+        self.labels = widened;
+        self.label_words = needed;
+    }
+
+    /// Adds a state with the given key and label propositions (interned into
+    /// this structure's table), returning its id.
     ///
     /// Adding a key that already exists returns the existing id and leaves the
     /// label untouched.
-    pub fn add_state(&mut self, key: StateKey, label: BTreeSet<Prop>) -> StateId {
-        if let Some(&id) = self.index.get(&key) {
+    pub fn add_state<I: IntoIterator<Item = Prop>>(&mut self, key: StateKey, label: I) -> StateId {
+        if let Some(&id) = self.index.get(&key.packed()) {
             return id;
         }
+        let set = self.props.set_of(label);
+        self.ensure_stride();
         let id = StateId(self.keys.len());
         self.keys.push(key);
-        self.index.insert(key, id);
-        self.labels.push(label);
+        self.index.insert(key.packed(), id);
+        let row_start = self.labels.len();
+        self.labels.resize(row_start + self.label_words, 0);
+        self.labels[row_start..row_start + set.words().len()].copy_from_slice(set.words());
         self.successors.push(Vec::new());
         self.predecessors.push(Vec::new());
         id
@@ -171,17 +256,59 @@ impl Kripke {
 
     /// The id of the state with the given key, if it exists.
     pub fn state_by_key(&self, key: &StateKey) -> Option<StateId> {
-        self.index.get(key).copied()
+        self.index.get(&key.packed()).copied()
     }
 
-    /// The label of a state.
-    pub fn label(&self, state: StateId) -> &BTreeSet<Prop> {
-        &self.labels[state.0]
+    /// The label of a state, as a borrowed view into the dense label arena.
+    #[inline]
+    pub fn label(&self, state: StateId) -> PropSetRef<'_> {
+        let start = state.0 * self.label_words;
+        PropSetRef::new(&self.labels[start..start + self.label_words])
+    }
+
+    /// The label of a state resolved back to propositions (diagnostics and
+    /// tests; the checking hot path stays on [`Kripke::label`]).
+    pub fn label_props(&self, state: StateId) -> impl Iterator<Item = Prop> + '_ {
+        self.label(state).props(&self.props)
+    }
+
+    /// Returns `true` if the state's label contains `prop`.
+    pub fn has_prop(&self, state: StateId, prop: &Prop) -> bool {
+        self.props
+            .lookup(prop)
+            .is_some_and(|id| self.label(state).contains(id))
     }
 
     /// Replaces the label of a state.
-    pub fn set_label(&mut self, state: StateId, label: BTreeSet<Prop>) {
-        self.labels[state.0] = label;
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` contains ids not interned in this structure's table.
+    pub fn set_label(&mut self, state: StateId, label: &PropSet) {
+        assert!(
+            label.iter().all(|id| id.index() < self.props.len()),
+            "label contains ids beyond this structure's proposition table"
+        );
+        self.ensure_stride();
+        let start = state.0 * self.label_words;
+        let row = &mut self.labels[start..start + self.label_words];
+        row.fill(0);
+        row[..label.words().len()].copy_from_slice(label.words());
+    }
+
+    /// Sets or clears one proposition in a state's label; returns `true` if
+    /// the label changed. The id must come from this structure's table.
+    pub fn set_label_bit(&mut self, state: StateId, id: PropId, value: bool) -> bool {
+        debug_assert!(id.index() < self.props.len(), "foreign prop id");
+        let word = state.0 * self.label_words + id.index() / 64;
+        let mask = 1u64 << (id.index() % 64);
+        let was_set = self.labels[word] & mask != 0;
+        if value {
+            self.labels[word] |= mask;
+        } else {
+            self.labels[word] &= !mask;
+        }
+        was_set != value
     }
 
     /// The successors of a state.
@@ -197,6 +324,11 @@ impl Kripke {
     /// The initial states.
     pub fn initial_states(&self) -> impl Iterator<Item = StateId> + '_ {
         self.initial.iter().copied()
+    }
+
+    /// Returns `true` if `state` is initial.
+    pub fn is_initial(&self, state: StateId) -> bool {
+        self.initial.contains(&state)
     }
 
     /// Iterates over all state ids.
@@ -257,9 +389,14 @@ impl Kripke {
 
     /// The ancestors of the states in `seeds` (including the seeds
     /// themselves): every state from which some seed is reachable.
-    pub fn ancestors(&self, seeds: &[StateId]) -> BTreeSet<StateId> {
-        let mut visited: BTreeSet<StateId> = seeds.iter().copied().collect();
-        let mut queue: VecDeque<StateId> = seeds.iter().copied().collect();
+    pub fn ancestors(&self, seeds: &[StateId]) -> StateSet {
+        let mut visited = StateSet::with_capacity(self.len());
+        let mut queue: VecDeque<StateId> = VecDeque::with_capacity(seeds.len());
+        for seed in seeds {
+            if visited.insert(*seed) {
+                queue.push_back(*seed);
+            }
+        }
         while let Some(state) = queue.pop_front() {
             for pred in &self.predecessors[state.0] {
                 if visited.insert(*pred) {
@@ -303,8 +440,8 @@ mod tests {
         StateKey::arrival(SwitchId(sw), PortId(pt), 0)
     }
 
-    fn label(sw: u32) -> BTreeSet<Prop> {
-        [Prop::switch(sw)].into_iter().collect()
+    fn label(sw: u32) -> [Prop; 1] {
+        [Prop::switch(sw)]
     }
 
     /// A diamond: 0 -> {1, 2} -> 3(sink with self-loop).
@@ -338,7 +475,75 @@ mod tests {
         let b = k.add_state(key(0, 1), label(9));
         assert_eq!(a, b);
         assert_eq!(k.len(), 1);
-        assert_eq!(k.label(a), &label(0));
+        let props: Vec<Prop> = k.label_props(a).collect();
+        assert_eq!(props, vec![Prop::switch(0)]);
+    }
+
+    #[test]
+    fn labels_are_interned_bit_probes() {
+        let (k, [a, b, ..]) = diamond();
+        assert!(k.has_prop(a, &Prop::switch(0)));
+        assert!(!k.has_prop(a, &Prop::switch(1)));
+        assert!(k.has_prop(b, &Prop::switch(1)));
+        // A never-interned proposition is simply absent.
+        assert!(!k.has_prop(a, &Prop::Dropped));
+        let id0 = k.props().lookup(&Prop::switch(0)).unwrap();
+        assert!(k.label(a).contains(id0));
+        assert!(!k.label(b).contains(id0));
+    }
+
+    #[test]
+    fn set_label_bit_reports_changes() {
+        let (mut k, [a, ..]) = diamond();
+        let dropped = k.intern_prop(Prop::Dropped);
+        assert!(k.set_label_bit(a, dropped, true));
+        assert!(!k.set_label_bit(a, dropped, true));
+        assert!(k.has_prop(a, &Prop::Dropped));
+        assert!(k.set_label_bit(a, dropped, false));
+        assert!(!k.has_prop(a, &Prop::Dropped));
+    }
+
+    #[test]
+    fn arena_restrides_past_64_props() {
+        let mut k = Kripke::new();
+        let a = k.add_state(key(0, 1), label(0));
+        // Intern propositions past the one-word boundary; the arena widens
+        // and existing labels survive.
+        for n in 0..70 {
+            k.intern_prop(Prop::port(n));
+        }
+        assert!(k.has_prop(a, &Prop::switch(0)));
+        let high = k.intern_prop(Prop::at_host(99));
+        assert!(high.index() >= 64);
+        assert!(k.set_label_bit(a, high, true));
+        assert!(k.has_prop(a, &Prop::at_host(99)));
+        assert!(k.has_prop(a, &Prop::switch(0)));
+    }
+
+    #[test]
+    fn set_label_replaces_whole_row() {
+        let (mut k, [a, ..]) = diamond();
+        let mut new_label = PropSet::new();
+        new_label.insert(k.intern_prop(Prop::Dropped));
+        k.set_label(a, &new_label);
+        assert!(k.has_prop(a, &Prop::Dropped));
+        assert!(!k.has_prop(a, &Prop::switch(0)));
+        assert_eq!(k.label(a), new_label.as_ref());
+    }
+
+    #[test]
+    fn packed_keys_are_injective_on_roles_and_classes() {
+        let arrival = StateKey::arrival(SwitchId(1), PortId(2), 3);
+        let egress = StateKey::egress(SwitchId(1), PortId(2), 3);
+        let other_class = StateKey::arrival(SwitchId(1), PortId(2), 4);
+        assert_ne!(arrival.packed(), egress.packed());
+        assert_ne!(arrival.packed(), other_class.packed());
+        let mut k = Kripke::new();
+        let a = k.add_state(arrival, []);
+        let e = k.add_state(egress, []);
+        assert_ne!(a, e);
+        assert_eq!(k.state_by_key(&arrival), Some(a));
+        assert_eq!(k.state_by_key(&egress), Some(e));
     }
 
     #[test]
@@ -389,10 +594,10 @@ mod tests {
     fn ancestors_computation() {
         let (k, [a, b, c, d]) = diamond();
         let anc = k.ancestors(&[d]);
-        assert_eq!(anc.len(), 4);
+        assert_eq!(anc.count(), 4);
         let anc_b = k.ancestors(&[b]);
-        assert!(anc_b.contains(&a) && anc_b.contains(&b));
-        assert!(!anc_b.contains(&c) && !anc_b.contains(&d));
+        assert!(anc_b.contains(a) && anc_b.contains(b));
+        assert!(!anc_b.contains(c) && !anc_b.contains(d));
     }
 
     #[test]

@@ -27,6 +27,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use crate::ast::Ltl;
+use crate::intern::{PropId, PropSetRef, PropTable};
 use crate::prop::Prop;
 
 /// Index of a subformula within a [`Closure`].
@@ -40,6 +41,10 @@ pub struct Closure {
     /// Subformulas in bottom-up order; the root is last.
     formulas: Vec<Ltl>,
     index: HashMap<Ltl, FormulaId>,
+    /// Per formula: the ids of its (up to two) children, resolved once at
+    /// construction. The evaluation hot paths index this table instead of
+    /// hashing whole subformula trees through `index` on every visit.
+    children: Vec<[FormulaId; 2]>,
 }
 
 impl Closure {
@@ -49,6 +54,7 @@ impl Closure {
             root: root.clone(),
             formulas: Vec::new(),
             index: HashMap::new(),
+            children: Vec::new(),
         };
         closure.add(root);
         closure
@@ -62,10 +68,28 @@ impl Closure {
         for child in phi.children() {
             self.add(child);
         }
+        let kids = match phi {
+            Ltl::And(a, b) | Ltl::Or(a, b) | Ltl::Until(a, b) | Ltl::Release(a, b) => {
+                [self.index[a.as_ref()], self.index[b.as_ref()]]
+            }
+            Ltl::Next(a) => {
+                let a = self.index[a.as_ref()];
+                [a, a]
+            }
+            _ => [0, 0],
+        };
         let id = self.formulas.len();
         self.formulas.push(phi.clone());
         self.index.insert(phi.clone(), id);
+        self.children.push(kids);
         id
+    }
+
+    /// The resolved ids of a subformula's children: `[lhs, rhs]` for binary
+    /// nodes, `[child, child]` for `Next`, meaningless (zero) for leaves.
+    #[inline]
+    pub fn child_ids(&self, id: FormulaId) -> [FormulaId; 2] {
+        self.children[id]
     }
 
     /// The specification this closure was built from.
@@ -112,29 +136,59 @@ impl Closure {
         Assignment::new(self.len())
     }
 
+    /// Resolves the `Prop` / `NotProp` subformulas of this closure against an
+    /// interning table, so the interned assignment functions can test label
+    /// membership with a single bit probe instead of a set lookup.
+    ///
+    /// A proposition absent from the table never occurs in any label built
+    /// over it, so it resolves to "never holds".
+    pub fn resolve_props(&self, table: &PropTable) -> ResolvedProps {
+        ResolvedProps {
+            ids: self
+                .formulas
+                .iter()
+                .map(|phi| match phi {
+                    Ltl::Prop(p) | Ltl::NotProp(p) => table.lookup(p),
+                    _ => None,
+                })
+                .collect(),
+        }
+    }
+
     /// The unique assignment satisfied by the stuttering trace `q^ω` out of a
     /// sink state labeled `label` (the `Holds0` / `HoldsSink` functions).
     pub fn sink_assignment(&self, label: &BTreeSet<Prop>) -> Assignment {
+        self.sink_assignment_with(|_, p| label.contains(p))
+    }
+
+    /// [`sink_assignment`](Closure::sink_assignment) over an interned label.
+    pub fn sink_assignment_interned(
+        &self,
+        label: PropSetRef<'_>,
+        resolved: &ResolvedProps,
+    ) -> Assignment {
+        debug_assert_eq!(resolved.ids.len(), self.len());
+        self.sink_assignment_with(|id, _| resolved.prop_in_label(id, label))
+    }
+
+    fn sink_assignment_with(&self, holds: impl Fn(FormulaId, &Prop) -> bool) -> Assignment {
         let mut assignment = self.empty_assignment();
         for (id, phi) in self.iter() {
+            let [a, b] = self.children[id];
             let value = match phi {
                 Ltl::True => true,
                 Ltl::False => false,
-                Ltl::Prop(p) => label.contains(p),
-                Ltl::NotProp(p) => !label.contains(p),
-                Ltl::And(a, b) => {
-                    assignment.get(self.index[a.as_ref()]) && assignment.get(self.index[b.as_ref()])
-                }
-                Ltl::Or(a, b) => {
-                    assignment.get(self.index[a.as_ref()]) || assignment.get(self.index[b.as_ref()])
-                }
+                Ltl::Prop(p) => holds(id, p),
+                Ltl::NotProp(p) => !holds(id, p),
+                Ltl::And(..) => assignment.get(a) && assignment.get(b),
+                Ltl::Or(..) => assignment.get(a) || assignment.get(b),
                 // The only transition is the self-loop, so "next" is "now".
-                Ltl::Next(a) => assignment.get(self.index[a.as_ref()]),
+                Ltl::Next(_) => assignment.get(a),
                 // On the constant trace, U reduces to its right argument...
-                Ltl::Until(_, b) => assignment.get(self.index[b.as_ref()]),
+                Ltl::Until(..) => assignment.get(b),
                 // ...and R likewise reduces to its right argument (standard
                 // semantics; see the module documentation).
-                Ltl::Release(_, b) => assignment.get(self.index[b.as_ref()]),
+                Ltl::Release(..) => assignment.get(b),
             };
             assignment.set(id, value);
         }
@@ -149,31 +203,40 @@ impl Closure {
         label: &BTreeSet<Prop>,
         successor: &Assignment,
     ) -> Assignment {
+        self.successor_assignment_with(|_, p| label.contains(p), successor)
+    }
+
+    /// [`successor_assignment`](Closure::successor_assignment) over an
+    /// interned label.
+    pub fn successor_assignment_interned(
+        &self,
+        label: PropSetRef<'_>,
+        successor: &Assignment,
+        resolved: &ResolvedProps,
+    ) -> Assignment {
+        debug_assert_eq!(resolved.ids.len(), self.len());
+        self.successor_assignment_with(|id, _| resolved.prop_in_label(id, label), successor)
+    }
+
+    fn successor_assignment_with(
+        &self,
+        holds: impl Fn(FormulaId, &Prop) -> bool,
+        successor: &Assignment,
+    ) -> Assignment {
         debug_assert_eq!(successor.capacity(), self.len());
         let mut assignment = self.empty_assignment();
         for (id, phi) in self.iter() {
+            let [a, b] = self.children[id];
             let value = match phi {
                 Ltl::True => true,
                 Ltl::False => false,
-                Ltl::Prop(p) => label.contains(p),
-                Ltl::NotProp(p) => !label.contains(p),
-                Ltl::And(a, b) => {
-                    assignment.get(self.index[a.as_ref()]) && assignment.get(self.index[b.as_ref()])
-                }
-                Ltl::Or(a, b) => {
-                    assignment.get(self.index[a.as_ref()]) || assignment.get(self.index[b.as_ref()])
-                }
-                Ltl::Next(a) => successor.get(self.index[a.as_ref()]),
-                Ltl::Until(a, b) => {
-                    let now_b = assignment.get(self.index[b.as_ref()]);
-                    let now_a = assignment.get(self.index[a.as_ref()]);
-                    now_b || (now_a && successor.get(id))
-                }
-                Ltl::Release(a, b) => {
-                    let now_b = assignment.get(self.index[b.as_ref()]);
-                    let now_a = assignment.get(self.index[a.as_ref()]);
-                    now_b && (now_a || successor.get(id))
-                }
+                Ltl::Prop(p) => holds(id, p),
+                Ltl::NotProp(p) => !holds(id, p),
+                Ltl::And(..) => assignment.get(a) && assignment.get(b),
+                Ltl::Or(..) => assignment.get(a) || assignment.get(b),
+                Ltl::Next(_) => successor.get(a),
+                Ltl::Until(..) => assignment.get(b) || (assignment.get(a) && successor.get(id)),
+                Ltl::Release(..) => assignment.get(b) && (assignment.get(a) || successor.get(id)),
             };
             assignment.set(id, value);
         }
@@ -187,35 +250,35 @@ impl Closure {
     /// construction; the explicit check is exposed for testing and for the
     /// automaton-based backend.
     pub fn follows(&self, m1: &Assignment, m2: &Assignment) -> bool {
-        self.iter().all(|(id, phi)| match phi {
-            Ltl::Next(a) => m1.get(id) == m2.get(self.index[a.as_ref()]),
-            Ltl::Until(a, b) => {
-                let expected = m1.get(self.index[b.as_ref()])
-                    || (m1.get(self.index[a.as_ref()]) && m2.get(id));
-                m1.get(id) == expected
+        self.iter().all(|(id, phi)| {
+            let [a, b] = self.children[id];
+            match phi {
+                Ltl::Next(_) => m1.get(id) == m2.get(a),
+                Ltl::Until(..) => {
+                    let expected = m1.get(b) || (m1.get(a) && m2.get(id));
+                    m1.get(id) == expected
+                }
+                Ltl::Release(..) => {
+                    let expected = m1.get(b) && (m1.get(a) || m2.get(id));
+                    m1.get(id) == expected
+                }
+                _ => true,
             }
-            Ltl::Release(a, b) => {
-                let expected = m1.get(self.index[b.as_ref()])
-                    && (m1.get(self.index[a.as_ref()]) || m2.get(id));
-                m1.get(id) == expected
-            }
-            _ => true,
         })
     }
 
     /// Returns `true` if the assignment makes the boolean structure of every
     /// subformula consistent with its children (maximal consistency).
     pub fn is_locally_consistent(&self, m: &Assignment) -> bool {
-        self.iter().all(|(id, phi)| match phi {
-            Ltl::True => m.get(id),
-            Ltl::False => !m.get(id),
-            Ltl::And(a, b) => {
-                m.get(id) == (m.get(self.index[a.as_ref()]) && m.get(self.index[b.as_ref()]))
+        self.iter().all(|(id, phi)| {
+            let [a, b] = self.children[id];
+            match phi {
+                Ltl::True => m.get(id),
+                Ltl::False => !m.get(id),
+                Ltl::And(..) => m.get(id) == (m.get(a) && m.get(b)),
+                Ltl::Or(..) => m.get(id) == (m.get(a) || m.get(b)),
+                _ => true,
             }
-            Ltl::Or(a, b) => {
-                m.get(id) == (m.get(self.index[a.as_ref()]) || m.get(self.index[b.as_ref()]))
-            }
-            _ => true,
         })
     }
 
@@ -230,6 +293,20 @@ impl Closure {
         self.iter().all(|(id, phi)| match phi {
             Ltl::Prop(p) => m.get(id) == label.contains(p),
             Ltl::NotProp(p) => m.get(id) != label.contains(p),
+            _ => true,
+        })
+    }
+
+    /// [`label_consistent`](Closure::label_consistent) over an interned label.
+    pub fn label_consistent_interned(
+        &self,
+        m: &Assignment,
+        label: PropSetRef<'_>,
+        resolved: &ResolvedProps,
+    ) -> bool {
+        self.iter().all(|(id, phi)| match phi {
+            Ltl::Prop(_) => m.get(id) == resolved.prop_in_label(id, label),
+            Ltl::NotProp(_) => m.get(id) != resolved.prop_in_label(id, label),
             _ => true,
         })
     }
@@ -253,6 +330,30 @@ impl Closure {
             Ltl::Until(_, b) => self.index[b.as_ref()],
             other => panic!("formula {other} is not an until"),
         }
+    }
+}
+
+/// The `Prop` / `NotProp` subformulas of a [`Closure`] resolved to interned
+/// [`PropId`]s against a particular [`PropTable`].
+///
+/// Built once per (closure, table) pair via [`Closure::resolve_props`]; the
+/// interned assignment functions then test label membership with one bit
+/// probe per atomic subformula. Prop ids are stable per table, so a
+/// resolution stays valid as long as the closure and table are both alive —
+/// even while the table keeps interning new propositions.
+#[derive(Debug, Clone)]
+pub struct ResolvedProps {
+    /// Per formula id: the interned proposition for `Prop`/`NotProp` nodes
+    /// (`None` for non-atomic nodes and for propositions absent from the
+    /// table, which can never appear in a label).
+    ids: Vec<Option<PropId>>,
+}
+
+impl ResolvedProps {
+    /// Whether the proposition of atomic subformula `id` holds in `label`.
+    #[inline]
+    pub fn prop_in_label(&self, id: FormulaId, label: PropSetRef<'_>) -> bool {
+        self.ids[id].is_some_and(|pid| label.contains(pid))
     }
 }
 
@@ -444,6 +545,40 @@ mod tests {
     fn assignment_out_of_range_panics() {
         let m = Assignment::new(4);
         let _ = m.get(4);
+    }
+
+    #[test]
+    fn interned_assignments_match_set_assignments() {
+        use crate::intern::PropTable;
+        let phi = Ltl::until(
+            Ltl::not_prop(sw(3)),
+            Ltl::and(Ltl::prop(sw(2)), Ltl::eventually(Ltl::prop(sw(4)))),
+        );
+        let closure = Closure::new(&phi);
+        let mut table = PropTable::new();
+        // Note: sw(3) is deliberately left out of the table; it then never
+        // appears in an interned label, matching the set-based path.
+        let labels = [vec![sw(4)], vec![sw(2)], vec![sw(1), sw(2)], vec![]];
+        let interned: Vec<_> = labels
+            .iter()
+            .map(|l| table.set_of(l.iter().copied()))
+            .collect();
+        let resolved = closure.resolve_props(&table);
+        let sets: Vec<BTreeSet<Prop>> =
+            labels.iter().map(|l| l.iter().copied().collect()).collect();
+
+        let sink_set = closure.sink_assignment(&sets[0]);
+        let sink_int = closure.sink_assignment_interned(interned[0].as_ref(), &resolved);
+        assert_eq!(sink_set, sink_int);
+        let mut prev_set = sink_set;
+        let mut prev_int = sink_int;
+        for (set, int) in sets.iter().zip(&interned).skip(1) {
+            prev_set = closure.successor_assignment(set, &prev_set);
+            prev_int = closure.successor_assignment_interned(int.as_ref(), &prev_int, &resolved);
+            assert_eq!(prev_set, prev_int);
+            assert!(closure.label_consistent(&prev_set, set));
+            assert!(closure.label_consistent_interned(&prev_int, int.as_ref(), &resolved));
+        }
     }
 
     #[test]

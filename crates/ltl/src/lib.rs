@@ -13,6 +13,9 @@
 //! * the *extended closure* `ecl(ϕ)` and the machinery the incremental model
 //!   checker needs: subformula indexing ([`Closure`]), truth assignments over
 //!   subformulas ([`closure::Assignment`]), and the `follows` relation;
+//! * the interned proposition core ([`intern`]): [`PropTable`] maps
+//!   propositions to dense [`PropId`]s and [`PropSet`] is the bitset label
+//!   representation every checking hot path operates on;
 //! * finite-trace semantics with final-state stuttering ([`semantics`]);
 //! * builders for the properties evaluated in the paper (reachability,
 //!   waypointing, service chaining) and several others ([`builders`]);
@@ -39,10 +42,12 @@
 pub mod ast;
 pub mod builders;
 pub mod closure;
+pub mod intern;
 pub mod parser;
 pub mod prop;
 pub mod semantics;
 
 pub use ast::Ltl;
-pub use closure::{Assignment, Closure};
+pub use closure::{Assignment, Closure, ResolvedProps};
+pub use intern::{PropId, PropSet, PropSetRef, PropTable};
 pub use prop::Prop;

@@ -77,7 +77,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut props = vec![Prop::Dropped, Prop::switch(1), Prop::port(0)];
+        let mut props = [Prop::Dropped, Prop::switch(1), Prop::port(0)];
         props.sort();
         assert_eq!(props.len(), 3);
     }

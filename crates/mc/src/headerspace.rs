@@ -17,11 +17,10 @@
 //!   synthesizer of counterexample-based pruning when this backend is chosen
 //!   (exactly the handicap discussed in the paper's evaluation).
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 
-use netupd_kripke::{Kripke, StateId};
-use netupd_ltl::semantics::satisfies_labels;
-use netupd_ltl::{Ltl, Prop};
+use netupd_kripke::{Kripke, StateId, StateSet};
+use netupd_ltl::{Closure, Ltl};
 
 use crate::checker::{CheckOutcome, CheckStats, ModelChecker};
 
@@ -52,10 +51,24 @@ impl HeaderSpaceChecker {
 
     fn evaluate(&self, kripke: &Kripke, phi: &Ltl, stats: CheckStats) -> CheckOutcome {
         let cache = self.cache.as_ref().expect("cache present");
+        // Finite-trace semantics with final-state stuttering, evaluated
+        // backward over each cached path directly against the interned state
+        // labels — no label materialization per path.
+        let closure = Closure::new(phi);
+        let resolved = closure.resolve_props(kripke.props());
         let holds = cache.paths.values().flatten().all(|path| {
-            let labels: Vec<BTreeSet<Prop>> =
-                path.iter().map(|s| kripke.label(*s).clone()).collect();
-            satisfies_labels(&labels, phi)
+            let Some((last, prefix)) = path.split_last() else {
+                return true;
+            };
+            let mut assignment = closure.sink_assignment_interned(kripke.label(*last), &resolved);
+            for state in prefix.iter().rev() {
+                assignment = closure.successor_assignment_interned(
+                    kripke.label(*state),
+                    &assignment,
+                    &resolved,
+                );
+            }
+            closure.satisfies_root(&assignment)
         });
         if holds {
             CheckOutcome::success(stats)
@@ -123,23 +136,19 @@ impl ModelChecker for HeaderSpaceChecker {
         if cache.states != kripke.len() {
             return self.check(kripke, phi);
         }
-        let changed_set: BTreeSet<StateId> = changed.iter().copied().collect();
+        let changed_set: StateSet = changed.iter().copied().collect();
         // Initial states whose forwarding can be affected: either a cached
         // path touches a changed state, or a changed state is reachable from
         // the initial state in the updated structure.
-        let reachable_from: BTreeSet<StateId> = kripke
-            .ancestors(changed)
-            .into_iter()
-            .filter(|s| kripke.initial_states().any(|i| i == *s))
-            .collect();
+        let ancestors_of_changed = kripke.ancestors(changed);
         let affected: Vec<StateId> = cache
             .paths
             .iter()
             .filter(|(initial, paths)| {
-                reachable_from.contains(initial)
+                ancestors_of_changed.contains(**initial)
                     || paths
                         .iter()
-                        .any(|p| p.iter().any(|s| changed_set.contains(s)))
+                        .any(|p| p.iter().any(|s| changed_set.contains(*s)))
             })
             .map(|(initial, _)| *initial)
             .collect();
@@ -177,7 +186,7 @@ mod tests {
     use super::*;
     use crate::incremental::IncrementalChecker;
     use netupd_kripke::NetworkKripke;
-    use netupd_ltl::builders;
+    use netupd_ltl::{builders, Prop};
     use netupd_model::prelude::*;
 
     fn line() -> (NetworkKripke, Configuration, SwitchId, HostId) {

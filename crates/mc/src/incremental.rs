@@ -65,7 +65,7 @@ impl ModelChecker for IncrementalChecker {
     }
 
     fn recheck(&mut self, kripke: &Kripke, phi: &Ltl, changed: &[StateId]) -> CheckOutcome {
-        let can_reuse = self.state.as_ref().map_or(false, |s| s.phi == *phi);
+        let can_reuse = self.state.as_ref().is_some_and(|s| s.phi == *phi);
         if !can_reuse {
             return self.check(kripke, phi);
         }

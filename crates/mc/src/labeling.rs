@@ -11,17 +11,36 @@
 //! changes the transitions of a set `U` of states, only the ancestors of `U`
 //! can have different labels, and relabeling stops propagating as soon as a
 //! recomputed label is unchanged (the Figure 6 optimization).
+//!
+//! Representation: per-state assignment vectors live in one flat backing
+//! `Vec<Assignment>` addressed through `(offset, len)` spans, and the
+//! region/dirty bookkeeping of `relabel` runs over dense [`StateSet`]
+//! bitmaps — no per-state allocation, no tree-set churn on the hot path.
+//! Atomic-proposition tests go through the closure's interned resolution
+//! against the structure's [`PropTable`](netupd_ltl::PropTable), so each
+//! label probe is a single bit test.
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::VecDeque;
 
-use netupd_kripke::{Kripke, StateId};
-use netupd_ltl::{Assignment, Closure, Ltl};
+use netupd_kripke::{Kripke, StateId, StateSet};
+use netupd_ltl::{Assignment, Closure, Ltl, ResolvedProps};
 
 /// A correct labeling of a Kripke structure with respect to a specification.
 #[derive(Debug, Clone)]
 pub struct Labeling {
     closure: Closure,
-    labels: Vec<Vec<Assignment>>,
+    resolved: ResolvedProps,
+    /// Per-state `(offset, len)` span into `backing`.
+    spans: Vec<(u32, u32)>,
+    /// Flat backing storage for all per-state assignment vectors.
+    backing: Vec<Assignment>,
+    /// Number of superseded (dead) assignments still occupying `backing`;
+    /// when they outnumber the live ones the storage is compacted.
+    dead: usize,
+    /// Reusable per-state counters for `region_topological_order`, so a
+    /// relabel of a small region does not pay an O(total-states) allocation.
+    /// Entries are only meaningful for the current call's region members.
+    scratch_remaining: Vec<u32>,
 }
 
 impl Labeling {
@@ -37,15 +56,22 @@ impl Labeling {
     /// checking them.
     pub fn label_all(kripke: &Kripke, phi: &Ltl) -> (Labeling, usize) {
         let closure = Closure::new(phi);
+        let resolved = closure.resolve_props(kripke.props());
         let mut labeling = Labeling {
             closure,
-            labels: vec![Vec::new(); kripke.len()],
+            resolved,
+            spans: vec![(0, 0); kripke.len()],
+            backing: Vec::with_capacity(kripke.len()),
+            dead: 0,
+            scratch_remaining: Vec::new(),
         };
         let order = kripke
             .topological_order()
             .expect("network Kripke structures are DAG-like");
         for state in &order {
-            labeling.labels[state.0] = labeling.compute_label(kripke, *state);
+            let label = labeling.compute_label(kripke, *state);
+            labeling.spans[state.0] = (labeling.backing.len() as u32, label.len() as u32);
+            labeling.backing.extend(label);
         }
         let count = kripke.len();
         (labeling, count)
@@ -57,8 +83,10 @@ impl Labeling {
     }
 
     /// The label of a state.
+    #[inline]
     pub fn label(&self, state: StateId) -> &[Assignment] {
-        &self.labels[state.0]
+        let (offset, len) = self.spans[state.0];
+        &self.backing[offset as usize..(offset + len) as usize]
     }
 
     /// Recomputes labels after the outgoing transitions of `changed` states
@@ -68,28 +96,31 @@ impl Labeling {
         if changed.is_empty() {
             return 0;
         }
-        if self.labels.len() != kripke.len() {
+        if self.spans.len() != kripke.len() {
             // The state space itself changed; fall back to a full relabel.
             let (fresh, count) = Labeling::label_all(kripke, &self.closure.root().clone());
             *self = fresh;
             return count;
         }
+        // The table only grows and ids are stable, so re-resolving merely
+        // picks up propositions interned since the last (re)labeling.
+        self.resolved = self.closure.resolve_props(kripke.props());
 
         // Restrict attention to ancestors of the changed states and process
         // them in an order where successors-in-the-region come first.
-        let region: BTreeSet<StateId> = kripke.ancestors(changed).into_iter().collect();
-        let order = region_topological_order(kripke, &region);
+        let region = kripke.ancestors(changed);
+        let order = region_topological_order(kripke, &region, &mut self.scratch_remaining);
 
-        let mut dirty: BTreeSet<StateId> = changed.iter().copied().collect();
+        let mut dirty: StateSet = changed.iter().copied().collect();
         let mut relabeled = 0;
         for state in order {
-            if !dirty.contains(&state) {
+            if !dirty.contains(state) {
                 continue;
             }
             let new_label = self.compute_label(kripke, state);
             relabeled += 1;
-            if new_label != self.labels[state.0] {
-                self.labels[state.0] = new_label;
+            if new_label.as_slice() != self.label(state) {
+                self.replace_label(state, new_label);
                 for pred in kripke.predecessors(state) {
                     if *pred != state {
                         dirty.insert(*pred);
@@ -104,7 +135,7 @@ impl Labeling {
     /// contains an assignment violating the specification, if any.
     pub fn violating_initial(&self, kripke: &Kripke) -> Option<(StateId, Assignment)> {
         for state in kripke.initial_states() {
-            for assignment in &self.labels[state.0] {
+            for assignment in self.label(state) {
                 if !self.closure.satisfies_root(assignment) {
                     return Some((state, assignment.clone()));
                 }
@@ -146,8 +177,13 @@ impl Labeling {
                 if *succ == current_state {
                     continue;
                 }
-                for candidate in &self.labels[succ.0] {
-                    if self.closure.successor_assignment(label, candidate) == current {
+                for candidate in self.label(*succ) {
+                    let implied = self.closure.successor_assignment_interned(
+                        label,
+                        candidate,
+                        &self.resolved,
+                    );
+                    if implied == current {
                         path.push(*succ);
                         current_state = *succ;
                         current = candidate.clone();
@@ -170,59 +206,99 @@ impl Labeling {
     fn compute_label(&self, kripke: &Kripke, state: StateId) -> Vec<Assignment> {
         let label = kripke.label(state);
         if kripke.is_sink(state) {
-            return vec![self.closure.sink_assignment(label)];
+            return vec![self.closure.sink_assignment_interned(label, &self.resolved)];
         }
         let mut assignments: Vec<Assignment> = Vec::new();
         for succ in kripke.successors(state) {
             if *succ == state {
                 continue;
             }
-            for successor_assignment in &self.labels[succ.0] {
-                assignments.push(
-                    self.closure
-                        .successor_assignment(label, successor_assignment),
-                );
+            for successor_assignment in self.label(*succ) {
+                assignments.push(self.closure.successor_assignment_interned(
+                    label,
+                    successor_assignment,
+                    &self.resolved,
+                ));
             }
         }
         assignments.sort_unstable();
         assignments.dedup();
         assignments
     }
+
+    /// Replaces one state's span. Same-length labels are overwritten in
+    /// place; different lengths append to the backing and leave the old span
+    /// dead until the next compaction.
+    fn replace_label(&mut self, state: StateId, new: Vec<Assignment>) {
+        let (offset, len) = self.spans[state.0];
+        if new.len() == len as usize {
+            for (dst, src) in self.backing[offset as usize..].iter_mut().zip(new) {
+                *dst = src;
+            }
+            return;
+        }
+        self.dead += len as usize;
+        self.spans[state.0] = (self.backing.len() as u32, new.len() as u32);
+        self.backing.extend(new);
+        if self.dead > self.backing.len() / 2 && self.backing.len() > 1024 {
+            self.compact();
+        }
+    }
+
+    /// Rewrites `backing` keeping only live spans, in state order.
+    fn compact(&mut self) {
+        let live = self.backing.len() - self.dead;
+        let mut compacted = Vec::with_capacity(live);
+        for span in &mut self.spans {
+            let (offset, len) = *span;
+            let start = compacted.len() as u32;
+            compacted.extend_from_slice(&self.backing[offset as usize..(offset + len) as usize]);
+            *span = (start, len);
+        }
+        self.backing = compacted;
+        self.dead = 0;
+    }
 }
 
 /// A topological order (successors first) of the subgraph induced by
 /// `region`, ignoring self-loops. Edges leaving the region are ignored: those
 /// successors already have correct labels.
-fn region_topological_order(kripke: &Kripke, region: &BTreeSet<StateId>) -> Vec<StateId> {
-    let mut remaining: HashMap<StateId, usize> = HashMap::with_capacity(region.len());
-    for state in region {
-        let count = kripke
-            .successors(*state)
-            .iter()
-            .filter(|s| **s != *state && region.contains(s))
-            .count();
-        remaining.insert(*state, count);
+///
+/// `remaining` is a caller-owned scratch buffer of per-state counters; only
+/// the entries of region members are written and read, so it never needs
+/// clearing — a relabel of a small region stays O(region), not O(states).
+fn region_topological_order(
+    kripke: &Kripke,
+    region: &StateSet,
+    remaining: &mut Vec<u32>,
+) -> Vec<StateId> {
+    if remaining.len() < kripke.len() {
+        remaining.resize(kripke.len(), 0);
     }
-    let mut queue: VecDeque<StateId> = region
-        .iter()
-        .copied()
-        .filter(|s| remaining[s] == 0)
-        .collect();
-    let mut order = Vec::with_capacity(region.len());
+    let mut size = 0;
+    for state in region.iter() {
+        remaining[state.0] = kripke
+            .successors(state)
+            .iter()
+            .filter(|s| **s != state && region.contains(**s))
+            .count() as u32;
+        size += 1;
+    }
+    let mut queue: VecDeque<StateId> = region.iter().filter(|s| remaining[s.0] == 0).collect();
+    let mut order = Vec::with_capacity(size);
     while let Some(state) = queue.pop_front() {
         order.push(state);
         for pred in kripke.predecessors(state) {
-            if *pred == state || !region.contains(pred) {
+            if *pred == state || !region.contains(*pred) {
                 continue;
             }
-            let entry = remaining.get_mut(pred).expect("pred in region");
-            *entry -= 1;
-            if *entry == 0 {
+            remaining[pred.0] -= 1;
+            if remaining[pred.0] == 0 {
                 queue.push_back(*pred);
             }
         }
     }
-    debug_assert_eq!(order.len(), region.len(), "region must be acyclic");
+    debug_assert_eq!(order.len(), size, "region must be acyclic");
     order
 }
 
@@ -231,14 +307,13 @@ mod tests {
     use super::*;
     use netupd_ltl::{builders, Prop};
     use netupd_model::{PortId, SwitchId};
-    use std::collections::BTreeSet as Set;
 
     fn key(sw: u32) -> netupd_kripke::StateKey {
         netupd_kripke::StateKey::arrival(SwitchId(sw), PortId(1), 0)
     }
 
-    fn label(sw: u32) -> Set<Prop> {
-        [Prop::switch(sw)].into_iter().collect()
+    fn label(sw: u32) -> [Prop; 1] {
+        [Prop::switch(sw)]
     }
 
     /// Figure-6-style structure: H -> {I, J}; I -> {K, L}; J -> {M, N};
@@ -334,6 +409,25 @@ mod tests {
         let phi = builders::reachability(Prop::switch(3));
         let (mut labeling, _) = Labeling::label_all(&k, &phi);
         assert_eq!(labeling.relabel(&k, &[]), 0);
+    }
+
+    #[test]
+    fn repeated_relabels_stay_consistent_under_compaction() {
+        // Flip J's successors back and forth; span replacement and
+        // compaction must preserve agreement with the from-scratch labeling.
+        let (mut k, ids) = figure6();
+        let phi = builders::reachability(Prop::switch(3));
+        let (mut labeling, _) = Labeling::label_all(&k, &phi);
+        let (j, m, n) = (ids[2], ids[5], ids[6]);
+        for round in 0..64 {
+            let target = if round % 2 == 0 { vec![n] } else { vec![m, n] };
+            k.set_successors(j, target);
+            labeling.relabel(&k, &[j]);
+            let (fresh, _) = Labeling::label_all(&k, &phi);
+            for state in k.states() {
+                assert_eq!(labeling.label(state), fresh.label(state), "round {round}");
+            }
+        }
     }
 
     #[test]

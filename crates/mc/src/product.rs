@@ -14,10 +14,12 @@
 //! every query and reuses nothing between the closely-related queries the
 //! synthesizer issues. Like NuSMV, it does produce counterexamples.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
 
 use netupd_kripke::{Kripke, StateId};
-use netupd_ltl::{Assignment, Closure, Ltl, Prop};
+use netupd_ltl::{Assignment, Closure, Ltl, PropSet, PropSetRef, ResolvedProps};
 
 use crate::checker::{CheckOutcome, CheckStats, Counterexample, ModelChecker};
 
@@ -38,7 +40,7 @@ impl ModelChecker for ProductChecker {
     fn check(&mut self, kripke: &Kripke, phi: &Ltl) -> CheckOutcome {
         let negated = phi.negated();
         let closure = Closure::new(&negated);
-        let tableau = Tableau::new(closure);
+        let tableau = Tableau::new(closure, kripke);
         let stats = CheckStats {
             states_labeled: kripke.len(),
             total_states: kripke.len(),
@@ -60,22 +62,36 @@ impl ModelChecker for ProductChecker {
 /// The tableau of the negated specification.
 struct Tableau {
     closure: Closure,
+    /// The closure's atomic subformulas resolved against the structure's
+    /// proposition table, so atom enumeration probes label bits directly.
+    resolved: ResolvedProps,
     /// Indices of the temporal subformulas whose truth value must be guessed
     /// when enumerating atoms.
     temporal: Vec<usize>,
+    /// Per formula id: its position in `temporal` (`usize::MAX` otherwise),
+    /// so atom enumeration avoids a linear scan per node per mask.
+    temporal_pos: Vec<usize>,
     /// `(until_id, rhs_id)` pairs used for the self-fulfillment check.
     untils: Vec<(usize, usize)>,
-    /// Atoms cache, keyed by the state label they were enumerated against.
-    atom_cache: std::cell::RefCell<HashMap<BTreeSet<Prop>, Vec<Assignment>>>,
+    /// Dense per-state atom cache: one slot per state id, with the atom
+    /// vector shared (`Rc`) between states that carry the same label.
+    state_atoms: RefCell<Vec<Option<Rc<Vec<Assignment>>>>>,
+    /// Sharing index from interned label to the atoms enumerated against it.
+    by_label: RefCell<HashMap<PropSet, Rc<Vec<Assignment>>>>,
 }
 
 impl Tableau {
-    fn new(closure: Closure) -> Self {
+    fn new(closure: Closure, kripke: &Kripke) -> Self {
+        let resolved = closure.resolve_props(kripke.props());
         let temporal: Vec<usize> = closure
             .iter()
             .filter(|(_, phi)| matches!(phi, Ltl::Next(_) | Ltl::Until(..) | Ltl::Release(..)))
             .map(|(id, _)| id)
             .collect();
+        let mut temporal_pos = vec![usize::MAX; closure.len()];
+        for (pos, id) in temporal.iter().enumerate() {
+            temporal_pos[*id] = pos;
+        }
         let untils: Vec<(usize, usize)> = closure
             .until_ids()
             .into_iter()
@@ -83,40 +99,58 @@ impl Tableau {
             .collect();
         Tableau {
             closure,
+            resolved,
             temporal,
+            temporal_pos,
             untils,
-            atom_cache: std::cell::RefCell::new(HashMap::new()),
+            state_atoms: RefCell::new(vec![None; kripke.len()]),
+            by_label: RefCell::new(HashMap::new()),
         }
+    }
+
+    /// The atoms consistent with a state's label, from the dense per-state
+    /// cache (falling back to the by-label sharing index, then enumeration).
+    fn atoms_for_state(&self, kripke: &Kripke, state: StateId) -> Rc<Vec<Assignment>> {
+        let cached = self.state_atoms.borrow()[state.0].clone();
+        if let Some(cached) = cached {
+            return cached;
+        }
+        let label = kripke.label(state);
+        let owned = label.to_owned();
+        let shared = self.by_label.borrow().get(&owned).cloned();
+        let atoms = match shared {
+            Some(shared) => shared,
+            None => {
+                let enumerated = Rc::new(self.enumerate_atoms(label));
+                self.by_label
+                    .borrow_mut()
+                    .insert(owned, Rc::clone(&enumerated));
+                enumerated
+            }
+        };
+        self.state_atoms.borrow_mut()[state.0] = Some(Rc::clone(&atoms));
+        atoms
     }
 
     /// Enumerates the atoms consistent with a state label: every combination
     /// of truth values for the temporal subformulas, with propositional truth
     /// fixed by the label and boolean connectives derived bottom-up.
-    fn atoms_for_label(&self, label: &BTreeSet<Prop>) -> Vec<Assignment> {
-        if let Some(cached) = self.atom_cache.borrow().get(label) {
-            return cached.clone();
-        }
+    fn enumerate_atoms(&self, label: PropSetRef<'_>) -> Vec<Assignment> {
         let t = self.temporal.len();
         let mut atoms = Vec::with_capacity(1 << t.min(16));
         for mask in 0u64..(1u64 << t.min(20)) {
             let mut assignment = self.closure.empty_assignment();
             for (id, phi) in self.closure.iter() {
+                let [a, b] = self.closure.child_ids(id);
                 let value = match phi {
                     Ltl::True => true,
                     Ltl::False => false,
-                    Ltl::Prop(p) => label.contains(p),
-                    Ltl::NotProp(p) => !label.contains(p),
-                    Ltl::And(a, b) => {
-                        assignment.get(self.closure.id_of(a).unwrap())
-                            && assignment.get(self.closure.id_of(b).unwrap())
-                    }
-                    Ltl::Or(a, b) => {
-                        assignment.get(self.closure.id_of(a).unwrap())
-                            || assignment.get(self.closure.id_of(b).unwrap())
-                    }
+                    Ltl::Prop(_) => self.resolved.prop_in_label(id, label),
+                    Ltl::NotProp(_) => !self.resolved.prop_in_label(id, label),
+                    Ltl::And(..) => assignment.get(a) && assignment.get(b),
+                    Ltl::Or(..) => assignment.get(a) || assignment.get(b),
                     Ltl::Next(_) | Ltl::Until(..) | Ltl::Release(..) => {
-                        let pos = self.temporal.iter().position(|x| *x == id).unwrap();
-                        (mask >> pos) & 1 == 1
+                        (mask >> self.temporal_pos[id]) & 1 == 1
                     }
                 };
                 assignment.set(id, value);
@@ -131,18 +165,16 @@ impl Tableau {
         }
         atoms.sort_unstable();
         atoms.dedup();
-        self.atom_cache
-            .borrow_mut()
-            .insert(label.clone(), atoms.clone());
         atoms
     }
 
     fn locally_plausible(&self, m: &Assignment) -> bool {
         for (id, phi) in self.closure.iter() {
+            let [a, b] = self.closure.child_ids(id);
             match phi {
-                Ltl::Until(a, b) => {
-                    let a = m.get(self.closure.id_of(a).unwrap());
-                    let b = m.get(self.closure.id_of(b).unwrap());
+                Ltl::Until(..) => {
+                    let a = m.get(a);
+                    let b = m.get(b);
                     if m.get(id) && !a && !b {
                         return false;
                     }
@@ -150,8 +182,8 @@ impl Tableau {
                         return false;
                     }
                 }
-                Ltl::Release(_, b) => {
-                    let b = m.get(self.closure.id_of(b).unwrap());
+                Ltl::Release(..) => {
+                    let b = m.get(b);
                     if m.get(id) && !b {
                         return false;
                     }
@@ -180,12 +212,12 @@ impl Tableau {
         let root = self.closure.root_id();
         let mut visited: HashSet<(StateId, Assignment)> = HashSet::new();
         for initial in kripke.initial_states() {
-            for atom in self.atoms_for_label(kripke.label(initial)) {
+            for atom in self.atoms_for_state(kripke, initial).iter() {
                 if !atom.get(root) {
                     continue;
                 }
                 let mut path = Vec::new();
-                if self.dfs(kripke, initial, &atom, &mut visited, &mut path) {
+                if self.dfs(kripke, initial, atom, &mut visited, &mut path) {
                     return Some(path);
                 }
             }
@@ -212,9 +244,9 @@ impl Tableau {
             if *succ == state {
                 continue;
             }
-            for next_atom in self.atoms_for_label(kripke.label(*succ)) {
-                if self.closure.follows(atom, &next_atom)
-                    && self.dfs(kripke, *succ, &next_atom, visited, path)
+            for next_atom in self.atoms_for_state(kripke, *succ).iter() {
+                if self.closure.follows(atom, next_atom)
+                    && self.dfs(kripke, *succ, next_atom, visited, path)
                 {
                     return true;
                 }
@@ -230,7 +262,7 @@ mod tests {
     use super::*;
     use crate::batch::BatchChecker;
     use netupd_kripke::NetworkKripke;
-    use netupd_ltl::builders;
+    use netupd_ltl::{builders, Prop};
     use netupd_model::prelude::*;
 
     /// A diamond network: h0 - s0 - {s1, s2} - s3 - h1.

@@ -1,0 +1,155 @@
+//! Differential property tests for the interned labeling engine.
+//!
+//! Two oracles pin down the refactored representation:
+//!
+//! * **Trace semantics.** For random small scenarios, the `PropSet`-interned
+//!   labeling must agree *state for state* with the finite-trace oracle in
+//!   `netupd_ltl::semantics`: a state's label contains only satisfying
+//!   assignments exactly when every simulator trace from that location
+//!   satisfies the specification.
+//! * **Incrementality.** After random sequences of switch updates (applies
+//!   and reverts), [`Labeling::relabel`] must agree with a from-scratch
+//!   [`Labeling::label_all`] on every state's assignment vector.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use netupd_kripke::{Kripke, NetworkKripke, StateRole};
+use netupd_ltl::semantics;
+use netupd_ltl::Ltl;
+use netupd_mc::Labeling;
+use netupd_model::{Configuration, HostId, Network, Topology, TrafficClass};
+use netupd_topo::scenario::{diamond_scenario, PropertyKind};
+use netupd_topo::{generators, UpdateScenario};
+
+/// A deterministic small scenario for a seed: topology family, property
+/// kind, and the diamond flow all derive from the seed.
+fn scenario_for_seed(seed: u64) -> Option<UpdateScenario> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = if seed.is_multiple_of(2) {
+        generators::fat_tree(4)
+    } else {
+        generators::small_world(12, 4, 0.1, &mut rng)
+    };
+    let kind = match seed % 3 {
+        0 => PropertyKind::Reachability,
+        1 => PropertyKind::Waypoint,
+        _ => PropertyKind::ServiceChain { length: 2 },
+    };
+    diamond_scenario(&graph, kind, &mut rng)
+}
+
+fn encoder_for(scenario: &UpdateScenario) -> NetworkKripke {
+    let ingress: Vec<HostId> = scenario.pairs.iter().map(|p| p.src_host).collect();
+    NetworkKripke::new(scenario.topology().clone(), scenario.classes()).with_ingress_hosts(ingress)
+}
+
+/// The trace oracle for one state: every simulator trace from the state's
+/// switch/port location satisfies `spec`.
+fn oracle_all_traces_satisfy(
+    topology: &Topology,
+    config: &Configuration,
+    class: &TrafficClass,
+    sw: netupd_model::SwitchId,
+    pt: netupd_model::PortId,
+    spec: &Ltl,
+) -> bool {
+    let net = Network::new(topology.clone(), config.clone());
+    net.traces_from(sw, pt, class)
+        .iter()
+        .all(|t| semantics::satisfies(t, spec))
+}
+
+/// A state's label says the specification holds on all traces from it iff
+/// every assignment in the label satisfies the root formula.
+fn label_says_holds(labeling: &Labeling, state: netupd_kripke::StateId) -> bool {
+    labeling
+        .label(state)
+        .iter()
+        .all(|a| labeling.closure().satisfies_root(a))
+}
+
+fn assert_labelings_equal(a: &Labeling, b: &Labeling, kripke: &Kripke, context: &str) {
+    for state in kripke.states() {
+        assert_eq!(
+            a.label(state),
+            b.label(state),
+            "{context}: label of {} diverged",
+            kripke.key(state)
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Interned labeling agrees with the trace-semantics oracle on every
+    /// arrival state, for both the initial and the final configuration.
+    #[test]
+    fn interned_labeling_matches_trace_oracle(seed in 0u64..64) {
+        let Some(scenario) = scenario_for_seed(seed) else { return Ok(()); };
+        let encoder = encoder_for(&scenario);
+        for config in [&scenario.initial, &scenario.final_config] {
+            let kripke = encoder.encode(config);
+            let (labeling, _) = Labeling::label_all(&kripke, &scenario.spec);
+            for state in kripke.states() {
+                let key = kripke.key(state);
+                // Egress states are not trace starting points; the oracle is
+                // defined on arrival locations.
+                if key.role != StateRole::Arrival {
+                    continue;
+                }
+                let class = &scenario.classes()[key.class];
+                let oracle = oracle_all_traces_satisfy(
+                    scenario.topology(),
+                    config,
+                    class,
+                    key.switch,
+                    key.port,
+                    &scenario.spec,
+                );
+                assert_eq!(
+                    label_says_holds(&labeling, state),
+                    oracle,
+                    "seed {seed}: state {key} disagrees with the trace oracle"
+                );
+            }
+        }
+    }
+
+    /// `relabel` agrees with `label_all` after random sequences of switch
+    /// updates, including reverts, on every state's assignment vector.
+    #[test]
+    fn relabel_matches_label_all_after_random_updates(seed in 0u64..64) {
+        let Some(scenario) = scenario_for_seed(seed) else { return Ok(()); };
+        let encoder = encoder_for(&scenario);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc0ff_ee00);
+
+        let mut kripke = encoder.encode(&scenario.initial);
+        let (mut labeling, _) = Labeling::label_all(&kripke, &scenario.spec);
+
+        // Random walk over configurations: each step applies one switch's
+        // final table or reverts it to its initial table.
+        let mut switches: Vec<_> = scenario.final_config.switches().collect();
+        switches.shuffle(&mut rng);
+        for round in 0..switches.len().min(8) {
+            let sw = switches[round % switches.len()];
+            let table = if rng.gen_bool(0.3) {
+                scenario.initial.table(sw)
+            } else {
+                scenario.final_config.table(sw)
+            };
+            let changed = encoder.apply_switch_update(&mut kripke, sw, &table);
+            labeling.relabel(&kripke, &changed);
+            let (fresh, _) = Labeling::label_all(&kripke, &scenario.spec);
+            assert_labelings_equal(
+                &labeling,
+                &fresh,
+                &kripke,
+                &format!("seed {seed}, round {round}, switch {sw}"),
+            );
+        }
+    }
+}

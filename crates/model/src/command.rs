@@ -148,7 +148,7 @@ impl CommandSeq {
         for cmd in &self.commands {
             match cmd {
                 Command::Update(..) => {
-                    if !first_update && !(saw_incr && saw_flush) {
+                    if !(first_update || (saw_incr && saw_flush)) {
                         return false;
                     }
                     first_update = false;

@@ -98,7 +98,7 @@ impl Packet {
     pub fn in_class(&self, class: &TrafficClass) -> bool {
         class
             .iter()
-            .all(|(f, v)| self.field(f).map_or(false, |pv| pv == v))
+            .all(|(f, v)| self.field(f).is_some_and(|pv| pv == v))
     }
 }
 

@@ -374,7 +374,7 @@ impl Simulator {
                 }
             }
             ControllerState::Flushing { target } => {
-                if self.min_inflight_epoch().map_or(true, |e| e >= target) {
+                if self.min_inflight_epoch().is_none_or(|e| e >= target) {
                     self.events.push(SimEvent::FlushDone {
                         tick: self.tick,
                         epoch: target,
@@ -496,7 +496,7 @@ impl Simulator {
         let epoch = self.epoch;
         let mut to_inject = Vec::new();
         for probe in &self.probes {
-            if tick % probe.period == 0 {
+            if tick.is_multiple_of(probe.period) {
                 to_inject.push((probe.host, probe.packet.clone()));
             }
         }

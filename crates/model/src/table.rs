@@ -128,7 +128,7 @@ impl Table {
 
     fn normalize(&mut self) {
         // Stable sort: equal priorities keep insertion order.
-        self.rules.sort_by(|a, b| b.priority().cmp(&a.priority()));
+        self.rules.sort_by_key(|r| std::cmp::Reverse(r.priority()));
     }
 }
 

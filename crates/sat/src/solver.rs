@@ -368,10 +368,9 @@ impl Solver {
                         watch_list.swap_remove(i);
                     }
                     PropagationOutcome::Conflict => {
-                        self.watches[lit.index()].extend(watch_list.drain(..));
-                        // Re-append untouched suffix handled by extend above.
-                        let existing = std::mem::take(&mut self.watches[lit.index()]);
-                        self.watches[lit.index()] = existing;
+                        // Put the whole remaining watch list back (including
+                        // the clause that conflicted) before bailing out.
+                        self.watches[lit.index()].append(&mut watch_list);
                         self.propagated = self.trail.len();
                         return Some(clause_idx);
                     }
@@ -713,11 +712,10 @@ mod tests {
         let mut solver = Solver::new();
         let vars = make_vars(&mut solver, 40);
         for i in 1..40 {
-            solver.add_clause([lit(&vars, -(i as i32)), lit(&vars, (i + 1) as i32)]);
+            solver.add_clause([lit(&vars, -i), lit(&vars, i + 1)]);
         }
         solver.add_clause([lit(&vars, 1)]);
         for i in (2..38).step_by(5) {
-            let i = i as i32;
             solver.add_clause([lit(&vars, -i), lit(&vars, i + 2), lit(&vars, -(i + 1))]);
         }
         assert!(solver.solve().is_sat());

@@ -62,7 +62,7 @@ proptest! {
         if solver.solve().is_sat() {
             for clause in &clauses {
                 let satisfied = clause.iter().any(|(var, positive)| {
-                    solver.value(vars[*var]).map_or(false, |v| v == *positive)
+                    solver.value(vars[*var]).is_some_and(|v| v == *positive)
                 });
                 prop_assert!(satisfied, "clause {clause:?} not satisfied by the model");
             }

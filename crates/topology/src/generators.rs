@@ -15,7 +15,10 @@ use crate::graph::NetworkGraph;
 ///
 /// Panics if `k` is odd or less than 2.
 pub fn fat_tree(k: usize) -> NetworkGraph {
-    assert!(k >= 2 && k % 2 == 0, "fat-tree arity must be even and >= 2");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat-tree arity must be even and >= 2"
+    );
     let half = k / 2;
     let mut graph = NetworkGraph::new();
     let core = graph.add_switches(half * half);
