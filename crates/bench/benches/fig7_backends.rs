@@ -1,17 +1,16 @@
 //! Figure 7(a–c): synthesis runtime with the Incremental checker versus the
 //! monolithic product checker (NuSMV stand-in) and the Batch checker, on the
-//! three topology families, for the reachability property.
-
-use std::time::Duration;
+//! three topology families, for the reachability property — swept across the
+//! parallel-search thread axis (1/2/4 workers; 1 is the sequential search).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use netupd_bench::{
-    diamond_workload, fmt_min_mean_max, print_header, print_row, sample_synthesis, time_synthesis,
-    BenchReport, TopologyFamily,
+    criterion_budget, diamond_workload, fmt_min_mean_max, print_header, print_row, report_samples,
+    sample_synthesis_with, time_synthesis_with, BenchReport, TopologyFamily, THREAD_AXIS,
 };
 use netupd_mc::Backend;
-use netupd_synth::Granularity;
+use netupd_synth::SynthesisOptions;
 use netupd_topo::scenario::PropertyKind;
 
 const SIZES: [usize; 3] = [20, 50, 100];
@@ -23,15 +22,17 @@ const REPORT_SAMPLES: usize = 5;
 fn bench_backends(c: &mut Criterion) {
     print_header(
         "Figure 7(a-c): synthesis runtime by backend (reachability)",
-        &["family", "switches", "backend", "[min mean max]"],
+        &["family", "switches", "backend", "threads", "[min mean max]"],
     );
+    let samples_per_series = report_samples(REPORT_SAMPLES);
+    let (sample_size, warm_up, measurement) = criterion_budget();
     let mut report = BenchReport::new("fig7");
     for family in TopologyFamily::ALL {
         let mut group = c.benchmark_group(format!("fig7/{}", family.name()));
         group
-            .sample_size(10)
-            .warm_up_time(Duration::from_millis(200))
-            .measurement_time(Duration::from_millis(800));
+            .sample_size(sample_size)
+            .warm_up_time(warm_up)
+            .measurement_time(measurement);
         for size in SIZES {
             let workload = diamond_workload(family, size, PropertyKind::Reachability, 42);
             for backend in BACKENDS {
@@ -40,35 +41,43 @@ fn bench_backends(c: &mut Criterion) {
                 if backend == Backend::Product && size > 50 {
                     continue;
                 }
-                let samples = sample_synthesis(
-                    &workload.problem,
-                    backend,
-                    Granularity::Switch,
-                    REPORT_SAMPLES,
-                );
-                print_row(&[
-                    family.name().to_string(),
-                    workload.switches.to_string(),
-                    backend.to_string(),
-                    fmt_min_mean_max(&samples),
-                ]);
-                report.record(
-                    format!("fig7/{}/{}/{}", family.name(), backend, size),
-                    &[
-                        ("family", family.name()),
-                        ("backend", &backend.to_string()),
-                        ("switches", &workload.switches.to_string()),
-                        ("rules", &workload.rules.to_string()),
-                    ],
-                    &samples,
-                );
-                group.bench_with_input(
-                    BenchmarkId::new(backend.to_string(), size),
-                    &workload,
-                    |b, workload| {
-                        b.iter(|| time_synthesis(&workload.problem, backend, Granularity::Switch))
-                    },
-                );
+                for threads in THREAD_AXIS {
+                    let options = SynthesisOptions::with_backend(backend).threads(threads);
+                    let samples =
+                        sample_synthesis_with(&workload.problem, &options, samples_per_series);
+                    print_row(&[
+                        family.name().to_string(),
+                        workload.switches.to_string(),
+                        backend.to_string(),
+                        threads.to_string(),
+                        fmt_min_mean_max(&samples),
+                    ]);
+                    // Thread count 1 keeps the pre-axis record ids so perf
+                    // trajectories across PRs stay diffable.
+                    let id = if threads == 1 {
+                        format!("fig7/{}/{}/{}", family.name(), backend, size)
+                    } else {
+                        format!("fig7/{}/{}/{}/t{}", family.name(), backend, size, threads)
+                    };
+                    report.record(
+                        id,
+                        &[
+                            ("family", family.name()),
+                            ("backend", &backend.to_string()),
+                            ("switches", &workload.switches.to_string()),
+                            ("rules", &workload.rules.to_string()),
+                            ("threads", &threads.to_string()),
+                        ],
+                        &samples,
+                    );
+                    group.bench_with_input(
+                        BenchmarkId::new(format!("{backend}/t{threads}"), size),
+                        &workload,
+                        |b, workload| {
+                            b.iter(|| time_synthesis_with(&workload.problem, options.clone()))
+                        },
+                    );
+                }
             }
         }
         group.finish();

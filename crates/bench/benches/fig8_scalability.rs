@@ -1,16 +1,17 @@
 //! Figure 8(g): scalability of the Incremental backend on Small-World
-//! topologies of increasing size, for the three property families.
-
-use std::time::Duration;
+//! topologies of increasing size, for the three property families — swept
+//! across the parallel-search thread axis (1/2/4 workers; 1 is the
+//! sequential search).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use netupd_bench::{
-    fmt_min_mean_max, multi_diamond_workload, print_header, print_row, sample_synthesis,
-    time_synthesis, BenchReport, TopologyFamily,
+    criterion_budget, fmt_min_mean_max, multi_diamond_workload, print_header, print_row,
+    report_samples, sample_synthesis_with, time_synthesis_with, BenchReport, TopologyFamily,
+    THREAD_AXIS,
 };
 use netupd_mc::Backend;
-use netupd_synth::Granularity;
+use netupd_synth::SynthesisOptions;
 use netupd_topo::scenario::PropertyKind;
 
 const SIZES: [usize; 3] = [50, 100, 200];
@@ -30,52 +31,61 @@ fn bench_scalability(c: &mut Criterion) {
             "property",
             "switches",
             "updating switches",
+            "threads",
             "[min mean max]",
         ],
     );
+    let samples_per_series = report_samples(REPORT_SAMPLES);
+    let (sample_size, warm_up, measurement) = criterion_budget();
     let mut report = BenchReport::new("fig8");
     let mut group = c.benchmark_group("fig8_scalability");
     group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(200))
-        .measurement_time(Duration::from_millis(800));
+        .sample_size(sample_size)
+        .warm_up_time(warm_up)
+        .measurement_time(measurement);
     for property in PROPERTIES {
         for size in SIZES {
             let workload = multi_diamond_workload(TopologyFamily::SmallWorld, size, property, 4, 7);
-            let samples = sample_synthesis(
-                &workload.problem,
-                Backend::Incremental,
-                Granularity::Switch,
-                REPORT_SAMPLES,
-            );
-            print_row(&[
-                property.name().to_string(),
-                workload.switches.to_string(),
-                workload.scenario.updating_switches().to_string(),
-                fmt_min_mean_max(&samples),
-            ]);
-            report.record(
-                format!("fig8/{}/{}", property.name(), size),
-                &[
-                    ("property", property.name()),
-                    ("backend", "incremental"),
-                    ("switches", &workload.switches.to_string()),
-                    (
-                        "updating_switches",
-                        &workload.scenario.updating_switches().to_string(),
-                    ),
-                ],
-                &samples,
-            );
-            group.bench_with_input(
-                BenchmarkId::new(property.name(), size),
-                &workload,
-                |b, workload| {
-                    b.iter(|| {
-                        time_synthesis(&workload.problem, Backend::Incremental, Granularity::Switch)
-                    })
-                },
-            );
+            for threads in THREAD_AXIS {
+                let options = SynthesisOptions::with_backend(Backend::Incremental).threads(threads);
+                let samples =
+                    sample_synthesis_with(&workload.problem, &options, samples_per_series);
+                print_row(&[
+                    property.name().to_string(),
+                    workload.switches.to_string(),
+                    workload.scenario.updating_switches().to_string(),
+                    threads.to_string(),
+                    fmt_min_mean_max(&samples),
+                ]);
+                // Thread count 1 keeps the pre-axis record ids so perf
+                // trajectories across PRs stay diffable.
+                let id = if threads == 1 {
+                    format!("fig8/{}/{}", property.name(), size)
+                } else {
+                    format!("fig8/{}/{}/t{}", property.name(), size, threads)
+                };
+                report.record(
+                    id,
+                    &[
+                        ("property", property.name()),
+                        ("backend", "incremental"),
+                        ("switches", &workload.switches.to_string()),
+                        (
+                            "updating_switches",
+                            &workload.scenario.updating_switches().to_string(),
+                        ),
+                        ("threads", &threads.to_string()),
+                    ],
+                    &samples,
+                );
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{}/t{}", property.name(), threads), size),
+                    &workload,
+                    |b, workload| {
+                        b.iter(|| time_synthesis_with(&workload.problem, options.clone()))
+                    },
+                );
+            }
         }
     }
     group.finish();

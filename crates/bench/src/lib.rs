@@ -33,6 +33,38 @@ use netupd_topo::scenario::{
 };
 use netupd_topo::{generators, NetworkGraph, UpdateScenario};
 
+/// The thread counts the scaling benchmarks sweep (the parallel-search axis
+/// of Figures 7 and 8).
+pub const THREAD_AXIS: [usize; 3] = [1, 2, 4];
+
+/// Returns `true` when `NETUPD_BENCH_FAST` is set (to anything but `0`):
+/// the benches then use reduced sample counts and measurement budgets so the
+/// CI `bench-smoke` job finishes quickly while still producing complete
+/// `BENCH_*.json` reports.
+pub fn fast_mode() -> bool {
+    std::env::var("NETUPD_BENCH_FAST").is_ok_and(|v| v != "0")
+}
+
+/// Number of samples for the machine-readable report series: `default`
+/// normally, 2 in [`fast_mode`].
+pub fn report_samples(default: usize) -> usize {
+    if fast_mode() {
+        2
+    } else {
+        default
+    }
+}
+
+/// Criterion sampling settings `(sample_size, warm_up, measurement)` for the
+/// figure benches, shrunk in [`fast_mode`].
+pub fn criterion_budget() -> (usize, Duration, Duration) {
+    if fast_mode() {
+        (2, Duration::from_millis(20), Duration::from_millis(100))
+    } else {
+        (10, Duration::from_millis(200), Duration::from_millis(800))
+    }
+}
+
 /// The topology families used across the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TopologyFamily {
@@ -214,6 +246,18 @@ pub fn sample_synthesis(
 ) -> Vec<Duration> {
     (0..runs.max(1))
         .map(|_| time_synthesis(problem, backend, granularity).elapsed)
+        .collect()
+}
+
+/// Like [`sample_synthesis`], but with fully custom options (the scaling
+/// benches use this to sweep [`SynthesisOptions::threads`]).
+pub fn sample_synthesis_with(
+    problem: &UpdateProblem,
+    options: &SynthesisOptions,
+    runs: usize,
+) -> Vec<Duration> {
+    (0..runs.max(1))
+        .map(|_| time_synthesis_with(problem, options.clone()).elapsed)
         .collect()
 }
 

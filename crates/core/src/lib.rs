@@ -50,6 +50,7 @@ pub mod constraints;
 pub mod early_term;
 pub mod exec;
 pub mod options;
+pub mod parallel;
 pub mod problem;
 pub mod search;
 pub mod units;

@@ -31,8 +31,17 @@ pub struct SynthesisOptions {
     /// Run the wait-removal post-pass on the synthesized sequence (§4.2 C).
     pub remove_waits: bool,
     /// Hard bound on the number of model-checker calls before the search
-    /// gives up (guards against pathological instances).
+    /// gives up (guards against pathological instances). In parallel mode
+    /// the bound is applied to the deterministic search schedule (the checks
+    /// the equivalent sequential search would issue), not to the speculative
+    /// work the workers perform.
     pub max_checks: usize,
+    /// Number of search worker threads. `1` (the default) runs the
+    /// single-threaded search; `n > 1` fans candidate orderings out across
+    /// `n` workers, each owning its own checker instance, and commits the
+    /// same [`UpdateSequence`](crate::UpdateSequence) the sequential search
+    /// would return.
+    pub threads: usize,
 }
 
 impl Default for SynthesisOptions {
@@ -44,6 +53,7 @@ impl Default for SynthesisOptions {
             early_termination: true,
             remove_waits: true,
             max_checks: 1_000_000,
+            threads: 1,
         }
     }
 }
@@ -85,6 +95,17 @@ impl SynthesisOptions {
         self.remove_waits = enabled;
         self
     }
+
+    /// Builder-style setter for the number of search worker threads.
+    ///
+    /// `0` is treated as `1`. The committed result is identical for every
+    /// thread count; only the wall-clock time and the work attribution in
+    /// [`SynthStats`](crate::SynthStats) change.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -99,6 +120,7 @@ mod tests {
         assert!(options.use_counterexamples);
         assert!(options.early_termination);
         assert!(options.remove_waits);
+        assert_eq!(options.threads, 1);
     }
 
     #[test]
@@ -107,11 +129,18 @@ mod tests {
             .granularity(Granularity::Rule)
             .counterexamples(false)
             .early_termination(false)
-            .wait_removal(false);
+            .wait_removal(false)
+            .threads(4);
         assert_eq!(options.backend, Backend::Batch);
         assert_eq!(options.granularity, Granularity::Rule);
         assert!(!options.use_counterexamples);
         assert!(!options.early_termination);
         assert!(!options.remove_waits);
+        assert_eq!(options.threads, 4);
+    }
+
+    #[test]
+    fn zero_threads_is_clamped_to_one() {
+        assert_eq!(SynthesisOptions::default().threads(0).threads, 1);
     }
 }

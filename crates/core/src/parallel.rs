@@ -1,0 +1,1259 @@
+//! Parallel ordering search: the `OrderUpdate` DFS fanned out across worker
+//! threads.
+//!
+//! # Architecture
+//!
+//! The parallel mode keeps the *search schedule* — which candidate orderings
+//! are considered, in which order, and what is learnt from each — exactly as
+//! the sequential search defines it, and moves the *model checking* onto a
+//! pool of workers:
+//!
+//! * **Workers.** Each of the `threads` workers owns a full checking context:
+//!   its own [`Kripke`] structure (encoded once at startup) and its own
+//!   checker instance ([`Backend::instantiate`](netupd_mc::Backend) — the
+//!   backends are `Send` and cheaply instantiable per worker). A task names
+//!   an *ordered prefix* of unit indices; the worker syncs its structure to
+//!   that prefix by undoing/applying the differing units and answers with one
+//!   `recheck` over the union of changed states.
+//! * **Scheduler.** The calling thread replays the sequential DFS control
+//!   flow byte for byte — the same visited-set, wrong-set, SAT-constraint,
+//!   and budget bookkeeping — but instead of calling a checker it *fetches*
+//!   each needed check result from the pool. While blocked it keeps the pool
+//!   busy with **speculative** tasks: the prefixes the replay is predicted to
+//!   need next (assuming checks hold, the common case in this search).
+//! * **Shared prune-set.** Counterexample formulas learnt by any worker are
+//!   published to an atomic-counter-guarded, `RwLock`-protected wrong-set;
+//!   workers consult it before executing a *speculative* task and skip tasks
+//!   whose configuration is already refuted, so one worker's refutation cuts
+//!   every worker's speculative frontier. Mandatory fetches are never
+//!   skipped, which preserves the deterministic schedule.
+//!
+//! # Determinism
+//!
+//! The committed [`UpdateSequence`] (commands, unit order) and the verdict
+//! are identical for every thread count, because
+//!
+//! 1. the replay consumes check results in exactly the sequential order, and
+//! 2. a check outcome is a pure function of the ordered prefix: the state
+//!    space of the structure is fixed by the encoder (updates only rewire
+//!    transitions, ids are stable) and the labeling engines keep labels in
+//!    canonical sorted form, so `holds` and the extracted counterexample do
+//!    not depend on the history of rechecks that led to a configuration.
+//!
+//! Work counters ([`SynthStats::model_checker_calls`],
+//! [`SynthStats::states_relabeled`], [`SynthStats::checks_per_worker`])
+//! report the real — partly speculative — work performed and therefore vary
+//! with thread count; the schedule counters match the sequential run.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::RwLock;
+
+use netupd_kripke::{Kripke, NetworkKripke, StateId};
+use netupd_mc::ModelChecker;
+use netupd_model::{Configuration, SwitchId, Table};
+
+use crate::constraints::{VisitedSet, WrongSet};
+use crate::early_term::OrderingConstraints;
+use crate::options::{Granularity, SynthesisOptions};
+use crate::problem::UpdateProblem;
+use crate::search::{
+    finish_sequence, updated_switches, SynthStats, SynthesisError, UpdateSequence,
+};
+use crate::units::UpdateUnit;
+
+/// Upper bound on simulated replay steps per speculation round, so
+/// prediction stays negligible next to a model-checker call.
+const PREDICT_STEP_LIMIT: usize = 512;
+
+/// Outstanding tasks per worker the scheduler aims for: one executing, one
+/// queued.
+const TASKS_PER_WORKER: usize = 2;
+
+/// How many tasks the scheduler keeps in flight for speculation.
+///
+/// Speculation only pays off when the hardware can actually execute checks
+/// concurrently: on an oversubscribed machine every speculative check steals
+/// CPU from the mandatory path. The cap therefore scales with the machine's
+/// available parallelism (one hardware thread is notionally reserved for the
+/// scheduler's mandatory path), and `NETUPD_SEARCH_SPECULATION` overrides it
+/// — tests use the override to exercise the speculative machinery on
+/// single-core CI runners.
+fn speculation_cap(threads: usize) -> usize {
+    if let Some(cap) = std::env::var("NETUPD_SEARCH_SPECULATION")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        return cap;
+    }
+    let hardware = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    hardware.min(threads).saturating_sub(1) * TASKS_PER_WORKER
+}
+
+/// The prune state shared across workers, guarded by atomic emptiness
+/// counters so the common "nothing learnt yet" probes are lock-free:
+///
+/// * counterexample *formulas* (the paper's wrong-set) learnt by any worker —
+///   they refute whole families of configurations, and
+/// * *dead prefixes*: ordered prefixes whose configuration some worker found
+///   violating — no extension of a dead prefix is ever descended into, so
+///   speculative work beyond one is wasted by construction.
+struct SharedPruneSet {
+    formulas: RwLock<WrongSet>,
+    formulas_len: AtomicUsize,
+    dead: RwLock<Vec<Vec<usize>>>,
+    dead_len: AtomicUsize,
+}
+
+impl SharedPruneSet {
+    fn new() -> Self {
+        SharedPruneSet {
+            formulas: RwLock::new(WrongSet::new()),
+            formulas_len: AtomicUsize::new(0),
+            dead: RwLock::new(Vec::new()),
+            dead_len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Publishes the formula derived from a counterexample observed at a
+    /// configuration with the given updated-switch set.
+    fn learn(&self, cex_switches: &[SwitchId], updated: &BTreeSet<SwitchId>) {
+        let mut formulas = self.formulas.write().expect("prune-set lock");
+        formulas.learn(cex_switches, updated);
+        self.formulas_len.store(formulas.len(), Ordering::Release);
+    }
+
+    /// Returns `true` if a configuration with the given updated-switch set is
+    /// already refuted by a published formula.
+    fn excludes(&self, updated: &BTreeSet<SwitchId>) -> bool {
+        if self.formulas_len.load(Ordering::Acquire) == 0 {
+            return false;
+        }
+        self.formulas
+            .read()
+            .expect("prune-set lock")
+            .excludes(updated)
+    }
+
+    /// Publishes a refuted prefix. The list grows with the number of failed
+    /// checks (tens for the paper's workloads) and is scanned linearly per
+    /// speculative task; both are bounded by the search's backtrack count,
+    /// which is small compared to the checks it saves.
+    fn mark_dead(&self, prefix: &[usize]) {
+        let mut dead = self.dead.write().expect("prune-set lock");
+        dead.push(prefix.to_vec());
+        self.dead_len.store(dead.len(), Ordering::Release);
+    }
+
+    /// Returns `true` if `prefix` extends (or is) a refuted prefix.
+    fn extends_dead(&self, prefix: &[usize]) -> bool {
+        if self.dead_len.load(Ordering::Acquire) == 0 {
+            return false;
+        }
+        self.dead
+            .read()
+            .expect("prune-set lock")
+            .iter()
+            .any(|d| prefix.len() >= d.len() && &prefix[..d.len()] == d.as_slice())
+    }
+}
+
+/// What a worker is asked to check.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum TaskKey {
+    /// The configuration reached by applying the given units, in order, to
+    /// the initial configuration.
+    Prefix(Vec<usize>),
+    /// The problem's final configuration, checked with a fresh checker
+    /// instance (the sequential search's final-configuration probe).
+    FinalProbe,
+}
+
+struct Task {
+    key: TaskKey,
+    /// Mandatory tasks are results the deterministic replay needs; they are
+    /// always executed. Speculative tasks may be skipped via the shared
+    /// prune-set.
+    mandatory: bool,
+}
+
+/// The part of a check outcome the replay consumes. Both fields are pure
+/// functions of the checked configuration (see the module docs).
+#[derive(Debug, Clone)]
+struct CheckLite {
+    holds: bool,
+    /// The switches on the counterexample trace, when the property fails and
+    /// the backend produces counterexamples.
+    cex_switches: Option<Vec<SwitchId>>,
+}
+
+enum Msg {
+    /// Worker finished its startup check of the initial configuration.
+    Ready { initial_holds: bool },
+    /// Worker finished (or skipped, `outcome: None`) a task.
+    Result {
+        worker: usize,
+        key: TaskKey,
+        outcome: Option<CheckLite>,
+    },
+    /// Worker exited; final work counters.
+    Done {
+        worker: usize,
+        calls: usize,
+        relabeled: usize,
+    },
+    /// Worker panicked; the scheduler fails fast instead of waiting on a
+    /// result that will never arrive.
+    Panicked { worker: usize },
+}
+
+/// Runs the parallel search. `units` is non-empty and `options.threads > 1`
+/// (the sequential path handles the rest).
+///
+/// When the hardware offers no usable concurrency (see [`speculation_cap`]),
+/// the scheduler degrades to *inline single-flight* mode: the same
+/// deterministic schedule drives the same worker sync machinery on the
+/// calling thread, with no worker threads or channels. Even then the
+/// work-queue formulation wins over the sequential search, because syncing
+/// by diff subsumes the undo-and-restore recheck the sequential loop pays
+/// after every failed candidate.
+pub(crate) fn synthesize(
+    problem: &UpdateProblem,
+    options: &SynthesisOptions,
+    units: &[UpdateUnit],
+    encoder: &NetworkKripke,
+) -> Result<UpdateSequence, SynthesisError> {
+    let threads = options.threads;
+    let spec_cap = speculation_cap(threads);
+    let prune = SharedPruneSet::new();
+    let stop = AtomicBool::new(false);
+
+    if spec_cap == 0 {
+        let (_unused_tx, result_rx) = channel::<Msg>();
+        let worker = Worker::new(0, problem, options, units, encoder, &prune, &stop);
+        let mut scheduler = Scheduler {
+            options,
+            units,
+            task_txs: Vec::new(),
+            result_rx,
+            stop: &stop,
+            inline_worker: Some(worker),
+            pending: HashMap::new(),
+            outstanding: Vec::new(),
+            last_pos: Vec::new(),
+            spec_cap,
+            seq: Vec::new(),
+            applied: BTreeSet::new(),
+            frames: Vec::new(),
+            visited: VisitedSet::new(),
+            wrong: WrongSet::new(),
+            ordering: OrderingConstraints::new(),
+            budget_calls: 0,
+            stats: SynthStats::default(),
+        };
+        let outcome = scheduler.run();
+        let (checks_per_worker, states_relabeled) = scheduler.shutdown();
+        return commit(
+            problem,
+            options,
+            units,
+            scheduler,
+            outcome,
+            checks_per_worker,
+            states_relabeled,
+        );
+    }
+
+    let (result_tx, result_rx) = channel::<Msg>();
+    std::thread::scope(|scope| {
+        let mut task_txs = Vec::with_capacity(threads);
+        for index in 0..threads {
+            let (task_tx, task_rx) = channel::<Task>();
+            task_txs.push(task_tx);
+            let result_tx = result_tx.clone();
+            let (prune, stop) = (&prune, &stop);
+            scope.spawn(move || {
+                // A panicking worker must not strand the scheduler: the
+                // surviving workers keep the result channel open, so a bare
+                // unwind would leave a mandatory fetch blocked forever.
+                // Poison the channel first, then re-raise so the scope still
+                // reports the original panic.
+                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    Worker::new(index, problem, options, units, encoder, prune, stop)
+                        .run(task_rx, result_tx.clone());
+                }));
+                if let Err(payload) = run {
+                    let _ = result_tx.send(Msg::Panicked { worker: index });
+                    std::panic::resume_unwind(payload);
+                }
+            });
+        }
+        drop(result_tx);
+
+        let mut scheduler = Scheduler {
+            options,
+            units,
+            task_txs,
+            result_rx,
+            stop: &stop,
+            inline_worker: None,
+            pending: HashMap::new(),
+            outstanding: vec![0; threads],
+            last_pos: vec![Vec::new(); threads],
+            spec_cap,
+            seq: Vec::new(),
+            applied: BTreeSet::new(),
+            frames: Vec::new(),
+            visited: VisitedSet::new(),
+            wrong: WrongSet::new(),
+            ordering: OrderingConstraints::new(),
+            budget_calls: 0,
+            stats: SynthStats::default(),
+        };
+        let outcome = scheduler.run();
+        let (checks_per_worker, states_relabeled) = scheduler.shutdown();
+        commit(
+            problem,
+            options,
+            units,
+            scheduler,
+            outcome,
+            checks_per_worker,
+            states_relabeled,
+        )
+    })
+}
+
+/// Builds the final result from the replay outcome and the aggregated worker
+/// counters.
+fn commit(
+    problem: &UpdateProblem,
+    options: &SynthesisOptions,
+    units: &[UpdateUnit],
+    scheduler: Scheduler<'_>,
+    outcome: Result<Option<Vec<usize>>, SynthesisError>,
+    checks_per_worker: Vec<usize>,
+    states_relabeled: usize,
+) -> Result<UpdateSequence, SynthesisError> {
+    match outcome? {
+        Some(order_indices) => {
+            let mut stats = scheduler.stats;
+            stats.sat_constraints = scheduler.ordering.num_constraints();
+            stats.model_checker_calls = checks_per_worker.iter().sum();
+            stats.states_relabeled = states_relabeled;
+            stats.checks_per_worker = checks_per_worker;
+            Ok(finish_sequence(
+                problem,
+                options,
+                units,
+                &order_indices,
+                stats,
+            ))
+        }
+        None => Err(SynthesisError::NoOrderingExists {
+            proven_by_constraints: false,
+        }),
+    }
+}
+
+// ---- worker ----------------------------------------------------------------
+
+/// One search worker: a full checking context that can be synced to any
+/// ordered prefix of units.
+struct Worker<'a> {
+    index: usize,
+    problem: &'a UpdateProblem,
+    options: &'a SynthesisOptions,
+    units: &'a [UpdateUnit],
+    encoder: &'a NetworkKripke,
+    prune: &'a SharedPruneSet,
+    stop: &'a AtomicBool,
+    /// Encoded lazily (except on worker 0, which needs it for the startup
+    /// check): idle workers on undersubscribed machines never pay for a
+    /// structure they will not use.
+    kripke: Option<Kripke>,
+    checker: Box<dyn ModelChecker>,
+    config: Configuration,
+    /// The ordered prefix currently applied to `config`/`kripke`.
+    seq: Vec<usize>,
+    /// Per applied unit, the table its switch held before the unit (a stack
+    /// parallel to `seq`, so undoing restores exact table states).
+    saved: Vec<Table>,
+    applied: BTreeSet<usize>,
+    calls: usize,
+    relabeled: usize,
+}
+
+impl<'a> Worker<'a> {
+    fn new(
+        index: usize,
+        problem: &'a UpdateProblem,
+        options: &'a SynthesisOptions,
+        units: &'a [UpdateUnit],
+        encoder: &'a NetworkKripke,
+        prune: &'a SharedPruneSet,
+        stop: &'a AtomicBool,
+    ) -> Self {
+        Worker {
+            index,
+            problem,
+            options,
+            units,
+            encoder,
+            prune,
+            stop,
+            kripke: None,
+            checker: options.backend.instantiate(),
+            config: problem.initial.clone(),
+            seq: Vec::new(),
+            saved: Vec::new(),
+            applied: BTreeSet::new(),
+            calls: 0,
+            relabeled: 0,
+        }
+    }
+
+    fn run(mut self, tasks: Receiver<Task>, results: Sender<Msg>) {
+        // Worker 0 eagerly labels the initial configuration; the outcome
+        // doubles as the search's initial-configuration check. The other
+        // workers warm up lazily — their first recheck falls back to a full
+        // check — so undersubscribed runs do not pay one full labeling per
+        // idle worker.
+        if self.index == 0 {
+            let initial_holds = self.startup_check();
+            let _ = results.send(Msg::Ready { initial_holds });
+        }
+
+        for task in tasks {
+            let outcome = if self.stop.load(Ordering::Relaxed) {
+                None
+            } else {
+                match &task.key {
+                    TaskKey::FinalProbe => Some(self.final_probe()),
+                    TaskKey::Prefix(prefix) => {
+                        if !task.mandatory && self.speculation_refuted(prefix) {
+                            None
+                        } else {
+                            Some(self.check_prefix(prefix))
+                        }
+                    }
+                }
+            };
+            if results
+                .send(Msg::Result {
+                    worker: self.index,
+                    key: task.key,
+                    outcome,
+                })
+                .is_err()
+            {
+                break;
+            }
+        }
+        let _ = results.send(Msg::Done {
+            worker: self.index,
+            calls: self.calls,
+            relabeled: self.relabeled,
+        });
+    }
+
+    /// Encodes and labels the initial configuration — the search's
+    /// initial-configuration check. Returns whether the specification holds.
+    fn startup_check(&mut self) -> bool {
+        let kripke = self
+            .kripke
+            .insert(self.encoder.encode(&self.problem.initial));
+        let outcome = self.checker.check(kripke, &self.problem.spec);
+        self.calls += 1;
+        self.relabeled += outcome.stats.states_labeled;
+        outcome.holds
+    }
+
+    /// Whether the shared prune-set already refutes the configuration a
+    /// speculative task would check: either the prefix extends a refuted
+    /// prefix, or (with counterexample pruning at switch granularity) a
+    /// learnt formula excludes its configuration.
+    fn speculation_refuted(&self, prefix: &[usize]) -> bool {
+        if self.prune.extends_dead(prefix) {
+            return true;
+        }
+        if !self.options.use_counterexamples || self.options.granularity != Granularity::Switch {
+            return false;
+        }
+        let set: BTreeSet<usize> = prefix.iter().copied().collect();
+        self.prune.excludes(&updated_switches(self.units, &set))
+    }
+
+    /// Syncs the worker's structure to `target` (undoing and applying the
+    /// differing units) and rechecks over the union of changed states.
+    fn check_prefix(&mut self, target: &[usize]) -> CheckLite {
+        if self.kripke.is_none() {
+            self.kripke = Some(self.encoder.encode(&self.problem.initial));
+        }
+        let kripke = self.kripke.as_mut().expect("just encoded");
+        let encoder = self.encoder;
+        let mut common = 0;
+        while common < self.seq.len() && common < target.len() && self.seq[common] == target[common]
+        {
+            common += 1;
+        }
+        let mut changed: Vec<StateId> = Vec::new();
+        while self.seq.len() > common {
+            let idx = self.seq.pop().expect("non-empty");
+            let old = self.saved.pop().expect("saved table per applied unit");
+            let switch = self.units[idx].switch();
+            self.applied.remove(&idx);
+            self.config.set_table(switch, old.clone());
+            changed.extend(encoder.apply_switch_update(kripke, switch, &old));
+        }
+        for &idx in &target[common..] {
+            let unit = &self.units[idx];
+            let switch = unit.switch();
+            let old = self.config.table(switch);
+            let new = unit.apply(&self.config);
+            self.seq.push(idx);
+            self.saved.push(old);
+            self.applied.insert(idx);
+            self.config.set_table(switch, new.clone());
+            changed.extend(encoder.apply_switch_update(kripke, switch, &new));
+        }
+        changed.sort_unstable();
+        changed.dedup();
+
+        let outcome = self.checker.recheck(kripke, &self.problem.spec, &changed);
+        self.calls += 1;
+        self.relabeled += outcome.stats.states_labeled;
+
+        // Feed the shared prune-set so other workers stop speculating into
+        // configurations this one just refuted.
+        if !outcome.holds {
+            self.prune.mark_dead(target);
+            if self.options.use_counterexamples && self.options.granularity == Granularity::Switch {
+                if let Some(cex) = &outcome.counterexample {
+                    let updated = updated_switches(self.units, &self.applied);
+                    self.prune.learn(&cex.switches, &updated);
+                }
+            }
+        }
+        CheckLite {
+            holds: outcome.holds,
+            cex_switches: outcome.counterexample.map(|c| c.switches),
+        }
+    }
+
+    /// The sequential search's final-configuration probe: a fresh encoding
+    /// and a fresh checker instance, leaving the worker's incremental state
+    /// untouched.
+    fn final_probe(&mut self) -> CheckLite {
+        let final_kripke = self.encoder.encode(&self.problem.final_config);
+        let mut probe = self.options.backend.instantiate();
+        let outcome = probe.check(&final_kripke, &self.problem.spec);
+        self.calls += 1;
+        self.relabeled += outcome.stats.states_labeled;
+        CheckLite {
+            holds: outcome.holds,
+            cex_switches: outcome.counterexample.map(|c| c.switches),
+        }
+    }
+}
+
+// ---- scheduler -------------------------------------------------------------
+
+enum Pending {
+    InFlight,
+    Done(CheckLite),
+    /// A speculative task the worker skipped (shared prune-set or stop
+    /// flag); re-issued as mandatory if the replay turns out to need it.
+    Skipped,
+}
+
+/// One frame of the iterative DFS replay: the next candidate index to try at
+/// this depth.
+struct Frame {
+    cursor: usize,
+}
+
+struct Scheduler<'a> {
+    options: &'a SynthesisOptions,
+    units: &'a [UpdateUnit],
+    task_txs: Vec<Sender<Task>>,
+    result_rx: Receiver<Msg>,
+    stop: &'a AtomicBool,
+    /// Inline single-flight mode: tasks execute directly on this worker, on
+    /// the calling thread, with no speculation (see [`synthesize`]).
+    inline_worker: Option<Worker<'a>>,
+    /// Issued tasks and their results. Consumed entries are removed;
+    /// mispredicted speculative results stay until shutdown (bounded by the
+    /// total checks performed — the map is the cheap part of that waste).
+    pending: HashMap<TaskKey, Pending>,
+    /// Tasks issued to but not yet answered by each worker.
+    outstanding: Vec<usize>,
+    /// The prefix each worker was last sent (its position after draining its
+    /// queue), used to route tasks to the worker with the cheapest sync.
+    last_pos: Vec<Vec<usize>>,
+    /// In-flight budget for speculative tasks (see [`speculation_cap`]).
+    spec_cap: usize,
+    // Deterministic replay state — mirrors `search::Search` exactly.
+    seq: Vec<usize>,
+    applied: BTreeSet<usize>,
+    frames: Vec<Frame>,
+    visited: VisitedSet,
+    wrong: WrongSet,
+    ordering: OrderingConstraints,
+    /// Mirror of the sequential `stats.model_checker_calls` counter, used
+    /// only for the deterministic budget decision.
+    budget_calls: usize,
+    stats: SynthStats,
+}
+
+impl Scheduler<'_> {
+    fn run(&mut self) -> Result<Option<Vec<usize>>, SynthesisError> {
+        // Initial-configuration check (performed by worker 0 at startup, or
+        // directly in inline mode).
+        let initial_holds = if let Some(worker) = &mut self.inline_worker {
+            worker.startup_check()
+        } else {
+            loop {
+                match self.recv() {
+                    Msg::Ready { initial_holds } => break initial_holds,
+                    msg => self.record(msg),
+                }
+            }
+        };
+        self.budget_calls += 1;
+        if !initial_holds {
+            return Err(SynthesisError::InitialConfigurationViolates);
+        }
+
+        // Final-configuration probe.
+        self.budget_calls += 1;
+        let final_outcome = self.fetch(TaskKey::FinalProbe);
+        if !final_outcome.holds {
+            return Err(SynthesisError::FinalConfigurationViolates);
+        }
+
+        self.replay()
+    }
+
+    /// The sequential DFS, replayed iteratively; every branch condition and
+    /// counter mirrors `search::Search::dfs`.
+    fn replay(&mut self) -> Result<Option<Vec<usize>>, SynthesisError> {
+        let n = self.units.len();
+        self.frames.push(Frame { cursor: 0 });
+        loop {
+            if self.applied.len() == n {
+                return Ok(Some(self.seq.clone()));
+            }
+            let mut idx = self.frames.last().expect("frame per depth").cursor;
+            let mut descended = false;
+            while idx < n {
+                if self.applied.contains(&idx) {
+                    idx += 1;
+                    continue;
+                }
+                if self.budget_calls >= self.options.max_checks {
+                    return Err(SynthesisError::SearchBudgetExhausted);
+                }
+                let switch = self.units[idx].switch();
+
+                let mut candidate = self.applied.clone();
+                candidate.insert(idx);
+                if self.visited.contains(&candidate) {
+                    self.stats.configurations_pruned += 1;
+                    idx += 1;
+                    continue;
+                }
+                self.visited.insert(&candidate);
+                if self.options.use_counterexamples
+                    && self.options.granularity == Granularity::Switch
+                {
+                    let mut updated = updated_switches(self.units, &self.applied);
+                    updated.insert(switch);
+                    if self.wrong.excludes(&updated) {
+                        self.stats.configurations_pruned += 1;
+                        idx += 1;
+                        continue;
+                    }
+                }
+
+                let mut prefix = self.seq.clone();
+                prefix.push(idx);
+                let result = self.fetch(TaskKey::Prefix(prefix));
+                self.budget_calls += 1;
+                // Keep the frame cursor in sync with every consumed check, so
+                // `predict` (which starts simulating from the cursors) never
+                // reconsiders a candidate whose result was already consumed.
+                self.frames.last_mut().expect("frame per depth").cursor = idx + 1;
+
+                if result.holds {
+                    self.seq.push(idx);
+                    self.applied.insert(idx);
+                    self.frames.push(Frame { cursor: 0 });
+                    descended = true;
+                    break;
+                }
+
+                self.stats.backtracks += 1;
+                if self.options.use_counterexamples
+                    && self.options.granularity == Granularity::Switch
+                {
+                    if let Some(cex_switches) = &result.cex_switches {
+                        // In the sequential search the candidate unit is
+                        // still applied when the counterexample is learnt.
+                        let updated = updated_switches(self.units, &candidate);
+                        self.wrong.learn(cex_switches, &updated);
+                        self.stats.counterexamples_learnt += 1;
+                        if self.options.early_termination {
+                            let cex_updated: BTreeSet<SwitchId> = cex_switches
+                                .iter()
+                                .copied()
+                                .filter(|sw| updated.contains(sw))
+                                .collect();
+                            let cex_not_updated: BTreeSet<SwitchId> = cex_switches
+                                .iter()
+                                .copied()
+                                .filter(|sw| !updated.contains(sw))
+                                .collect();
+                            self.ordering
+                                .add_counterexample(&cex_updated, &cex_not_updated);
+                            if !self.ordering.satisfiable() {
+                                return Err(SynthesisError::NoOrderingExists {
+                                    proven_by_constraints: true,
+                                });
+                            }
+                        }
+                    }
+                }
+                // The sequential search's undo-and-restore recheck.
+                self.budget_calls += 1;
+                idx += 1;
+            }
+            if descended {
+                continue;
+            }
+            // This depth is exhausted: backtrack to the parent.
+            self.frames.pop();
+            if self.frames.is_empty() {
+                return Ok(None);
+            }
+            let undone = self.seq.pop().expect("one applied unit per frame");
+            self.applied.remove(&undone);
+            // The restore recheck after an exhausted subtree.
+            self.budget_calls += 1;
+        }
+    }
+
+    /// Blocks until the result for `key` is available, issuing it as a
+    /// mandatory task if it is not already in flight (and re-issuing it if a
+    /// worker skipped it speculatively). Keeps speculation topped up while
+    /// waiting.
+    fn fetch(&mut self, key: TaskKey) -> CheckLite {
+        if let Some(worker) = &mut self.inline_worker {
+            return match &key {
+                TaskKey::FinalProbe => worker.final_probe(),
+                TaskKey::Prefix(prefix) => worker.check_prefix(prefix),
+            };
+        }
+        loop {
+            match self.pending.get(&key) {
+                Some(Pending::Done(_)) => {
+                    // Top up speculation while the result is still visible to
+                    // `predict`, then consume it.
+                    self.top_up();
+                    let Some(Pending::Done(result)) = self.pending.remove(&key) else {
+                        unreachable!("matched Done above");
+                    };
+                    return result;
+                }
+                Some(Pending::Skipped) => {
+                    self.pending.remove(&key);
+                    self.issue(key.clone(), true);
+                }
+                Some(Pending::InFlight) => {}
+                None => {
+                    self.issue(key.clone(), true);
+                }
+            }
+            self.top_up();
+            if matches!(self.pending.get(&key), Some(Pending::InFlight)) {
+                let msg = self.recv();
+                self.record(msg);
+            }
+        }
+    }
+
+    fn recv(&mut self) -> Msg {
+        self.result_rx
+            .recv()
+            .expect("search worker terminated unexpectedly")
+    }
+
+    fn record(&mut self, msg: Msg) {
+        match msg {
+            Msg::Result {
+                worker,
+                key,
+                outcome,
+            } => {
+                self.outstanding[worker] -= 1;
+                let entry = match outcome {
+                    Some(result) => Pending::Done(result),
+                    None => Pending::Skipped,
+                };
+                self.pending.insert(key, entry);
+            }
+            Msg::Panicked { worker } => {
+                panic!("search worker {worker} panicked; aborting the parallel search")
+            }
+            // Ready messages are consumed by `run`; Done messages only
+            // arrive during shutdown.
+            Msg::Ready { .. } | Msg::Done { .. } => {}
+        }
+    }
+
+    /// Routes a task to a worker, respecting the backend's cost model.
+    ///
+    /// Incremental backends pay per *diff* between a worker's position and
+    /// the task, so tasks chase the worker with the longest common prefix
+    /// (the "line worker" keeps extending its own line with one-unit syncs,
+    /// and when the search moves to a sibling branch the worker positioned
+    /// there takes over the line). Per-check-cost backends (batch, product)
+    /// pay the same wherever they run, so tasks spread by load.
+    ///
+    /// Speculative tasks refuse to queue onto a full worker (returns `false`
+    /// and issues nothing); mandatory tasks always go out.
+    fn issue(&mut self, key: TaskKey, mandatory: bool) -> bool {
+        let prefix: &[usize] = match &key {
+            TaskKey::Prefix(p) => p,
+            TaskKey::FinalProbe => &[],
+        };
+        let locality_first = matches!(
+            self.options.backend,
+            netupd_mc::Backend::Incremental | netupd_mc::Backend::HeaderSpace
+        );
+        let worker = (0..self.task_txs.len())
+            .min_by_key(|w| {
+                let lcp = self.last_pos[*w]
+                    .iter()
+                    .zip(prefix)
+                    .take_while(|(a, b)| a == b)
+                    .count();
+                // A worker whose position *is* a prefix of the task syncs by
+                // only applying units; anyone else also undoes their own
+                // divergent suffix. Model the sync cost as that total diff.
+                let diff = (self.last_pos[*w].len() - lcp) + (prefix.len() - lcp);
+                if locality_first {
+                    (self.outstanding[*w] / TASKS_PER_WORKER, diff, *w)
+                } else {
+                    (self.outstanding[*w], diff, *w)
+                }
+            })
+            .expect("at least one worker");
+        if !mandatory && self.outstanding[worker] >= TASKS_PER_WORKER {
+            return false;
+        }
+        self.outstanding[worker] += 1;
+        if let TaskKey::Prefix(p) = &key {
+            self.last_pos[worker] = p.clone();
+        }
+        self.pending.insert(key.clone(), Pending::InFlight);
+        self.task_txs[worker]
+            .send(Task { key, mandatory })
+            .expect("search worker hung up");
+        true
+    }
+
+    /// Issues speculative tasks for the prefixes the replay is predicted to
+    /// need next, keeping every worker's queue filled.
+    fn top_up(&mut self) {
+        let cap = self.spec_cap;
+        let mut in_flight: usize = self.outstanding.iter().sum();
+        if in_flight >= cap {
+            return;
+        }
+        // Only simulate as far as tasks can actually be issued: the predict
+        // limit bounds how much replay state (visited/wrong sets) the
+        // simulation clones per scheduler message.
+        for prefix in self.predict(cap - in_flight) {
+            if in_flight >= cap {
+                break;
+            }
+            let key = TaskKey::Prefix(prefix);
+            if self.pending.contains_key(&key) {
+                continue;
+            }
+            if !self.issue(key, false) {
+                break;
+            }
+            in_flight += 1;
+        }
+    }
+
+    /// Simulates the replay forward from its current state — following known
+    /// results, assuming unknown checks hold — and returns the prefixes of
+    /// checks with unknown results, in a priority order for speculation.
+    ///
+    /// Two kinds of predictions come out of the simulation:
+    ///
+    /// * **line** checks: the checks the replay needs if every assumption
+    ///   holds (the common case — the search is mostly greedy), and
+    /// * **sibling** checks: for each assumed-holds step, the next viable
+    ///   candidate at the same depth — the check the replay needs instead if
+    ///   that step fails, so a backtrack finds its alternative already
+    ///   checked.
+    ///
+    /// The merged order front-loads the line (its early entries are near
+    /// certain to be needed) and then interleaves siblings.
+    fn predict(&self, limit: usize) -> Vec<Vec<usize>> {
+        let n = self.units.len();
+        let mut line: Vec<Vec<usize>> = Vec::new();
+        let mut siblings: Vec<Vec<usize>> = Vec::new();
+        let mut seq = self.seq.clone();
+        let mut applied = self.applied.clone();
+        let mut visited = self.visited.clone();
+        let mut wrong = self.wrong.clone();
+        let mut cursors: Vec<usize> = self.frames.iter().map(|f| f.cursor).collect();
+        if cursors.is_empty() {
+            // Prediction before the replay started (during the final probe):
+            // the first DFS frame.
+            cursors.push(0);
+        }
+        let mut steps = 0;
+        'outer: while line.len() < limit && steps < PREDICT_STEP_LIMIT {
+            steps += 1;
+            if applied.len() == n {
+                break;
+            }
+            let Some(depth) = cursors.len().checked_sub(1) else {
+                break;
+            };
+            let mut idx = cursors[depth];
+            while idx < n {
+                steps += 1;
+                if applied.contains(&idx) {
+                    idx += 1;
+                    continue;
+                }
+                let switch = self.units[idx].switch();
+                let mut candidate = applied.clone();
+                candidate.insert(idx);
+                if visited.contains(&candidate) {
+                    idx += 1;
+                    continue;
+                }
+                if self.options.use_counterexamples
+                    && self.options.granularity == Granularity::Switch
+                {
+                    let mut updated = updated_switches(self.units, &applied);
+                    updated.insert(switch);
+                    if wrong.excludes(&updated) {
+                        idx += 1;
+                        continue;
+                    }
+                }
+                let mut prefix = seq.clone();
+                prefix.push(idx);
+                let known = match self.pending.get(&TaskKey::Prefix(prefix.clone())) {
+                    Some(Pending::Done(result)) => Some(result.clone()),
+                    Some(Pending::InFlight) | Some(Pending::Skipped) => None,
+                    None => {
+                        line.push(prefix.clone());
+                        None
+                    }
+                };
+                match known {
+                    Some(result) if !result.holds => {
+                        // Follow the fail branch: learn into the simulated
+                        // wrong-set and try the next candidate.
+                        visited.insert(&candidate);
+                        if self.options.use_counterexamples
+                            && self.options.granularity == Granularity::Switch
+                        {
+                            if let Some(cex_switches) = &result.cex_switches {
+                                let updated = updated_switches(self.units, &candidate);
+                                wrong.learn(cex_switches, &updated);
+                            }
+                        }
+                        idx += 1;
+                    }
+                    // Known-holds and unknown (assumed to hold): descend,
+                    // remembering the fail-branch alternative.
+                    _ => {
+                        if known.is_none() {
+                            if let Some(sibling) = next_viable(
+                                self.units,
+                                self.options,
+                                &applied,
+                                &visited,
+                                &wrong,
+                                idx + 1,
+                            ) {
+                                let mut alt = seq.clone();
+                                alt.push(sibling);
+                                if !self.pending.contains_key(&TaskKey::Prefix(alt.clone())) {
+                                    siblings.push(alt);
+                                }
+                            }
+                        }
+                        visited.insert(&candidate);
+                        cursors[depth] = idx + 1;
+                        seq.push(idx);
+                        applied.insert(idx);
+                        cursors.push(0);
+                        continue 'outer;
+                    }
+                }
+            }
+            // Simulated frame exhausted: simulated backtrack.
+            cursors.pop();
+            if cursors.is_empty() {
+                break;
+            }
+            if let Some(undone) = seq.pop() {
+                applied.remove(&undone);
+            }
+        }
+        // Merge: the first two line entries, then alternate sibling/line.
+        let mut out = Vec::with_capacity(limit);
+        let mut line = line.into_iter();
+        let mut siblings = siblings.into_iter();
+        out.extend(line.by_ref().take(2));
+        loop {
+            let sibling = siblings.next();
+            let next_line = line.next();
+            if sibling.is_none() && next_line.is_none() {
+                break;
+            }
+            out.extend(sibling);
+            out.extend(next_line);
+            if out.len() >= limit {
+                break;
+            }
+        }
+        out.truncate(limit);
+        out
+    }
+
+    /// Stops the workers, drains the result channel, and returns the
+    /// per-worker call counts and the total states relabeled.
+    fn shutdown(&mut self) -> (Vec<usize>, usize) {
+        if let Some(worker) = &self.inline_worker {
+            return (vec![worker.calls], worker.relabeled);
+        }
+        self.stop.store(true, Ordering::Relaxed);
+        let workers = self.task_txs.len();
+        self.task_txs.clear();
+        let mut calls = vec![0; workers];
+        let mut relabeled = 0;
+        while let Ok(msg) = self.result_rx.recv() {
+            if let Msg::Done {
+                worker,
+                calls: c,
+                relabeled: r,
+            } = msg
+            {
+                calls[worker] = c;
+                relabeled += r;
+            }
+        }
+        (calls, relabeled)
+    }
+}
+
+/// The first candidate at or after `from` that the replay's candidate scan
+/// would not prune — the sibling a failed check falls through to. Mirrors the
+/// scan conditions of `Scheduler::replay`.
+fn next_viable(
+    units: &[UpdateUnit],
+    options: &SynthesisOptions,
+    applied: &BTreeSet<usize>,
+    visited: &VisitedSet,
+    wrong: &WrongSet,
+    from: usize,
+) -> Option<usize> {
+    for idx in from..units.len() {
+        if applied.contains(&idx) {
+            continue;
+        }
+        let mut candidate = applied.clone();
+        candidate.insert(idx);
+        if visited.contains(&candidate) {
+            continue;
+        }
+        if options.use_counterexamples && options.granularity == Granularity::Switch {
+            let mut updated = updated_switches(units, applied);
+            updated.insert(units[idx].switch());
+            if wrong.excludes(&updated) {
+                continue;
+            }
+        }
+        return Some(idx);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::Synthesizer;
+    use netupd_mc::Backend;
+    use netupd_model::Configuration;
+    use netupd_topo::generators;
+    use netupd_topo::scenario::{diamond_scenario, double_diamond_scenario, PropertyKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fat_tree_problem(kind: PropertyKind, seed: u64) -> UpdateProblem {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = generators::fat_tree(4);
+        let scenario = diamond_scenario(&graph, kind, &mut rng).expect("diamond");
+        UpdateProblem::from_scenario(&scenario)
+    }
+
+    fn sw(n: u32) -> SwitchId {
+        SwitchId(n)
+    }
+
+    #[test]
+    fn shared_prune_set_learns_formulas() {
+        let prune = SharedPruneSet::new();
+        let updated: BTreeSet<SwitchId> = [sw(1)].into_iter().collect();
+        assert!(!prune.excludes(&updated));
+        prune.learn(&[sw(1), sw(2)], &updated);
+        assert!(prune.excludes(&[sw(1)].into_iter().collect()));
+        assert!(!prune.excludes(&[sw(1), sw(2)].into_iter().collect()));
+    }
+
+    #[test]
+    fn shared_prune_set_tracks_dead_prefixes() {
+        let prune = SharedPruneSet::new();
+        assert!(!prune.extends_dead(&[0, 1]));
+        prune.mark_dead(&[0, 1]);
+        assert!(prune.extends_dead(&[0, 1]));
+        assert!(prune.extends_dead(&[0, 1, 2]));
+        assert!(!prune.extends_dead(&[0]));
+        assert!(!prune.extends_dead(&[0, 2, 1]));
+    }
+
+    #[test]
+    fn parallel_commits_the_sequential_result_per_backend() {
+        let problem = fat_tree_problem(PropertyKind::Reachability, 8);
+        for backend in Backend::ALL {
+            let sequential = Synthesizer::new(problem.clone())
+                .with_options(SynthesisOptions::with_backend(backend))
+                .synthesize()
+                .unwrap_or_else(|e| panic!("{backend} sequential failed: {e}"));
+            let parallel = Synthesizer::new(problem.clone())
+                .with_options(SynthesisOptions::with_backend(backend).threads(3))
+                .synthesize()
+                .unwrap_or_else(|e| panic!("{backend} parallel failed: {e}"));
+            assert_eq!(sequential.commands, parallel.commands, "{backend}");
+            assert_eq!(sequential.order, parallel.order, "{backend}");
+            // Schedule counters are deterministic and identical.
+            assert_eq!(
+                sequential.stats.counterexamples_learnt, parallel.stats.counterexamples_learnt,
+                "{backend}"
+            );
+            assert_eq!(
+                sequential.stats.backtracks, parallel.stats.backtracks,
+                "{backend}"
+            );
+            assert_eq!(
+                sequential.stats.sat_constraints, parallel.stats.sat_constraints,
+                "{backend}"
+            );
+            // Work attribution covers every check performed. (Inline
+            // single-flight mode reports one worker; threaded mode one entry
+            // per worker thread.)
+            let per_worker = &parallel.stats.checks_per_worker;
+            assert!(
+                per_worker.len() == 1 || per_worker.len() == 3,
+                "{backend}: {per_worker:?}"
+            );
+            assert_eq!(
+                per_worker.iter().sum::<usize>(),
+                parallel.stats.model_checker_calls,
+                "{backend}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_rejects_violating_initial_configuration() {
+        let mut problem = fat_tree_problem(PropertyKind::Reachability, 3);
+        problem.initial = Configuration::new();
+        let result = Synthesizer::new(problem)
+            .with_options(SynthesisOptions::default().threads(2))
+            .synthesize();
+        assert_eq!(
+            result.unwrap_err(),
+            SynthesisError::InitialConfigurationViolates
+        );
+    }
+
+    #[test]
+    fn parallel_rejects_violating_final_configuration() {
+        let mut problem = fat_tree_problem(PropertyKind::Reachability, 3);
+        problem.final_config = Configuration::new();
+        assert!(!problem.switches_to_update().is_empty());
+        let result = Synthesizer::new(problem)
+            .with_options(SynthesisOptions::default().threads(2))
+            .synthesize();
+        assert_eq!(
+            result.unwrap_err(),
+            SynthesisError::FinalConfigurationViolates
+        );
+    }
+
+    #[test]
+    fn parallel_agrees_on_infeasibility() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let graph = generators::fat_tree(4);
+        let scenario =
+            double_diamond_scenario(&graph, PropertyKind::Reachability, &mut rng).expect("double");
+        let problem = UpdateProblem::from_scenario(&scenario);
+        let sequential = Synthesizer::new(problem.clone()).synthesize();
+        let parallel = Synthesizer::new(problem)
+            .with_options(SynthesisOptions::default().threads(4))
+            .synthesize();
+        match (&sequential, &parallel) {
+            (
+                Err(SynthesisError::NoOrderingExists { .. }),
+                Err(SynthesisError::NoOrderingExists { .. }),
+            ) => {}
+            other => panic!("expected agreement on infeasibility, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_solves_at_rule_granularity() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let graph = generators::fat_tree(4);
+        let scenario =
+            double_diamond_scenario(&graph, PropertyKind::Reachability, &mut rng).expect("double");
+        let problem = UpdateProblem::from_scenario(&scenario);
+        let options = SynthesisOptions::default().granularity(Granularity::Rule);
+        let sequential = Synthesizer::new(problem.clone())
+            .with_options(options.clone())
+            .synthesize()
+            .expect("rule granularity solves the double diamond");
+        let parallel = Synthesizer::new(problem)
+            .with_options(options.threads(4))
+            .synthesize()
+            .expect("parallel rule granularity");
+        assert_eq!(sequential.commands, parallel.commands);
+        assert_eq!(sequential.order, parallel.order);
+    }
+
+    #[test]
+    fn speculation_cap_scales_with_hardware_and_thread_count() {
+        // Whatever the host, a single worker never speculates (there is no
+        // second worker to speculate on).
+        if std::env::var("NETUPD_SEARCH_SPECULATION").is_err() {
+            assert_eq!(speculation_cap(1), 0);
+        }
+    }
+}

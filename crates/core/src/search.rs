@@ -15,10 +15,20 @@ use crate::units::{plan_units, UpdateUnit};
 use crate::wait_removal;
 
 /// Counters describing the work a synthesis run performed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// In single-threaded mode every counter describes the one search loop. In
+/// parallel mode (`threads > 1`) the *search-schedule* counters
+/// (`configurations_pruned`, `counterexamples_learnt`, `backtracks`,
+/// `sat_constraints`, `waits_*`) are deterministic and identical to the
+/// sequential run, while the *work* counters (`model_checker_calls`,
+/// `states_relabeled`, `checks_per_worker`) aggregate the real checks the
+/// workers performed — including speculative checks that were later
+/// discarded — so they vary with thread count and timing.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct SynthStats {
     /// Model-checker queries issued (including the queries needed to restore
-    /// labels when the search backtracks).
+    /// labels when the search backtracks and, in parallel mode, speculative
+    /// queries).
     pub model_checker_calls: usize,
     /// Total states (re)labeled across all queries — the measure of
     /// incrementality.
@@ -36,6 +46,13 @@ pub struct SynthStats {
     pub waits_before_removal: usize,
     /// Waits remaining after wait removal.
     pub waits_after_removal: usize,
+    /// Model-checker calls attributed to each active worker, in worker-index
+    /// order. Empty for single-threaded runs; one entry in the parallel
+    /// scheduler's inline single-flight mode; one entry per worker thread
+    /// otherwise. The entries sum to `model_checker_calls`, so per-backend
+    /// attribution (Figure 7) stays honest about the total checking work
+    /// performed.
+    pub checks_per_worker: Vec<usize>,
 }
 
 /// A synthesized update: the command sequence to execute, the order of atomic
@@ -131,12 +148,20 @@ impl Synthesizer {
 
     /// Runs the `OrderUpdate` search.
     ///
+    /// With [`SynthesisOptions::threads`] greater than one, candidate
+    /// orderings are fanned out across worker threads (see
+    /// [`crate::parallel`]); the committed result is identical to the
+    /// single-threaded search.
+    ///
     /// # Errors
     ///
     /// See [`SynthesisError`].
     pub fn synthesize(&self) -> Result<UpdateSequence, SynthesisError> {
         let units = plan_units(&self.problem, self.options.granularity);
         let encoder = self.encoder();
+        if self.options.threads > 1 && !units.is_empty() {
+            return crate::parallel::synthesize(&self.problem, &self.options, &units, &encoder);
+        }
         let mut checker = self.options.backend.instantiate();
         let mut stats = SynthStats::default();
 
@@ -191,21 +216,13 @@ impl Synthesizer {
             Some(order_indices) => {
                 let mut stats = search.stats;
                 stats.sat_constraints = search.ordering.num_constraints();
-                let order: Vec<UpdateUnit> =
-                    order_indices.iter().map(|i| units[*i].clone()).collect();
-                let careful = build_command_sequence(&self.problem.initial, &order);
-                stats.waits_before_removal = careful.num_waits();
-                let commands = if self.options.remove_waits {
-                    wait_removal::remove_unnecessary_waits(&self.problem, &order)
-                } else {
-                    careful
-                };
-                stats.waits_after_removal = commands.num_waits();
-                Ok(UpdateSequence {
-                    commands,
-                    order,
+                Ok(finish_sequence(
+                    &self.problem,
+                    &self.options,
+                    &units,
+                    &order_indices,
                     stats,
-                })
+                ))
             }
             None => Err(SynthesisError::NoOrderingExists {
                 proven_by_constraints: false,
@@ -222,6 +239,57 @@ impl Synthesizer {
             encoder.with_ingress_hosts(self.problem.ingress_hosts.iter().copied())
         }
     }
+}
+
+/// Materializes a solved unit order into the final [`UpdateSequence`]: looks
+/// up the units, builds the careful command sequence, runs wait removal if
+/// enabled, and fills in the wait counters. Shared by the sequential and
+/// parallel searches so both commit byte-identical results.
+pub(crate) fn finish_sequence(
+    problem: &UpdateProblem,
+    options: &SynthesisOptions,
+    units: &[UpdateUnit],
+    order_indices: &[usize],
+    mut stats: SynthStats,
+) -> UpdateSequence {
+    let order: Vec<UpdateUnit> = order_indices.iter().map(|i| units[*i].clone()).collect();
+    let careful = build_command_sequence(&problem.initial, &order);
+    stats.waits_before_removal = careful.num_waits();
+    let commands = if options.remove_waits {
+        wait_removal::remove_unnecessary_waits(problem, &order)
+    } else {
+        careful
+    };
+    stats.waits_after_removal = commands.num_waits();
+    UpdateSequence {
+        commands,
+        order,
+        stats,
+    }
+}
+
+/// Switches considered "updated" once the units in `applied` have been
+/// applied: those for which every planned unit has been applied. Shared by
+/// the sequential search, the parallel scheduler, and the parallel workers so
+/// counterexample formulas mean the same thing everywhere.
+pub(crate) fn updated_switches(
+    units: &[UpdateUnit],
+    applied: &BTreeSet<usize>,
+) -> BTreeSet<SwitchId> {
+    let mut per_switch: std::collections::BTreeMap<SwitchId, (usize, usize)> =
+        std::collections::BTreeMap::new();
+    for (i, unit) in units.iter().enumerate() {
+        let entry = per_switch.entry(unit.switch()).or_insert((0, 0));
+        entry.1 += 1;
+        if applied.contains(&i) {
+            entry.0 += 1;
+        }
+    }
+    per_switch
+        .into_iter()
+        .filter(|(_, (done, total))| done == total)
+        .map(|(sw, _)| sw)
+        .collect()
 }
 
 /// Builds the careful command sequence for a unit order: one table-replacement
@@ -261,20 +329,7 @@ impl Search<'_> {
     /// Switches considered "updated" in the current configuration: those for
     /// which every planned unit has been applied.
     fn updated_switches(&self) -> BTreeSet<SwitchId> {
-        let mut per_switch: std::collections::BTreeMap<SwitchId, (usize, usize)> =
-            std::collections::BTreeMap::new();
-        for (i, unit) in self.units.iter().enumerate() {
-            let entry = per_switch.entry(unit.switch()).or_insert((0, 0));
-            entry.1 += 1;
-            if self.applied.contains(&i) {
-                entry.0 += 1;
-            }
-        }
-        per_switch
-            .into_iter()
-            .filter(|(_, (done, total))| done == total)
-            .map(|(sw, _)| sw)
-            .collect()
+        updated_switches(self.units, &self.applied)
     }
 
     fn dfs(&mut self) -> Result<Option<Vec<usize>>, SynthesisError> {

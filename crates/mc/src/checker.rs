@@ -93,7 +93,11 @@ impl CheckOutcome {
 /// synthesizer calls [`check`](ModelChecker::check) once for the initial
 /// configuration and [`recheck`](ModelChecker::recheck) after each switch
 /// update, passing the set of states whose transitions changed.
-pub trait ModelChecker {
+///
+/// Checkers are `Send`: the parallel ordering search instantiates one checker
+/// per worker thread, so backend state must not contain thread-bound shared
+/// ownership (`Rc`/`RefCell`).
+pub trait ModelChecker: Send {
     /// Checks `kripke` against `phi` from scratch.
     fn check(&mut self, kripke: &Kripke, phi: &Ltl) -> CheckOutcome;
 
@@ -141,6 +145,11 @@ impl Backend {
     ];
 
     /// Instantiates the backend.
+    ///
+    /// Instantiation is cheap (no per-structure state is allocated until the
+    /// first check), and every checker is `Send` (a supertrait of
+    /// [`ModelChecker`]), so the parallel search gives every worker thread
+    /// its own instance.
     pub fn instantiate(self) -> Box<dyn ModelChecker> {
         match self {
             Backend::Incremental => Box::new(crate::IncrementalChecker::new()),

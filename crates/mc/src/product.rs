@@ -14,9 +14,8 @@
 //! every query and reuses nothing between the closely-related queries the
 //! synthesizer issues. Like NuSMV, it does produce counterexamples.
 
-use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use netupd_kripke::{Kripke, StateId};
 use netupd_ltl::{Assignment, Closure, Ltl, PropSet, PropSetRef, ResolvedProps};
@@ -24,9 +23,14 @@ use netupd_ltl::{Assignment, Closure, Ltl, PropSet, PropSetRef, ResolvedProps};
 use crate::checker::{CheckOutcome, CheckStats, Counterexample, ModelChecker};
 
 /// Monolithic tableau-product model checker.
+///
+/// The checker owns the per-query atom cache (cleared at the start of every
+/// [`check`](ModelChecker::check), preserving the from-scratch cost profile);
+/// atom vectors are shared between same-label states via [`Arc`], so the
+/// checker is `Send` and cheap to instantiate once per search worker.
 #[derive(Debug, Default)]
 pub struct ProductChecker {
-    _private: (),
+    cache: AtomCache,
 }
 
 impl ProductChecker {
@@ -41,12 +45,13 @@ impl ModelChecker for ProductChecker {
         let negated = phi.negated();
         let closure = Closure::new(&negated);
         let tableau = Tableau::new(closure, kripke);
+        self.cache.reset(kripke.len());
         let stats = CheckStats {
             states_labeled: kripke.len(),
             total_states: kripke.len(),
             incremental: false,
         };
-        match tableau.find_violation(kripke) {
+        match tableau.find_violation(kripke, &mut self.cache) {
             None => CheckOutcome::success(stats),
             Some(path) => {
                 CheckOutcome::failure(Some(Counterexample::from_states(kripke, path)), stats)
@@ -56,6 +61,32 @@ impl ModelChecker for ProductChecker {
 
     fn name(&self) -> &'static str {
         "product"
+    }
+}
+
+/// The atom cache for one query: a dense per-state slot array plus a sharing
+/// index from interned label to the atoms enumerated against it.
+///
+/// Owned by the [`ProductChecker`] (not the per-query tableau) so the backing
+/// allocations are reused across the synthesizer's query series while the
+/// *contents* are rebuilt from scratch every query, and so the sharing uses
+/// thread-safe [`Arc`] handles rather than `Rc`/`RefCell` interior
+/// mutability.
+#[derive(Debug, Default)]
+struct AtomCache {
+    /// Dense per-state atom cache: one slot per state id.
+    state_atoms: Vec<Option<Arc<Vec<Assignment>>>>,
+    /// Sharing index from interned label to the atoms enumerated against it.
+    by_label: HashMap<PropSet, Arc<Vec<Assignment>>>,
+}
+
+impl AtomCache {
+    /// Clears the cache and resizes the per-state slots for a structure of
+    /// `states` states.
+    fn reset(&mut self, states: usize) {
+        self.state_atoms.clear();
+        self.state_atoms.resize(states, None);
+        self.by_label.clear();
     }
 }
 
@@ -73,11 +104,6 @@ struct Tableau {
     temporal_pos: Vec<usize>,
     /// `(until_id, rhs_id)` pairs used for the self-fulfillment check.
     untils: Vec<(usize, usize)>,
-    /// Dense per-state atom cache: one slot per state id, with the atom
-    /// vector shared (`Rc`) between states that carry the same label.
-    state_atoms: RefCell<Vec<Option<Rc<Vec<Assignment>>>>>,
-    /// Sharing index from interned label to the atoms enumerated against it.
-    by_label: RefCell<HashMap<PropSet, Rc<Vec<Assignment>>>>,
 }
 
 impl Tableau {
@@ -103,32 +129,31 @@ impl Tableau {
             temporal,
             temporal_pos,
             untils,
-            state_atoms: RefCell::new(vec![None; kripke.len()]),
-            by_label: RefCell::new(HashMap::new()),
         }
     }
 
     /// The atoms consistent with a state's label, from the dense per-state
     /// cache (falling back to the by-label sharing index, then enumeration).
-    fn atoms_for_state(&self, kripke: &Kripke, state: StateId) -> Rc<Vec<Assignment>> {
-        let cached = self.state_atoms.borrow()[state.0].clone();
-        if let Some(cached) = cached {
-            return cached;
+    fn atoms_for_state(
+        &self,
+        kripke: &Kripke,
+        cache: &mut AtomCache,
+        state: StateId,
+    ) -> Arc<Vec<Assignment>> {
+        if let Some(cached) = &cache.state_atoms[state.0] {
+            return Arc::clone(cached);
         }
         let label = kripke.label(state);
         let owned = label.to_owned();
-        let shared = self.by_label.borrow().get(&owned).cloned();
-        let atoms = match shared {
-            Some(shared) => shared,
+        let atoms = match cache.by_label.get(&owned) {
+            Some(shared) => Arc::clone(shared),
             None => {
-                let enumerated = Rc::new(self.enumerate_atoms(label));
-                self.by_label
-                    .borrow_mut()
-                    .insert(owned, Rc::clone(&enumerated));
+                let enumerated = Arc::new(self.enumerate_atoms(label));
+                cache.by_label.insert(owned, Arc::clone(&enumerated));
                 enumerated
             }
         };
-        self.state_atoms.borrow_mut()[state.0] = Some(Rc::clone(&atoms));
+        cache.state_atoms[state.0] = Some(Arc::clone(&atoms));
         atoms
     }
 
@@ -208,16 +233,17 @@ impl Tableau {
     /// Searches for a path from an initial state, paired with an atom
     /// asserting the negated specification, to a self-fulfilling sink atom.
     /// Returns the state path if found (i.e. the original property fails).
-    fn find_violation(&self, kripke: &Kripke) -> Option<Vec<StateId>> {
+    fn find_violation(&self, kripke: &Kripke, cache: &mut AtomCache) -> Option<Vec<StateId>> {
         let root = self.closure.root_id();
         let mut visited: HashSet<(StateId, Assignment)> = HashSet::new();
         for initial in kripke.initial_states() {
-            for atom in self.atoms_for_state(kripke, initial).iter() {
+            let atoms = self.atoms_for_state(kripke, cache, initial);
+            for atom in atoms.iter() {
                 if !atom.get(root) {
                     continue;
                 }
                 let mut path = Vec::new();
-                if self.dfs(kripke, initial, atom, &mut visited, &mut path) {
+                if self.dfs(kripke, cache, initial, atom, &mut visited, &mut path) {
                     return Some(path);
                 }
             }
@@ -228,6 +254,7 @@ impl Tableau {
     fn dfs(
         &self,
         kripke: &Kripke,
+        cache: &mut AtomCache,
         state: StateId,
         atom: &Assignment,
         visited: &mut HashSet<(StateId, Assignment)>,
@@ -244,9 +271,10 @@ impl Tableau {
             if *succ == state {
                 continue;
             }
-            for next_atom in self.atoms_for_state(kripke, *succ).iter() {
+            let next_atoms = self.atoms_for_state(kripke, cache, *succ);
+            for next_atom in next_atoms.iter() {
                 if self.closure.follows(atom, next_atom)
-                    && self.dfs(kripke, *succ, next_atom, visited, path)
+                    && self.dfs(kripke, cache, *succ, next_atom, visited, path)
                 {
                     return true;
                 }

@@ -1,0 +1,71 @@
+//! The parallel ordering search: same result, distributed checking.
+//!
+//! `SynthesisOptions::threads(n)` fans candidate orderings out across `n`
+//! workers, each owning its own model-checker instance, with a shared
+//! counterexample prune-set cutting every worker's speculative frontier.
+//! The scheduler commits exactly the sequence the single-threaded search
+//! returns — the thread count is purely a performance knob — so this
+//! example runs both and verifies they agree, then compares the work
+//! counters.
+//!
+//! Run with: `cargo run --release --example parallel_search`
+
+use std::time::Instant;
+
+use netupd_mc::Backend;
+use netupd_synth::{SynthesisOptions, Synthesizer, UpdateProblem, UpdateSequence};
+use netupd_topo::generators;
+use netupd_topo::scenario::{multi_diamond_scenario, PropertyKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run(problem: &UpdateProblem, threads: usize) -> (UpdateSequence, f64) {
+    let options = SynthesisOptions::with_backend(Backend::Incremental).threads(threads);
+    let start = Instant::now();
+    let result = Synthesizer::new(problem.clone())
+        .with_options(options)
+        .synthesize()
+        .expect("the multi-diamond scenario has an ordering update");
+    (result, start.elapsed().as_secs_f64() * 1e3)
+}
+
+fn main() {
+    // A scalability-style workload: four flows moving at once on a
+    // 100-switch Small-World topology, waypointing preserved throughout.
+    let mut rng = StdRng::seed_from_u64(7);
+    let graph = generators::small_world(100, 4, 0.1, &mut rng);
+    let scenario = multi_diamond_scenario(&graph, PropertyKind::Waypoint, 4, &mut rng)
+        .expect("small-world topologies admit diamonds");
+    let problem = UpdateProblem::from_scenario(&scenario);
+    println!(
+        "{} switches, {} updating; synthesizing with 1 and 4 worker threads...\n",
+        graph.num_switches(),
+        problem.switches_to_update().len()
+    );
+
+    let (sequential, t_seq) = run(&problem, 1);
+    let (parallel, t_par) = run(&problem, 4);
+
+    assert_eq!(
+        sequential.commands, parallel.commands,
+        "the parallel search must commit the sequential result"
+    );
+    assert_eq!(sequential.order, parallel.order);
+    println!(
+        "threads(1): {:>7.2} ms, {} model-checker calls",
+        t_seq, sequential.stats.model_checker_calls
+    );
+    println!(
+        "threads(4): {:>7.2} ms, {} model-checker calls, per worker {:?}",
+        t_par, parallel.stats.model_checker_calls, parallel.stats.checks_per_worker
+    );
+    println!(
+        "\nIdentical {}-update sequence from both searches.",
+        parallel.commands.num_updates()
+    );
+    println!(
+        "(On a single-core host the scheduler degrades to inline mode and the\n\
+         gain comes from restore elimination; with cores available it also\n\
+         overlaps speculative checks — see DESIGN.md §5.)"
+    );
+}
