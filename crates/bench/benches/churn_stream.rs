@@ -1,0 +1,105 @@
+//! Churn-stream serving throughput: requests/sec for a stream of related
+//! update requests served by a fresh `Synthesizer` per request versus one
+//! long-lived `UpdateEngine`, across backends and thread counts.
+//!
+//! This is the serving workload behind the engine (DESIGN.md §6): K
+//! successive requests over one topology where each step perturbs the
+//! previous final configuration. The fresh mode re-encodes, re-interns, and
+//! re-labels everything per request; the reuse mode syncs persistent
+//! structures by diff. The measured series (per-request mean over the
+//! stream) lands in `BENCH_churn.json` alongside the fig7/fig8 reports.
+//!
+//! Unlike the figure benches this target drives its own timing loop (the
+//! unit of measurement is a whole stream, not one call), so it does not use
+//! the Criterion harness; `harness = false` hands it `main` directly.
+
+use netupd_bench::{
+    churn_workload, fast_mode, fmt_min_mean_max, print_header, print_row, report_samples,
+    sample_churn_stream, BenchReport, StreamMode, TopologyFamily,
+};
+use netupd_mc::Backend;
+use netupd_synth::SynthesisOptions;
+use netupd_topo::scenario::PropertyKind;
+
+/// The `(family, size)` shapes measured.
+const SHAPES: [(TopologyFamily, usize); 2] = [
+    (TopologyFamily::FatTree, 20),
+    (TopologyFamily::SmallWorld, 30),
+];
+
+/// Thread counts for the engine/synthesizer (the fresh-vs-reuse comparison
+/// matters most at 1, and must hold under the parallel search too).
+const THREADS: [usize; 2] = [1, 4];
+
+/// Samples per series for the machine-readable report.
+const REPORT_SAMPLES: usize = 5;
+
+/// Requests per stream (halved in fast mode so CI stays quick).
+fn stream_steps() -> usize {
+    if fast_mode() {
+        4
+    } else {
+        8
+    }
+}
+
+fn main() {
+    let steps = stream_steps();
+    let samples_per_series = report_samples(REPORT_SAMPLES);
+    print_header(
+        "Churn stream: per-request time, fresh synthesizer vs engine reuse",
+        &[
+            "family",
+            "switches",
+            "backend",
+            "threads",
+            "mode",
+            "[min mean max]",
+            "req/s",
+        ],
+    );
+    let mut report = BenchReport::new("churn");
+    for (family, size) in SHAPES {
+        let workload = churn_workload(family, size, PropertyKind::Reachability, steps, 42);
+        for backend in Backend::ALL {
+            for threads in THREADS {
+                let options = SynthesisOptions::with_backend(backend).threads(threads);
+                for mode in StreamMode::ALL {
+                    let samples =
+                        sample_churn_stream(&workload, &options, mode, samples_per_series);
+                    let mean_s =
+                        samples.iter().map(|d| d.as_secs_f64()).sum::<f64>() / samples.len() as f64;
+                    let req_per_sec = if mean_s > 0.0 { 1.0 / mean_s } else { 0.0 };
+                    print_row(&[
+                        family.name().to_string(),
+                        workload.switches.to_string(),
+                        backend.to_string(),
+                        threads.to_string(),
+                        mode.name().to_string(),
+                        fmt_min_mean_max(&samples),
+                        format!("{req_per_sec:.0}"),
+                    ]);
+                    report.record(
+                        format!(
+                            "churn/{}/{}/{}/t{}",
+                            family.name(),
+                            backend,
+                            mode.name(),
+                            threads
+                        ),
+                        &[
+                            ("family", family.name()),
+                            ("backend", &backend.to_string()),
+                            ("mode", mode.name()),
+                            ("switches", &workload.switches.to_string()),
+                            ("steps", &steps.to_string()),
+                            ("threads", &threads.to_string()),
+                        ],
+                        &samples,
+                    );
+                }
+            }
+        }
+    }
+    report.write().expect("write BENCH_churn.json");
+}

@@ -19,6 +19,7 @@ pub mod report;
 
 pub use report::{fmt_min_mean_max, BenchRecord, BenchReport};
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
@@ -26,10 +27,12 @@ use rand::SeedableRng;
 
 use netupd_mc::Backend;
 use netupd_synth::{
-    Granularity, SynthStats, SynthesisError, SynthesisOptions, Synthesizer, UpdateProblem,
+    Granularity, SynthStats, SynthesisError, SynthesisOptions, Synthesizer, UpdateEngine,
+    UpdateProblem,
 };
 use netupd_topo::scenario::{
-    diamond_scenario, double_diamond_scenario, multi_diamond_scenario, PropertyKind,
+    churn_scenarios, diamond_scenario, double_diamond_scenario, multi_diamond_scenario,
+    PropertyKind,
 };
 use netupd_topo::{generators, NetworkGraph, UpdateScenario};
 
@@ -192,6 +195,108 @@ pub fn double_diamond_workload(
     }
 }
 
+/// A generated churn-stream workload: `steps` successive problems over one
+/// shared topology, each starting exactly where the previous one ended (see
+/// [`churn_scenarios`]).
+#[derive(Debug, Clone)]
+pub struct ChurnWorkload {
+    /// The per-step synthesis problems, all sharing one topology `Arc`.
+    pub problems: Vec<UpdateProblem>,
+    /// Number of switches in the topology.
+    pub switches: usize,
+}
+
+/// Generates a seeded churn-stream workload on a topology of roughly `size`
+/// switches.
+pub fn churn_workload(
+    family: TopologyFamily,
+    size: usize,
+    kind: PropertyKind,
+    steps: usize,
+    seed: u64,
+) -> ChurnWorkload {
+    let graph = family.generate(size, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x517c_c1b7);
+    let scenarios = churn_scenarios(&graph, kind, steps, &mut rng)
+        .or_else(|| {
+            let mut retry = StdRng::seed_from_u64(seed.wrapping_add(1));
+            churn_scenarios(&graph, kind, steps, &mut retry)
+        })
+        .expect("generated topologies admit a churn stream");
+    let topology = Arc::new(graph.topology().clone());
+    ChurnWorkload {
+        problems: scenarios
+            .iter()
+            .map(|s| UpdateProblem::from_scenario_shared(s, Arc::clone(&topology)))
+            .collect(),
+        switches: graph.num_switches(),
+    }
+}
+
+/// How a churn stream is served, for the fresh-vs-reuse comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamMode {
+    /// A fresh [`Synthesizer`] per request (everything rebuilt per call).
+    Fresh,
+    /// One long-lived [`UpdateEngine`] across the stream.
+    Reuse,
+}
+
+impl StreamMode {
+    /// Both modes, fresh first.
+    pub const ALL: [StreamMode; 2] = [StreamMode::Fresh, StreamMode::Reuse];
+
+    /// The identifier used in tables and report ids.
+    pub fn name(self) -> &'static str {
+        match self {
+            StreamMode::Fresh => "fresh",
+            StreamMode::Reuse => "reuse",
+        }
+    }
+}
+
+/// Serves the whole churn stream once in the given mode and returns the
+/// total wall-clock time. Panics if any request fails — churn streams are
+/// solvable by construction.
+pub fn time_churn_stream(
+    workload: &ChurnWorkload,
+    options: &SynthesisOptions,
+    mode: StreamMode,
+) -> Duration {
+    let start = Instant::now();
+    match mode {
+        StreamMode::Fresh => {
+            for problem in &workload.problems {
+                Synthesizer::new(problem.clone())
+                    .with_options(options.clone())
+                    .synthesize()
+                    .expect("churn steps are solvable");
+            }
+        }
+        StreamMode::Reuse => {
+            let mut engine = UpdateEngine::for_problem(&workload.problems[0], options.clone());
+            for problem in &workload.problems {
+                engine.solve(problem).expect("churn steps are solvable");
+            }
+        }
+    }
+    start.elapsed()
+}
+
+/// Serves the stream `runs` times and returns the *per-request mean*
+/// duration of each run — the series the churn bench reports.
+pub fn sample_churn_stream(
+    workload: &ChurnWorkload,
+    options: &SynthesisOptions,
+    mode: StreamMode,
+    runs: usize,
+) -> Vec<Duration> {
+    let requests = workload.problems.len().max(1) as u32;
+    (0..runs.max(1))
+        .map(|_| time_churn_stream(workload, options, mode) / requests)
+        .collect()
+}
+
 /// The result of one timed synthesis run.
 #[derive(Debug, Clone)]
 pub struct SynthesisMeasurement {
@@ -320,6 +425,26 @@ mod tests {
             time_synthesis(&workload.problem, Backend::Incremental, Granularity::Switch);
         assert!(measurement.succeeded());
         assert!(measurement.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn churn_workload_chains_and_both_modes_serve_it() {
+        let workload = churn_workload(
+            TopologyFamily::FatTree,
+            20,
+            PropertyKind::Reachability,
+            3,
+            7,
+        );
+        assert_eq!(workload.problems.len(), 3);
+        for pair in workload.problems.windows(2) {
+            assert_eq!(pair[0].final_config, pair[1].initial);
+        }
+        let options = SynthesisOptions::default();
+        for mode in StreamMode::ALL {
+            let elapsed = time_churn_stream(&workload, &options, mode);
+            assert!(elapsed > Duration::ZERO, "{} mode ran", mode.name());
+        }
     }
 
     #[test]

@@ -1,0 +1,461 @@
+//! A long-lived synthesis engine with cross-request reuse.
+//!
+//! The one-shot [`Synthesizer`](crate::Synthesizer) rebuilds everything per
+//! call: the Kripke encoder, the structure, the proposition table, the
+//! checker (and, in parallel mode, one full checking context per worker).
+//! A production controller does not issue one update — it issues a *stream*
+//! of closely-related updates over one topology (rolling configuration
+//! churn), and for such a stream almost all of that per-call construction is
+//! redundant.
+//!
+//! [`UpdateEngine`] owns that state across requests:
+//!
+//! * the **encoder** ([`NetworkKripke`]) with its cached per-`(topology,
+//!   classes)` skeleton is built once;
+//! * the **sequential context** (Kripke structure + checker + probe pair)
+//!   and, for `threads > 1`, the **per-worker contexts** of the parallel
+//!   search persist, so each request syncs structures *by per-switch diff*
+//!   from wherever the previous request left them and rechecks
+//!   incrementally, instead of encoding and labeling from scratch;
+//! * closures and proposition resolutions are shared per `(spec, table)`
+//!   via `netupd_ltl::cache`, so a repeated spec across the stream resolves
+//!   once.
+//!
+//! # Determinism
+//!
+//! Engine reuse never changes *results*, only work: a check outcome is a
+//! pure function of the checked `(configuration, spec)` pair — the encoder
+//! fixes the state space up front, updates only rewire transitions, and the
+//! labeling engines keep labels in canonical form — so a recheck over an
+//! accurate diff returns exactly what a cold full check would (the same
+//! invariant the parallel search's determinism already rests on, DESIGN.md
+//! §5). The committed commands, unit order, and verdict are therefore
+//! byte-identical to a fresh [`Synthesizer`](crate::Synthesizer) per
+//! request; `tests/engine_differential.rs` enforces this for every backend
+//! and thread count over churn streams. Work counters
+//! ([`SynthStats::states_relabeled`](crate::SynthStats)) do shrink with
+//! reuse — that is the point.
+//!
+//! # Example
+//!
+//! ```
+//! use netupd_synth::{SynthesisOptions, UpdateEngine, UpdateProblem};
+//! use netupd_topo::{generators, scenario::{churn_scenarios, PropertyKind}};
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use std::sync::Arc;
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let graph = generators::fat_tree(4);
+//! let steps = churn_scenarios(&graph, PropertyKind::Reachability, 3, &mut rng).unwrap();
+//! let topology = Arc::new(graph.topology().clone());
+//!
+//! let first = UpdateProblem::from_scenario_shared(&steps[0], Arc::clone(&topology));
+//! let mut engine = UpdateEngine::for_problem(&first, SynthesisOptions::default());
+//! for scenario in &steps {
+//!     let problem = UpdateProblem::from_scenario_shared(scenario, Arc::clone(&topology));
+//!     let update = engine.solve(&problem).expect("churn steps are solvable");
+//!     assert!(update.commands.is_simple());
+//! }
+//! assert_eq!(engine.requests_served(), 3);
+//! ```
+
+use std::sync::Arc;
+
+use netupd_kripke::NetworkKripke;
+use netupd_model::{CommandSeq, HostId, Topology, TrafficClass};
+
+use crate::options::SynthesisOptions;
+use crate::parallel::{self, WorkerContext};
+use crate::problem::UpdateProblem;
+use crate::search::{finish_sequence, Search, SynthStats, SynthesisError, UpdateSequence};
+use crate::units::plan_units;
+
+/// A long-lived synthesis engine serving a stream of [`UpdateProblem`]s over
+/// a fixed `(topology, classes, ingress)` triple, amortizing everything that
+/// does not change between requests (see the [module docs](self)).
+///
+/// Feeding the engine a problem over a *different* topology, class set, or
+/// ingress set is allowed but forfeits the amortization: the engine rebuilds
+/// its encoder and resets its contexts (recycling checker storage via
+/// [`begin_query`](netupd_mc::ModelChecker::begin_query)) and serves the
+/// request cold.
+pub struct UpdateEngine {
+    topology: Arc<Topology>,
+    classes: Vec<TrafficClass>,
+    ingress_hosts: Vec<HostId>,
+    options: SynthesisOptions,
+    encoder: NetworkKripke,
+    /// Persistent context for the sequential path (`threads == 1`, or empty
+    /// unit lists on any thread count).
+    seq_ctx: Option<WorkerContext>,
+    /// Persistent per-worker context slots for the parallel path (`None` =
+    /// cold slot: never used yet, or its context was lost to a panic).
+    worker_ctxs: Vec<Option<WorkerContext>>,
+    requests_served: usize,
+    rebuilds: usize,
+}
+
+impl std::fmt::Debug for UpdateEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UpdateEngine")
+            .field("classes", &self.classes.len())
+            .field("threads", &self.options.threads)
+            .field("backend", &self.options.backend)
+            .field("requests_served", &self.requests_served)
+            .field("rebuilds", &self.rebuilds)
+            .finish_non_exhaustive()
+    }
+}
+
+impl UpdateEngine {
+    /// Creates an engine for a fixed topology, traffic-class set, and
+    /// ingress-host set.
+    ///
+    /// The topology is shared; passing an owned [`Topology`] wraps it in an
+    /// [`Arc`] without copying. An empty `ingress_hosts` means every host is
+    /// an ingress (matching [`UpdateProblem`] semantics).
+    pub fn new(
+        topology: impl Into<Arc<Topology>>,
+        classes: Vec<TrafficClass>,
+        ingress_hosts: Vec<HostId>,
+        options: SynthesisOptions,
+    ) -> Self {
+        let topology = topology.into();
+        let encoder = build_encoder(&topology, &classes, &ingress_hosts);
+        UpdateEngine {
+            topology,
+            classes,
+            ingress_hosts,
+            options,
+            encoder,
+            seq_ctx: None,
+            worker_ctxs: Vec::new(),
+            requests_served: 0,
+            rebuilds: 0,
+        }
+    }
+
+    /// Creates an engine matching a problem's topology, classes, and ingress
+    /// hosts — the natural constructor when the first request of the stream
+    /// is at hand.
+    pub fn for_problem(problem: &UpdateProblem, options: SynthesisOptions) -> Self {
+        UpdateEngine::new(
+            Arc::clone(&problem.topology),
+            problem.classes.clone(),
+            problem.ingress_hosts.clone(),
+            options,
+        )
+    }
+
+    /// The options every request is solved with.
+    pub fn options(&self) -> &SynthesisOptions {
+        &self.options
+    }
+
+    /// The topology the engine is pinned to.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Number of requests served so far (including failed ones).
+    pub fn requests_served(&self) -> usize {
+        self.requests_served
+    }
+
+    /// Number of times an incompatible problem forced the engine to rebuild
+    /// its encoder and reset its contexts. Zero for a well-behaved stream.
+    pub fn rebuilds(&self) -> usize {
+        self.rebuilds
+    }
+
+    /// Solves one request of the stream.
+    ///
+    /// The committed commands, unit order, and verdict are identical to what
+    /// a fresh `Synthesizer::new(problem.clone()).with_options(...)` would
+    /// return; only the work counters differ (reuse relabels fewer states).
+    ///
+    /// # Errors
+    ///
+    /// See [`SynthesisError`] — the same verdicts as the one-shot API.
+    pub fn solve(&mut self, problem: &UpdateProblem) -> Result<UpdateSequence, SynthesisError> {
+        if !self.compatible(problem) {
+            self.rebuild(problem);
+        }
+        self.requests_served += 1;
+        let units = plan_units(problem, self.options.granularity);
+        if self.options.threads > 1 && !units.is_empty() {
+            return parallel::synthesize_with_contexts(
+                problem,
+                &self.options,
+                &units,
+                &self.encoder,
+                &mut self.worker_ctxs,
+            );
+        }
+        self.solve_sequential(problem, &units)
+    }
+
+    /// Whether the problem matches the engine's fixed triple. The topology
+    /// check is a pointer comparison on the shared-`Arc` fast path.
+    fn compatible(&self, problem: &UpdateProblem) -> bool {
+        (Arc::ptr_eq(&self.topology, &problem.topology) || *self.topology == *problem.topology)
+            && self.classes == problem.classes
+            && self.ingress_hosts == problem.ingress_hosts
+    }
+
+    /// Re-pins the engine to the problem's triple: a new encoder (new
+    /// skeleton), structures dropped, checkers kept but reset via
+    /// `begin_query` so their backing storage is recycled.
+    fn rebuild(&mut self, problem: &UpdateProblem) {
+        self.topology = Arc::clone(&problem.topology);
+        self.classes = problem.classes.clone();
+        self.ingress_hosts = problem.ingress_hosts.clone();
+        self.encoder = build_encoder(&self.topology, &self.classes, &self.ingress_hosts);
+        if let Some(ctx) = &mut self.seq_ctx {
+            ctx.begin_new_series();
+        }
+        for ctx in self.worker_ctxs.iter_mut().flatten() {
+            ctx.begin_new_series();
+        }
+        self.rebuilds += 1;
+    }
+
+    /// The sequential `OrderUpdate` run over the persistent sequential
+    /// context. Mirrors the paper's algorithm exactly; the only difference
+    /// from a one-shot run is that the initial check and final probe sync
+    /// existing structures by diff instead of encoding fresh ones.
+    fn solve_sequential(
+        &mut self,
+        problem: &UpdateProblem,
+        units: &[crate::units::UpdateUnit],
+    ) -> Result<UpdateSequence, SynthesisError> {
+        let backend = self.options.backend;
+        let ctx = self
+            .seq_ctx
+            .get_or_insert_with(|| WorkerContext::fresh(backend));
+        let mut stats = SynthStats::default();
+
+        // Check the initial configuration (line 7 of the paper's algorithm).
+        let initial_outcome = ctx.check_config(&self.encoder, &problem.initial, &problem.spec);
+        stats.model_checker_calls += 1;
+        stats.states_relabeled += initial_outcome.stats.states_labeled;
+        if !initial_outcome.holds {
+            return Err(SynthesisError::InitialConfigurationViolates);
+        }
+        if units.is_empty() {
+            return Ok(UpdateSequence {
+                commands: CommandSeq::new(),
+                order: Vec::new(),
+                stats,
+            });
+        }
+
+        // Reject problems whose target configuration is itself incorrect:
+        // every complete sequence would end in a violating state. The probe
+        // runs on the context's dedicated probe structure and checker, so the
+        // search checker's incremental labels survive — the same isolation
+        // the one-shot path's fresh probe instance provided.
+        {
+            let outcome = ctx.probe_config(&self.encoder, &problem.final_config, &problem.spec);
+            stats.model_checker_calls += 1;
+            stats.states_relabeled += outcome.stats.states_labeled;
+            if !outcome.holds {
+                return Err(SynthesisError::FinalConfigurationViolates);
+            }
+        }
+
+        // The DFS drives the persistent structure and checker directly; it
+        // leaves them consistent at whatever configuration it ends on, which
+        // the context records for the next request's diff-sync.
+        let (kripke, checker) = ctx.checking_parts_mut();
+        let mut search = Search::new(
+            problem,
+            &self.options,
+            units,
+            &self.encoder,
+            kripke,
+            checker,
+            stats,
+        );
+        let outcome = search.dfs();
+        let sat_constraints = search.ordering.num_constraints();
+        let stats = std::mem::take(&mut search.stats);
+        let end_config = std::mem::take(&mut search.config);
+        drop(search);
+        ctx.set_config(end_config);
+
+        match outcome? {
+            Some(order_indices) => {
+                let mut stats = stats;
+                stats.sat_constraints = sat_constraints;
+                Ok(finish_sequence(
+                    problem,
+                    &self.options,
+                    units,
+                    &order_indices,
+                    stats,
+                ))
+            }
+            None => Err(SynthesisError::NoOrderingExists {
+                proven_by_constraints: false,
+            }),
+        }
+    }
+}
+
+/// Builds the encoder for a `(topology, classes, ingress)` triple.
+fn build_encoder(
+    topology: &Arc<Topology>,
+    classes: &[TrafficClass],
+    ingress_hosts: &[HostId],
+) -> NetworkKripke {
+    let encoder = NetworkKripke::new(Arc::clone(topology), classes.to_vec());
+    if ingress_hosts.is_empty() {
+        encoder
+    } else {
+        encoder.with_ingress_hosts(ingress_hosts.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::Synthesizer;
+    use netupd_mc::Backend;
+    use netupd_model::Configuration;
+    use netupd_topo::generators;
+    use netupd_topo::scenario::{churn_scenarios, diamond_scenario, PropertyKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn churn_problems(kind: PropertyKind, steps: usize, seed: u64) -> Vec<UpdateProblem> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = generators::fat_tree(4);
+        let scenarios = churn_scenarios(&graph, kind, steps, &mut rng).expect("churn stream");
+        let topology = Arc::new(graph.topology().clone());
+        scenarios
+            .iter()
+            .map(|s| UpdateProblem::from_scenario_shared(s, Arc::clone(&topology)))
+            .collect()
+    }
+
+    #[test]
+    fn engine_matches_fresh_synthesizer_over_a_churn_stream() {
+        let problems = churn_problems(PropertyKind::Reachability, 4, 11);
+        let options = SynthesisOptions::default();
+        let mut engine = UpdateEngine::for_problem(&problems[0], options.clone());
+        for problem in &problems {
+            let fresh = Synthesizer::new(problem.clone())
+                .with_options(options.clone())
+                .synthesize()
+                .expect("fresh solves");
+            let reused = engine.solve(problem).expect("engine solves");
+            assert_eq!(fresh.commands, reused.commands);
+            assert_eq!(fresh.order, reused.order);
+        }
+        assert_eq!(engine.requests_served(), problems.len());
+        assert_eq!(engine.rebuilds(), 0);
+    }
+
+    #[test]
+    fn engine_reuse_relabels_fewer_states_on_identical_requests() {
+        let problems = churn_problems(PropertyKind::Reachability, 2, 3);
+        let mut engine = UpdateEngine::for_problem(&problems[0], SynthesisOptions::default());
+        let first = engine.solve(&problems[0]).expect("first solve");
+        // Solving the *same* request again syncs by (empty) diff everywhere.
+        let again = engine.solve(&problems[0]).expect("second solve");
+        assert_eq!(first.commands, again.commands);
+        assert!(
+            again.stats.states_relabeled < first.stats.states_relabeled,
+            "reuse must cut relabeling: {} vs {}",
+            again.stats.states_relabeled,
+            first.stats.states_relabeled
+        );
+    }
+
+    #[test]
+    fn engine_rejects_violating_configurations_like_the_one_shot_path() {
+        let problems = churn_problems(PropertyKind::Reachability, 1, 5);
+        let mut engine = UpdateEngine::for_problem(&problems[0], SynthesisOptions::default());
+        // Warm the engine, then feed it a violating initial configuration.
+        engine.solve(&problems[0]).expect("warm-up solve");
+        let mut broken = problems[0].clone();
+        broken.initial = Configuration::new();
+        assert_eq!(
+            engine.solve(&broken).unwrap_err(),
+            SynthesisError::InitialConfigurationViolates
+        );
+        // And a violating final configuration (warm probe context).
+        let mut broken = problems[0].clone();
+        broken.final_config = Configuration::new();
+        assert!(!broken.switches_to_update().is_empty());
+        assert_eq!(
+            engine.solve(&broken).unwrap_err(),
+            SynthesisError::FinalConfigurationViolates
+        );
+        // The engine still solves the original request afterwards.
+        engine.solve(&problems[0]).expect("recovers after failures");
+        assert_eq!(engine.rebuilds(), 0);
+    }
+
+    #[test]
+    fn incompatible_problems_force_a_rebuild_but_stay_correct() {
+        let problems = churn_problems(PropertyKind::Reachability, 1, 7);
+        let mut engine = UpdateEngine::for_problem(&problems[0], SynthesisOptions::default());
+        engine.solve(&problems[0]).expect("first topology");
+
+        // A problem over a different topology: the engine rebuilds and
+        // solves it cold, matching the fresh synthesizer.
+        let mut rng = StdRng::seed_from_u64(23);
+        let other_graph = generators::small_world(16, 4, 0.1, &mut rng);
+        let other = diamond_scenario(&other_graph, PropertyKind::Reachability, &mut rng)
+            .expect("diamond on the other graph");
+        let other_problem = UpdateProblem::from_scenario(&other);
+        let fresh = Synthesizer::new(other_problem.clone())
+            .synthesize()
+            .expect("fresh solves");
+        let reused = engine.solve(&other_problem).expect("engine solves");
+        assert_eq!(fresh.commands, reused.commands);
+        assert_eq!(engine.rebuilds(), 1);
+    }
+
+    #[test]
+    fn engine_solves_across_backends_and_thread_counts() {
+        let problems = churn_problems(PropertyKind::Waypoint, 3, 9);
+        for backend in Backend::ALL {
+            for threads in [1, 3] {
+                let options = SynthesisOptions::with_backend(backend).threads(threads);
+                let mut engine = UpdateEngine::for_problem(&problems[0], options.clone());
+                for problem in &problems {
+                    let fresh = Synthesizer::new(problem.clone())
+                        .with_options(options.clone())
+                        .synthesize()
+                        .unwrap_or_else(|e| panic!("{backend} t{threads} fresh: {e}"));
+                    let reused = engine
+                        .solve(problem)
+                        .unwrap_or_else(|e| panic!("{backend} t{threads} engine: {e}"));
+                    assert_eq!(fresh.commands, reused.commands, "{backend} t{threads}");
+                    assert_eq!(fresh.order, reused.order, "{backend} t{threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_requests_return_empty_sequences() {
+        let problems = churn_problems(PropertyKind::Reachability, 1, 13);
+        let mut engine = UpdateEngine::for_problem(&problems[0], SynthesisOptions::default());
+        let trivial = UpdateProblem::new(
+            Arc::clone(&problems[0].topology),
+            problems[0].initial.clone(),
+            problems[0].initial.clone(),
+            problems[0].classes.clone(),
+            problems[0].ingress_hosts.clone(),
+            problems[0].spec.clone(),
+        );
+        let result = engine.solve(&trivial).expect("no-op update");
+        assert!(result.commands.is_empty());
+        // The warm engine still handles real requests afterwards.
+        assert!(engine.solve(&problems[0]).is_ok());
+    }
+}

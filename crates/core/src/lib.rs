@@ -23,6 +23,12 @@
 //! and [`exec`] replays command sequences against the operational-semantics
 //! simulator to measure probe loss and rule overhead (Figure 2).
 //!
+//! For *streams* of related requests over one topology (rolling
+//! configuration churn), the long-lived [`UpdateEngine`] amortizes the
+//! per-request construction — encoder skeleton, Kripke structures, checker
+//! labelings, worker contexts — across requests; [`Synthesizer::synthesize`]
+//! is a thin one-shot wrapper over a single-request engine.
+//!
 //! # Example
 //!
 //! ```
@@ -48,6 +54,7 @@
 pub mod baselines;
 pub mod constraints;
 pub mod early_term;
+pub mod engine;
 pub mod exec;
 pub mod options;
 pub mod parallel;
@@ -56,6 +63,7 @@ pub mod search;
 pub mod units;
 pub mod wait_removal;
 
+pub use engine::UpdateEngine;
 pub use options::{Granularity, SynthesisOptions};
 pub use problem::UpdateProblem;
 pub use search::{SynthStats, SynthesisError, Synthesizer, UpdateSequence};

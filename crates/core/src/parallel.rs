@@ -51,7 +51,8 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::RwLock;
 
 use netupd_kripke::{Kripke, NetworkKripke, StateId};
-use netupd_mc::ModelChecker;
+use netupd_ltl::Ltl;
+use netupd_mc::{Backend, CheckOutcome, ModelChecker};
 use netupd_model::{Configuration, SwitchId, Table};
 
 use crate::constraints::{VisitedSet, WrongSet};
@@ -66,6 +67,157 @@ use crate::units::UpdateUnit;
 /// Upper bound on simulated replay steps per speculation round, so
 /// prediction stays negligible next to a model-checker call.
 const PREDICT_STEP_LIMIT: usize = 512;
+
+/// What [`Scheduler::shutdown`] hands back: per-worker call counts, total
+/// states relabeled, and the persistent contexts returned by the workers.
+type ShutdownReport = (Vec<usize>, usize, Vec<(usize, Box<WorkerContext>)>);
+
+/// The persistent checking state of one worker (or of the engine's
+/// sequential path): a Kripke structure pinned to a known configuration, a
+/// checker whose cached labels describe that structure, and the analogous
+/// pair for the final-configuration probe.
+///
+/// A context outlives a single request: the [`UpdateEngine`] keeps one per
+/// worker slot and hands them back in for the next request, so workers sync
+/// *by diff* from wherever the previous request left their structure instead
+/// of re-encoding and re-labeling from scratch. A freshly created context
+/// (`kripke: None`) reproduces the cold-start behavior of a one-shot run
+/// exactly.
+///
+/// [`UpdateEngine`]: crate::UpdateEngine
+pub(crate) struct WorkerContext {
+    /// The search structure, encoded lazily on first use.
+    kripke: Option<Kripke>,
+    /// The configuration `kripke` currently encodes (meaningful only while
+    /// `kripke` is `Some`).
+    config: Configuration,
+    /// The search checker; its cached labels always describe `kripke`.
+    checker: Box<dyn ModelChecker>,
+    /// The final-configuration probe structure, encoded lazily.
+    probe_kripke: Option<Kripke>,
+    /// The configuration `probe_kripke` currently encodes.
+    probe_config: Configuration,
+    /// The probe checker (kept separate so probing never disturbs the search
+    /// checker's incremental labels — the same isolation the one-shot path's
+    /// fresh probe instance provided).
+    probe_checker: Box<dyn ModelChecker>,
+}
+
+impl WorkerContext {
+    /// A cold context for `backend`: nothing encoded, nothing labeled.
+    pub(crate) fn fresh(backend: Backend) -> Self {
+        WorkerContext {
+            kripke: None,
+            config: Configuration::new(),
+            checker: backend.instantiate(),
+            probe_kripke: None,
+            probe_config: Configuration::new(),
+            probe_checker: backend.instantiate(),
+        }
+    }
+
+    /// Ensures the search structure encodes `config`, syncing by per-switch
+    /// diff when one already exists. Returns the states whose wiring changed
+    /// (empty after a fresh encode, where the checker holds no labels yet and
+    /// the next recheck falls back to a full check anyway).
+    fn sync_main(&mut self, encoder: &NetworkKripke, config: &Configuration) -> Vec<StateId> {
+        let changed = match &mut self.kripke {
+            None => {
+                self.kripke = Some(encoder.encode(config));
+                Vec::new()
+            }
+            Some(kripke) => diff_sync(encoder, kripke, &self.config, config),
+        };
+        self.config = config.clone();
+        changed
+    }
+
+    /// Syncs the search structure to `config` and (re)checks `spec` over it:
+    /// a full check on a cold context, an incremental recheck over the diff
+    /// on a warm one. The outcome is a pure function of `(config, spec)`
+    /// either way (see the module docs on determinism).
+    pub(crate) fn check_config(
+        &mut self,
+        encoder: &NetworkKripke,
+        config: &Configuration,
+        spec: &Ltl,
+    ) -> CheckOutcome {
+        let changed = self.sync_main(encoder, config);
+        let kripke = self.kripke.as_ref().expect("synced above");
+        self.checker.recheck(kripke, spec, &changed)
+    }
+
+    /// The probe-side analogue of [`WorkerContext::check_config`].
+    pub(crate) fn probe_config(
+        &mut self,
+        encoder: &NetworkKripke,
+        config: &Configuration,
+        spec: &Ltl,
+    ) -> CheckOutcome {
+        let changed = match &mut self.probe_kripke {
+            None => {
+                self.probe_kripke = Some(encoder.encode(config));
+                Vec::new()
+            }
+            Some(kripke) => diff_sync(encoder, kripke, &self.probe_config, config),
+        };
+        self.probe_config = config.clone();
+        let kripke = self.probe_kripke.as_ref().expect("synced above");
+        self.probe_checker.recheck(kripke, spec, &changed)
+    }
+
+    /// The mutable search structure and checker, for callers (the sequential
+    /// DFS) that drive them directly. The caller must record the
+    /// configuration it leaves the structure at via
+    /// [`WorkerContext::set_config`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing has been encoded yet (call
+    /// [`WorkerContext::check_config`] first).
+    pub(crate) fn checking_parts_mut(&mut self) -> (&mut Kripke, &mut dyn ModelChecker) {
+        (
+            self.kripke.as_mut().expect("structure encoded"),
+            self.checker.as_mut(),
+        )
+    }
+
+    /// Records the configuration the search structure was left at.
+    pub(crate) fn set_config(&mut self, config: Configuration) {
+        self.config = config;
+    }
+
+    /// Resets the context for a new `(topology, classes)` series: the
+    /// structures are dropped (their state space no longer applies) while the
+    /// checkers are kept and told to forget their cached results
+    /// ([`ModelChecker::begin_query`]), recycling their backing storage.
+    pub(crate) fn begin_new_series(&mut self) {
+        self.kripke = None;
+        self.probe_kripke = None;
+        self.config = Configuration::new();
+        self.probe_config = Configuration::new();
+        self.checker.begin_query();
+        self.probe_checker.begin_query();
+    }
+}
+
+/// Rewires `kripke` (currently encoding `from`) to encode `to`, one differing
+/// switch at a time, returning the sorted, deduplicated set of states whose
+/// wiring changed.
+fn diff_sync(
+    encoder: &NetworkKripke,
+    kripke: &mut Kripke,
+    from: &Configuration,
+    to: &Configuration,
+) -> Vec<StateId> {
+    let mut changed = Vec::new();
+    for sw in from.differing_switches(to) {
+        changed.extend(encoder.apply_switch_update(kripke, sw, &to.table(sw)));
+    }
+    changed.sort_unstable();
+    changed.dedup();
+    changed
+}
 
 /// Outstanding tasks per worker the scheduler aims for: one executing, one
 /// queued.
@@ -199,19 +351,31 @@ enum Msg {
         key: TaskKey,
         outcome: Option<CheckLite>,
     },
-    /// Worker exited; final work counters.
+    /// Worker exited; final work counters plus its persistent checking
+    /// context, handed back for reuse by the next request.
     Done {
         worker: usize,
         calls: usize,
         relabeled: usize,
+        context: Box<WorkerContext>,
     },
     /// Worker panicked; the scheduler fails fast instead of waiting on a
     /// result that will never arrive.
     Panicked { worker: usize },
 }
 
-/// Runs the parallel search. `units` is non-empty and `options.threads > 1`
-/// (the sequential path handles the rest).
+/// Runs the parallel search over persistent worker contexts. `units` is
+/// non-empty and `options.threads > 1` (the sequential path handles the
+/// rest).
+///
+/// `contexts` is grown to `options.threads` slots as needed; each worker
+/// takes its slot's context (an empty slot means a cold start), syncs it by
+/// diff to this request, and hands it back on shutdown — a slot stays `None`
+/// only if its worker panicked and the context was lost. A one-shot caller
+/// passes an empty vector (all-cold contexts reproduce the from-scratch
+/// behavior exactly); the [`UpdateEngine`](crate::UpdateEngine) passes the
+/// same vector for every request of a stream, which is where the
+/// cross-request amortization comes from.
 ///
 /// When the hardware offers no usable concurrency (see [`speculation_cap`]),
 /// the scheduler degrades to *inline single-flight* mode: the same
@@ -220,20 +384,25 @@ enum Msg {
 /// work-queue formulation wins over the sequential search, because syncing
 /// by diff subsumes the undo-and-restore recheck the sequential loop pays
 /// after every failed candidate.
-pub(crate) fn synthesize(
+pub(crate) fn synthesize_with_contexts(
     problem: &UpdateProblem,
     options: &SynthesisOptions,
     units: &[UpdateUnit],
     encoder: &NetworkKripke,
+    contexts: &mut Vec<Option<WorkerContext>>,
 ) -> Result<UpdateSequence, SynthesisError> {
     let threads = options.threads;
+    contexts.resize_with(threads.max(contexts.len()), || None);
     let spec_cap = speculation_cap(threads);
     let prune = SharedPruneSet::new();
     let stop = AtomicBool::new(false);
 
     if spec_cap == 0 {
+        let ctx = contexts[0]
+            .take()
+            .unwrap_or_else(|| WorkerContext::fresh(options.backend));
         let (_unused_tx, result_rx) = channel::<Msg>();
-        let worker = Worker::new(0, problem, options, units, encoder, &prune, &stop);
+        let worker = Worker::new(0, problem, options, units, encoder, &prune, &stop, ctx);
         let mut scheduler = Scheduler {
             options,
             units,
@@ -255,7 +424,10 @@ pub(crate) fn synthesize(
             stats: SynthStats::default(),
         };
         let outcome = scheduler.run();
-        let (checks_per_worker, states_relabeled) = scheduler.shutdown();
+        let (checks_per_worker, states_relabeled, returned) = scheduler.shutdown();
+        for (index, ctx) in returned {
+            contexts[index] = Some(*ctx);
+        }
         return commit(
             problem,
             options,
@@ -267,10 +439,17 @@ pub(crate) fn synthesize(
         );
     }
 
+    let taken: Vec<WorkerContext> = (0..threads)
+        .map(|i| {
+            contexts[i]
+                .take()
+                .unwrap_or_else(|| WorkerContext::fresh(options.backend))
+        })
+        .collect();
     let (result_tx, result_rx) = channel::<Msg>();
     std::thread::scope(|scope| {
         let mut task_txs = Vec::with_capacity(threads);
-        for index in 0..threads {
+        for (index, ctx) in taken.into_iter().enumerate() {
             let (task_tx, task_rx) = channel::<Task>();
             task_txs.push(task_tx);
             let result_tx = result_tx.clone();
@@ -282,7 +461,7 @@ pub(crate) fn synthesize(
                 // Poison the channel first, then re-raise so the scope still
                 // reports the original panic.
                 let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    Worker::new(index, problem, options, units, encoder, prune, stop)
+                    Worker::new(index, problem, options, units, encoder, prune, stop, ctx)
                         .run(task_rx, result_tx.clone());
                 }));
                 if let Err(payload) = run {
@@ -314,7 +493,10 @@ pub(crate) fn synthesize(
             stats: SynthStats::default(),
         };
         let outcome = scheduler.run();
-        let (checks_per_worker, states_relabeled) = scheduler.shutdown();
+        let (checks_per_worker, states_relabeled, returned) = scheduler.shutdown();
+        for (index, ctx) in returned {
+            contexts[index] = Some(*ctx);
+        }
         commit(
             problem,
             options,
@@ -361,8 +543,10 @@ fn commit(
 
 // ---- worker ----------------------------------------------------------------
 
-/// One search worker: a full checking context that can be synced to any
-/// ordered prefix of units.
+/// One search worker: a persistent checking context
+/// ([`WorkerContext`], taken from and returned to the engine) plus the
+/// per-request prefix bookkeeping needed to sync it to any ordered prefix of
+/// this request's units.
 struct Worker<'a> {
     index: usize,
     problem: &'a UpdateProblem,
@@ -371,13 +555,19 @@ struct Worker<'a> {
     encoder: &'a NetworkKripke,
     prune: &'a SharedPruneSet,
     stop: &'a AtomicBool,
-    /// Encoded lazily (except on worker 0, which needs it for the startup
-    /// check): idle workers on undersubscribed machines never pay for a
-    /// structure they will not use.
-    kripke: Option<Kripke>,
-    checker: Box<dyn ModelChecker>,
-    config: Configuration,
-    /// The ordered prefix currently applied to `config`/`kripke`.
+    /// The persistent context. Its structure may still encode the *previous*
+    /// request's configuration; [`Worker::ensure_synced`] rewires it to this
+    /// request's initial configuration on first use (lazily, so idle workers
+    /// on undersubscribed machines never pay for a structure they will not
+    /// use).
+    ctx: WorkerContext,
+    /// Whether `ctx` has been synced to this request's initial configuration.
+    synced: bool,
+    /// States rewired by the cross-request sync, not yet seen by the
+    /// checker; merged into the change set of the next recheck.
+    carried: Vec<StateId>,
+    /// The ordered prefix currently applied to the context (on top of this
+    /// request's initial configuration).
     seq: Vec<usize>,
     /// Per applied unit, the table its switch held before the unit (a stack
     /// parallel to `seq`, so undoing restores exact table states).
@@ -388,6 +578,7 @@ struct Worker<'a> {
 }
 
 impl<'a> Worker<'a> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         index: usize,
         problem: &'a UpdateProblem,
@@ -396,6 +587,7 @@ impl<'a> Worker<'a> {
         encoder: &'a NetworkKripke,
         prune: &'a SharedPruneSet,
         stop: &'a AtomicBool,
+        ctx: WorkerContext,
     ) -> Self {
         Worker {
             index,
@@ -405,9 +597,9 @@ impl<'a> Worker<'a> {
             encoder,
             prune,
             stop,
-            kripke: None,
-            checker: options.backend.instantiate(),
-            config: problem.initial.clone(),
+            ctx,
+            synced: false,
+            carried: Vec::new(),
             seq: Vec::new(),
             saved: Vec::new(),
             applied: BTreeSet::new(),
@@ -417,11 +609,11 @@ impl<'a> Worker<'a> {
     }
 
     fn run(mut self, tasks: Receiver<Task>, results: Sender<Msg>) {
-        // Worker 0 eagerly labels the initial configuration; the outcome
+        // Worker 0 eagerly syncs to the initial configuration; the outcome
         // doubles as the search's initial-configuration check. The other
         // workers warm up lazily — their first recheck falls back to a full
-        // check — so undersubscribed runs do not pay one full labeling per
-        // idle worker.
+        // check (cold context) or replays the carried diff (warm context) —
+        // so undersubscribed runs do not pay one sync per idle worker.
         if self.index == 0 {
             let initial_holds = self.startup_check();
             let _ = results.send(Msg::Ready { initial_holds });
@@ -457,16 +649,32 @@ impl<'a> Worker<'a> {
             worker: self.index,
             calls: self.calls,
             relabeled: self.relabeled,
+            context: Box::new(self.ctx),
         });
     }
 
-    /// Encodes and labels the initial configuration — the search's
-    /// initial-configuration check. Returns whether the specification holds.
+    /// Syncs the persistent context to this request's initial configuration
+    /// (first use only): a cold context encodes it, a warm one is rewired by
+    /// per-switch diff from wherever the previous request left it, with the
+    /// rewired states carried into the next recheck's change set.
+    fn ensure_synced(&mut self) {
+        if self.synced {
+            return;
+        }
+        self.synced = true;
+        self.carried = self.ctx.sync_main(self.encoder, &self.problem.initial);
+    }
+
+    /// The search's initial-configuration check, performed on the synced
+    /// context. Returns whether the specification holds.
     fn startup_check(&mut self) -> bool {
-        let kripke = self
-            .kripke
-            .insert(self.encoder.encode(&self.problem.initial));
-        let outcome = self.checker.check(kripke, &self.problem.spec);
+        self.ensure_synced();
+        let changed = std::mem::take(&mut self.carried);
+        let kripke = self.ctx.kripke.as_ref().expect("synced above");
+        let outcome = self
+            .ctx
+            .checker
+            .recheck(kripke, &self.problem.spec, &changed);
         self.calls += 1;
         self.relabeled += outcome.stats.states_labeled;
         outcome.holds
@@ -488,42 +696,44 @@ impl<'a> Worker<'a> {
     }
 
     /// Syncs the worker's structure to `target` (undoing and applying the
-    /// differing units) and rechecks over the union of changed states.
+    /// differing units) and rechecks over the union of changed states —
+    /// including any states carried over from the cross-request sync.
     fn check_prefix(&mut self, target: &[usize]) -> CheckLite {
-        if self.kripke.is_none() {
-            self.kripke = Some(self.encoder.encode(&self.problem.initial));
-        }
-        let kripke = self.kripke.as_mut().expect("just encoded");
+        self.ensure_synced();
+        let kripke = self.ctx.kripke.as_mut().expect("synced above");
         let encoder = self.encoder;
         let mut common = 0;
         while common < self.seq.len() && common < target.len() && self.seq[common] == target[common]
         {
             common += 1;
         }
-        let mut changed: Vec<StateId> = Vec::new();
+        let mut changed: Vec<StateId> = std::mem::take(&mut self.carried);
         while self.seq.len() > common {
             let idx = self.seq.pop().expect("non-empty");
             let old = self.saved.pop().expect("saved table per applied unit");
             let switch = self.units[idx].switch();
             self.applied.remove(&idx);
-            self.config.set_table(switch, old.clone());
+            self.ctx.config.set_table(switch, old.clone());
             changed.extend(encoder.apply_switch_update(kripke, switch, &old));
         }
         for &idx in &target[common..] {
             let unit = &self.units[idx];
             let switch = unit.switch();
-            let old = self.config.table(switch);
-            let new = unit.apply(&self.config);
+            let old = self.ctx.config.table(switch);
+            let new = unit.apply(&self.ctx.config);
             self.seq.push(idx);
             self.saved.push(old);
             self.applied.insert(idx);
-            self.config.set_table(switch, new.clone());
+            self.ctx.config.set_table(switch, new.clone());
             changed.extend(encoder.apply_switch_update(kripke, switch, &new));
         }
         changed.sort_unstable();
         changed.dedup();
 
-        let outcome = self.checker.recheck(kripke, &self.problem.spec, &changed);
+        let outcome = self
+            .ctx
+            .checker
+            .recheck(kripke, &self.problem.spec, &changed);
         self.calls += 1;
         self.relabeled += outcome.stats.states_labeled;
 
@@ -544,13 +754,15 @@ impl<'a> Worker<'a> {
         }
     }
 
-    /// The sequential search's final-configuration probe: a fresh encoding
-    /// and a fresh checker instance, leaving the worker's incremental state
-    /// untouched.
+    /// The search's final-configuration probe, on the context's dedicated
+    /// probe structure and checker (so the search checker's incremental
+    /// labels stay untouched). A cold probe context encodes and fully checks
+    /// — exactly the one-shot path's fresh-instance probe — while a warm one
+    /// syncs by diff from the previous request's final configuration.
     fn final_probe(&mut self) -> CheckLite {
-        let final_kripke = self.encoder.encode(&self.problem.final_config);
-        let mut probe = self.options.backend.instantiate();
-        let outcome = probe.check(&final_kripke, &self.problem.spec);
+        let outcome =
+            self.ctx
+                .probe_config(self.encoder, &self.problem.final_config, &self.problem.spec);
         self.calls += 1;
         self.relabeled += outcome.stats.states_labeled;
         CheckLite {
@@ -1038,28 +1250,37 @@ impl Scheduler<'_> {
     }
 
     /// Stops the workers, drains the result channel, and returns the
-    /// per-worker call counts and the total states relabeled.
-    fn shutdown(&mut self) -> (Vec<usize>, usize) {
-        if let Some(worker) = &self.inline_worker {
-            return (vec![worker.calls], worker.relabeled);
+    /// per-worker call counts, the total states relabeled, and the
+    /// persistent contexts handed back by the workers (indexed by worker;
+    /// a panicked worker's context is lost and its slot simply stays cold).
+    fn shutdown(&mut self) -> ShutdownReport {
+        if let Some(worker) = self.inline_worker.take() {
+            return (
+                vec![worker.calls],
+                worker.relabeled,
+                vec![(0, Box::new(worker.ctx))],
+            );
         }
         self.stop.store(true, Ordering::Relaxed);
         let workers = self.task_txs.len();
         self.task_txs.clear();
         let mut calls = vec![0; workers];
         let mut relabeled = 0;
+        let mut contexts = Vec::with_capacity(workers);
         while let Ok(msg) = self.result_rx.recv() {
             if let Msg::Done {
                 worker,
                 calls: c,
                 relabeled: r,
+                context,
             } = msg
             {
                 calls[worker] = c;
                 relabeled += r;
+                contexts.push((worker, context));
             }
         }
-        (calls, relabeled)
+        (calls, relabeled, contexts)
     }
 }
 

@@ -1,5 +1,7 @@
 //! The update synthesis problem (Definition 4 of the paper).
 
+use std::sync::Arc;
+
 use netupd_ltl::Ltl;
 use netupd_model::{Configuration, HostId, Topology, TrafficClass};
 use netupd_topo::UpdateScenario;
@@ -8,10 +10,16 @@ use netupd_topo::UpdateScenario;
 /// final configurations, the traffic classes of interest, the hosts at which
 /// that traffic enters the network, and the LTL specification that must hold
 /// throughout the update.
+///
+/// The topology is held behind an [`Arc`]: a request stream over one fixed
+/// topology (the [`UpdateEngine`](crate::UpdateEngine) workload), the
+/// per-worker checking contexts of the parallel search, and the probe
+/// experiments of the execution layer all share a single allocation instead
+/// of deep-cloning the graph per problem, worker, and experiment.
 #[derive(Debug, Clone)]
 pub struct UpdateProblem {
     /// The network topology (does not change during the update).
-    pub topology: Topology,
+    pub topology: Arc<Topology>,
     /// The currently-installed configuration.
     pub initial: Configuration,
     /// The configuration the update must reach.
@@ -27,8 +35,12 @@ pub struct UpdateProblem {
 
 impl UpdateProblem {
     /// Creates a problem from its parts.
+    ///
+    /// The topology is shared: passing an owned [`Topology`] wraps it in an
+    /// [`Arc`] without copying, and passing an existing `Arc<Topology>`
+    /// shares it.
     pub fn new(
-        topology: Topology,
+        topology: impl Into<Arc<Topology>>,
         initial: Configuration,
         final_config: Configuration,
         classes: Vec<TrafficClass>,
@@ -36,7 +48,7 @@ impl UpdateProblem {
         spec: Ltl,
     ) -> Self {
         UpdateProblem {
-            topology,
+            topology: topology.into(),
             initial,
             final_config,
             classes,
@@ -47,8 +59,23 @@ impl UpdateProblem {
 
     /// Builds a problem from a generated update scenario.
     pub fn from_scenario(scenario: &UpdateScenario) -> Self {
+        Self::from_scenario_shared(scenario, Arc::new(scenario.topology().clone()))
+    }
+
+    /// Builds a problem from a scenario, sharing an already-lifted topology.
+    ///
+    /// Streams of scenarios over one topology (e.g.
+    /// [`churn_scenarios`](netupd_topo::scenario::churn_scenarios)) lift the
+    /// topology into an [`Arc`] once and share it across every problem, so
+    /// compatibility checks in the engine reduce to a pointer comparison.
+    pub fn from_scenario_shared(scenario: &UpdateScenario, topology: Arc<Topology>) -> Self {
+        debug_assert_eq!(
+            &*topology,
+            scenario.topology(),
+            "shared topology must match"
+        );
         UpdateProblem {
-            topology: scenario.topology().clone(),
+            topology,
             initial: scenario.initial.clone(),
             final_config: scenario.final_config.clone(),
             classes: scenario.classes(),
@@ -86,5 +113,21 @@ mod tests {
             scenario.updating_switches()
         );
         assert!(!problem.switches_to_update().is_empty());
+    }
+
+    #[test]
+    fn shared_topology_is_one_allocation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let graph = generators::fat_tree(4);
+        let scenario =
+            scenario::diamond_scenario(&graph, scenario::PropertyKind::Reachability, &mut rng)
+                .unwrap();
+        let shared = Arc::new(scenario.topology().clone());
+        let a = UpdateProblem::from_scenario_shared(&scenario, Arc::clone(&shared));
+        let b = UpdateProblem::from_scenario_shared(&scenario, Arc::clone(&shared));
+        assert!(Arc::ptr_eq(&a.topology, &b.topology));
+        // Cloning a problem shares the topology too.
+        let c = a.clone();
+        assert!(Arc::ptr_eq(&a.topology, &c.topology));
     }
 }

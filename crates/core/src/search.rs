@@ -11,7 +11,7 @@ use crate::constraints::{VisitedSet, WrongSet};
 use crate::early_term::OrderingConstraints;
 use crate::options::{Granularity, SynthesisOptions};
 use crate::problem::UpdateProblem;
-use crate::units::{plan_units, UpdateUnit};
+use crate::units::UpdateUnit;
 use crate::wait_removal;
 
 /// Counters describing the work a synthesis run performed.
@@ -148,6 +148,13 @@ impl Synthesizer {
 
     /// Runs the `OrderUpdate` search.
     ///
+    /// This is a thin one-shot wrapper over a single-request
+    /// [`UpdateEngine`](crate::UpdateEngine): the engine owns the encoder,
+    /// the Kripke structures, and the checking contexts, and `synthesize`
+    /// builds one for this problem, solves it, and drops it. Callers serving
+    /// a *stream* of related problems should hold an engine directly so that
+    /// state amortizes across requests.
+    ///
     /// With [`SynthesisOptions::threads`] greater than one, candidate
     /// orderings are fanned out across worker threads (see
     /// [`crate::parallel`]); the committed result is identical to the
@@ -157,87 +164,8 @@ impl Synthesizer {
     ///
     /// See [`SynthesisError`].
     pub fn synthesize(&self) -> Result<UpdateSequence, SynthesisError> {
-        let units = plan_units(&self.problem, self.options.granularity);
-        let encoder = self.encoder();
-        if self.options.threads > 1 && !units.is_empty() {
-            return crate::parallel::synthesize(&self.problem, &self.options, &units, &encoder);
-        }
-        let mut checker = self.options.backend.instantiate();
-        let mut stats = SynthStats::default();
-
-        // Check the initial configuration (line 7 of the paper's algorithm).
-        let mut kripke = encoder.encode(&self.problem.initial);
-        stats.model_checker_calls += 1;
-        let initial_outcome = checker.check(&kripke, &self.problem.spec);
-        stats.states_relabeled += initial_outcome.stats.states_labeled;
-        if !initial_outcome.holds {
-            return Err(SynthesisError::InitialConfigurationViolates);
-        }
-        if units.is_empty() {
-            return Ok(UpdateSequence {
-                commands: CommandSeq::new(),
-                order: Vec::new(),
-                stats,
-            });
-        }
-
-        // Reject problems whose target configuration is itself incorrect:
-        // every complete sequence would end in a violating configuration.
-        // The probe uses the *configured* backend (a fresh instance, so the
-        // search checker's incremental labels survive) so that SynthStats
-        // attributes all model-checking work to one backend.
-        {
-            let final_kripke = encoder.encode(&self.problem.final_config);
-            let mut probe = self.options.backend.instantiate();
-            stats.model_checker_calls += 1;
-            let outcome = probe.check(&final_kripke, &self.problem.spec);
-            stats.states_relabeled += outcome.stats.states_labeled;
-            if !outcome.holds {
-                return Err(SynthesisError::FinalConfigurationViolates);
-            }
-        }
-
-        let mut search = Search {
-            problem: &self.problem,
-            options: &self.options,
-            units: &units,
-            encoder: &encoder,
-            kripke: &mut kripke,
-            checker: checker.as_mut(),
-            config: self.problem.initial.clone(),
-            applied: BTreeSet::new(),
-            visited: VisitedSet::new(),
-            wrong: WrongSet::new(),
-            ordering: OrderingConstraints::new(),
-            stats,
-        };
-
-        match search.dfs()? {
-            Some(order_indices) => {
-                let mut stats = search.stats;
-                stats.sat_constraints = search.ordering.num_constraints();
-                Ok(finish_sequence(
-                    &self.problem,
-                    &self.options,
-                    &units,
-                    &order_indices,
-                    stats,
-                ))
-            }
-            None => Err(SynthesisError::NoOrderingExists {
-                proven_by_constraints: false,
-            }),
-        }
-    }
-
-    fn encoder(&self) -> NetworkKripke {
-        let encoder =
-            NetworkKripke::new(self.problem.topology.clone(), self.problem.classes.clone());
-        if self.problem.ingress_hosts.is_empty() {
-            encoder
-        } else {
-            encoder.with_ingress_hosts(self.problem.ingress_hosts.iter().copied())
-        }
+        crate::engine::UpdateEngine::for_problem(&self.problem, self.options.clone())
+            .solve(&self.problem)
     }
 }
 
@@ -309,30 +237,65 @@ pub(crate) fn build_command_sequence(initial: &Configuration, order: &[UpdateUni
     commands
 }
 
-/// The mutable state of one DFS run.
-struct Search<'a> {
-    problem: &'a UpdateProblem,
-    options: &'a SynthesisOptions,
-    units: &'a [UpdateUnit],
-    encoder: &'a NetworkKripke,
-    kripke: &'a mut Kripke,
-    checker: &'a mut dyn ModelChecker,
-    config: Configuration,
-    applied: BTreeSet<usize>,
-    visited: VisitedSet,
-    wrong: WrongSet,
-    ordering: OrderingConstraints,
-    stats: SynthStats,
+/// The mutable state of one sequential DFS run.
+///
+/// The structure, checker, and configuration are *borrowed* from the caller
+/// — the one-shot path hands in freshly built state, while the long-lived
+/// [`UpdateEngine`](crate::UpdateEngine) hands in its persistent sequential
+/// context (whose labels carry over from the previous request). The DFS
+/// leaves `kripke`/`checker`/`config` mutually consistent at whatever
+/// configuration the search ended on, which is what makes the context
+/// reusable for the next request's sync-by-diff.
+pub(crate) struct Search<'a> {
+    pub(crate) problem: &'a UpdateProblem,
+    pub(crate) options: &'a SynthesisOptions,
+    pub(crate) units: &'a [UpdateUnit],
+    pub(crate) encoder: &'a NetworkKripke,
+    pub(crate) kripke: &'a mut Kripke,
+    pub(crate) checker: &'a mut dyn ModelChecker,
+    pub(crate) config: Configuration,
+    pub(crate) applied: BTreeSet<usize>,
+    pub(crate) visited: VisitedSet,
+    pub(crate) wrong: WrongSet,
+    pub(crate) ordering: OrderingConstraints,
+    pub(crate) stats: SynthStats,
 }
 
-impl Search<'_> {
+impl<'a> Search<'a> {
+    /// Sets up a DFS run over borrowed checking state, starting from the
+    /// problem's initial configuration with empty visited/wrong sets.
+    pub(crate) fn new(
+        problem: &'a UpdateProblem,
+        options: &'a SynthesisOptions,
+        units: &'a [UpdateUnit],
+        encoder: &'a NetworkKripke,
+        kripke: &'a mut Kripke,
+        checker: &'a mut dyn ModelChecker,
+        stats: SynthStats,
+    ) -> Self {
+        Search {
+            problem,
+            options,
+            units,
+            encoder,
+            kripke,
+            checker,
+            config: problem.initial.clone(),
+            applied: BTreeSet::new(),
+            visited: VisitedSet::new(),
+            wrong: WrongSet::new(),
+            ordering: OrderingConstraints::new(),
+            stats,
+        }
+    }
+
     /// Switches considered "updated" in the current configuration: those for
     /// which every planned unit has been applied.
     fn updated_switches(&self) -> BTreeSet<SwitchId> {
         updated_switches(self.units, &self.applied)
     }
 
-    fn dfs(&mut self) -> Result<Option<Vec<usize>>, SynthesisError> {
+    pub(crate) fn dfs(&mut self) -> Result<Option<Vec<usize>>, SynthesisError> {
         if self.applied.len() == self.units.len() {
             return Ok(Some(Vec::new()));
         }

@@ -1,5 +1,7 @@
 //! The network-to-Kripke encoding (Definition 9 of the paper).
 
+use std::sync::{Arc, OnceLock};
+
 use netupd_ltl::{Prop, PropId};
 use netupd_model::{Configuration, Endpoint, PortId, SwitchId, Table, Topology, TrafficClass};
 
@@ -12,6 +14,16 @@ use crate::structure::{Kripke, StateId, StateKey, StateRole};
 /// [`apply_switch_update`] re-encodes a single switch in place, returning the
 /// set of states whose outgoing transitions changed — exactly the `swUpdate`
 /// operation the synthesis algorithm feeds to the incremental model checker.
+///
+/// The encoding is split into an immutable *skeleton* and a per-request
+/// *rewiring* step. The skeleton — the state space, the interned base labels,
+/// and the initial-state marks — depends only on the `(topology, classes,
+/// ingress)` triple the encoder was built with and is computed once, lazily,
+/// then shared by every [`encode`] call; only the transitions and the
+/// `Dropped` label bits depend on the configuration. [`reset_to`] exposes the
+/// rewiring step directly so a long-lived engine can re-point an existing
+/// structure at a new configuration in place, reusing the label arena and
+/// state index instead of reallocating them.
 ///
 /// Encoding, following Definition 9 (with the `Dropped` / `AtHost`
 /// propositions made explicit so properties can refer to them):
@@ -31,21 +43,29 @@ use crate::structure::{Kripke, StateId, StateKey, StateRole};
 /// keeps classes disjoint and leaves cross-class rewriting to future work).
 ///
 /// [`encode`]: NetworkKripke::encode
+/// [`reset_to`]: NetworkKripke::reset_to
 /// [`apply_switch_update`]: NetworkKripke::apply_switch_update
 #[derive(Debug, Clone)]
 pub struct NetworkKripke {
-    topology: Topology,
+    topology: Arc<Topology>,
     classes: Vec<TrafficClass>,
     ingress_hosts: Option<std::collections::BTreeSet<netupd_model::HostId>>,
+    /// The lazily-built configuration-independent skeleton (see the type
+    /// docs). Cloning the encoder clones the cached skeleton along with it.
+    skeleton: OnceLock<Kripke>,
 }
 
 impl NetworkKripke {
     /// Creates an encoder for the given topology and traffic classes.
-    pub fn new(topology: Topology, classes: Vec<TrafficClass>) -> Self {
+    ///
+    /// The topology is shared (`Arc`); passing an owned [`Topology`] wraps it
+    /// without copying.
+    pub fn new(topology: impl Into<Arc<Topology>>, classes: Vec<TrafficClass>) -> Self {
         NetworkKripke {
-            topology,
+            topology: topology.into(),
             classes,
             ingress_hosts: None,
+            skeleton: OnceLock::new(),
         }
     }
 
@@ -60,6 +80,8 @@ impl NetworkKripke {
         hosts: I,
     ) -> Self {
         self.ingress_hosts = Some(hosts.into_iter().collect());
+        // The skeleton's initial-state marks depend on the ingress set.
+        self.skeleton = OnceLock::new();
         self
     }
 
@@ -73,19 +95,51 @@ impl NetworkKripke {
         &self.classes
     }
 
-    /// Builds the Kripke structure of `config`.
+    /// The configuration-independent skeleton: all states with their base
+    /// labels and initial marks interned (plus the dynamic `Dropped`
+    /// proposition), but no transitions yet. Built once, shared by every
+    /// [`encode`](NetworkKripke::encode) call.
+    fn skeleton(&self) -> &Kripke {
+        self.skeleton.get_or_init(|| {
+            let mut kripke = Kripke::new();
+            // Intern the dynamic proposition first so its id is available
+            // (and stable) before any state label is written.
+            kripke.intern_prop(Prop::Dropped);
+            self.add_states(&mut kripke);
+            kripke
+        })
+    }
+
+    /// Builds the Kripke structure of `config`: a clone of the shared
+    /// skeleton rewired against the configuration.
     pub fn encode(&self, config: &Configuration) -> Kripke {
-        let mut kripke = Kripke::new();
-        // Intern the dynamic proposition first so its id is available (and
-        // stable) before any state label is written.
+        let mut kripke = self.skeleton().clone();
+        self.reset_to(&mut kripke, config);
+        kripke
+    }
+
+    /// Re-points an existing structure (produced by this encoder) at
+    /// `config`, in place: every state's outgoing transitions and `Dropped`
+    /// bit are recomputed against the configuration, while the label arena,
+    /// the state index, and the per-state successor storage are reused.
+    ///
+    /// Returns the states whose transitions or labels actually changed —
+    /// the change set an incremental checker needs to relabel. A long-lived
+    /// engine uses this (or per-switch [`apply_switch_update`]) to carry one
+    /// structure across a stream of requests instead of re-encoding.
+    ///
+    /// [`apply_switch_update`]: NetworkKripke::apply_switch_update
+    pub fn reset_to(&self, kripke: &mut Kripke, config: &Configuration) -> Vec<StateId> {
         let dropped = kripke.intern_prop(Prop::Dropped);
-        self.add_states(&mut kripke);
-        for state in kripke.states().collect::<Vec<_>>() {
+        let mut changed = Vec::new();
+        for state in kripke.states() {
             let key = kripke.key(state);
             let table = config.table(key.switch);
-            self.encode_state(&mut kripke, state, &table, dropped);
+            if self.encode_state(kripke, state, &table, dropped) {
+                changed.push(state);
+            }
         }
-        kripke
+        changed
     }
 
     /// Re-encodes the states of `switch` against `new_table`, mutating
@@ -355,6 +409,58 @@ mod tests {
             a.sort_unstable();
             b.sort_unstable();
             assert_eq!(a, b, "successors of {key}");
+        }
+    }
+
+    #[test]
+    fn reset_to_matches_fresh_encoding() {
+        let (topo, config, s0, _) = line();
+        let encoder = NetworkKripke::new(topo, vec![class()]);
+        let mut reused = encoder.encode(&config);
+        // Re-pointing at a different configuration in place must agree with a
+        // fresh encoding of that configuration, state for state.
+        let new_config = config.updated(s0, Table::empty());
+        let changed = encoder.reset_to(&mut reused, &new_config);
+        assert!(!changed.is_empty());
+        let fresh = encoder.encode(&new_config);
+        assert_eq!(reused.len(), fresh.len());
+        for state in reused.states() {
+            let key = reused.key(state);
+            let other = fresh.state_by_key(&key).expect("same state space");
+            let a: std::collections::BTreeSet<Prop> = reused.label_props(state).collect();
+            let b: std::collections::BTreeSet<Prop> = fresh.label_props(other).collect();
+            assert_eq!(a, b, "label of {key}");
+            let mut a: Vec<_> = reused
+                .successors(state)
+                .iter()
+                .map(|s| reused.key(*s))
+                .collect();
+            let mut b: Vec<_> = fresh
+                .successors(other)
+                .iter()
+                .map(|s| fresh.key(*s))
+                .collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "successors of {key}");
+        }
+        // Resetting to the configuration the structure already encodes
+        // changes nothing.
+        assert!(encoder.reset_to(&mut reused, &new_config).is_empty());
+    }
+
+    #[test]
+    fn skeleton_is_shared_across_encodes() {
+        let (topo, config, s0, _) = line();
+        let encoder = NetworkKripke::new(topo, vec![class()]);
+        let a = encoder.encode(&config);
+        let b = encoder.encode(&config.updated(s0, Table::empty()));
+        // Same state space, same ids, same initial marks — only wiring
+        // differs.
+        assert_eq!(a.len(), b.len());
+        for state in a.states() {
+            assert_eq!(a.key(state), b.key(state));
+            assert_eq!(a.is_initial(state), b.is_initial(state));
         }
     }
 

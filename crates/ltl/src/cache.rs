@@ -1,0 +1,157 @@
+//! Process-wide memoization of [`Closure`] construction and proposition
+//! resolution.
+//!
+//! A long-lived synthesis engine serves *streams* of closely-related
+//! requests: the same LTL specification is checked over and over, against
+//! structures whose proposition tables rarely change. Rebuilding the closure
+//! (subformula indexing, child tables) and re-resolving its atomic
+//! subformulas on every query is pure waste, so this module shares both:
+//!
+//! * [`shared_closure`] memoizes `Closure::new` keyed by the formula, and
+//! * [`shared_resolution`] memoizes `Closure::resolve_props` keyed by
+//!   `(root formula, table identity, table length)`.
+//!
+//! The resolution key is sound because [`PropTable`]s are append-only and
+//! carry a process-unique identity ([`PropTable::cache_key`]): equal keys
+//! imply an identical `Prop → PropId` mapping, and interning a new
+//! proposition changes the key (so stale resolutions are never served).
+//! Closure construction is deterministic, so structurally equal formulas
+//! yield interchangeable closures and the root formula suffices as a key.
+//!
+//! Both caches are bounded: when a cache exceeds its capacity it is cleared
+//! wholesale (the workloads that benefit — request streams over a handful of
+//! specs and tables — are far below the caps, and a clear only costs a
+//! re-computation). Callers hold plain [`Arc`]s, so clearing never
+//! invalidates values already handed out.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+use crate::ast::Ltl;
+use crate::closure::{Closure, ResolvedProps};
+use crate::intern::PropTable;
+
+/// Upper bound on memoized closures before the cache is cleared.
+const MAX_CLOSURES: usize = 128;
+
+/// Upper bound on memoized resolutions before the cache is cleared.
+const MAX_RESOLUTIONS: usize = 1024;
+
+type ClosureMap = HashMap<Ltl, Arc<Closure>>;
+type ResolutionMap = HashMap<(Ltl, u64, usize), Arc<ResolvedProps>>;
+
+fn closures() -> &'static Mutex<ClosureMap> {
+    static CACHE: OnceLock<Mutex<ClosureMap>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn resolutions() -> &'static Mutex<ResolutionMap> {
+    static CACHE: OnceLock<Mutex<ResolutionMap>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The memoized closure of `phi`: repeated calls with structurally equal
+/// formulas return the same shared [`Closure`].
+pub fn shared_closure(phi: &Ltl) -> Arc<Closure> {
+    let mut map = closures().lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(cached) = map.get(phi) {
+        return Arc::clone(cached);
+    }
+    let built = Arc::new(Closure::new(phi));
+    if map.len() >= MAX_CLOSURES {
+        map.clear();
+    }
+    map.insert(phi.clone(), Arc::clone(&built));
+    built
+}
+
+/// The memoized resolution of `closure`'s atomic subformulas against
+/// `table`, keyed by `(root formula, table identity, table length)`.
+///
+/// The returned resolution is valid for as long as the closure and table are
+/// both alive *and* the table has not interned further propositions (the
+/// caller re-resolves when [`PropTable::cache_key`] changes; see
+/// `netupd-mc`'s labeling engine).
+pub fn shared_resolution(closure: &Closure, table: &PropTable) -> Arc<ResolvedProps> {
+    let (table_id, table_len) = table.cache_key();
+    let key = (closure.root().clone(), table_id, table_len);
+    let mut map = resolutions().lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(cached) = map.get(&key) {
+        return Arc::clone(cached);
+    }
+    let built = Arc::new(closure.resolve_props(table));
+    if map.len() >= MAX_RESOLUTIONS {
+        map.clear();
+    }
+    map.insert(key, Arc::clone(&built));
+    built
+}
+
+/// Current `(closures, resolutions)` cache sizes (diagnostics and tests).
+pub fn cache_sizes() -> (usize, usize) {
+    let c = closures()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .len();
+    let r = resolutions()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .len();
+    (c, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+    use crate::prop::Prop;
+
+    #[test]
+    fn closures_are_shared_per_formula() {
+        let phi = builders::reachability(Prop::switch(1));
+        let a = shared_closure(&phi);
+        let b = shared_closure(&phi.clone());
+        assert!(Arc::ptr_eq(&a, &b), "same formula must share one closure");
+        let other = builders::reachability(Prop::switch(2));
+        let c = shared_closure(&other);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn resolutions_are_shared_until_the_table_grows() {
+        let phi = builders::reachability(Prop::switch(1));
+        let closure = shared_closure(&phi);
+        let mut table = PropTable::new();
+        table.intern(Prop::switch(1));
+        let a = shared_resolution(&closure, &table);
+        let b = shared_resolution(&closure, &table);
+        assert!(Arc::ptr_eq(&a, &b), "same (spec, table) must share");
+        // Interning changes the cache key, so a fresh resolution is built —
+        // one that sees the newly interned proposition.
+        table.intern(Prop::Dropped);
+        let c = shared_resolution(&closure, &table);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn cloned_tables_do_not_collide() {
+        // Two clones at equal length may map different props to the same id;
+        // the identity part of the key keeps their resolutions apart.
+        let phi = builders::reachability(Prop::switch(1));
+        let closure = shared_closure(&phi);
+        let base = PropTable::new();
+        let mut left = base.clone();
+        let mut right = base.clone();
+        left.intern(Prop::switch(1));
+        right.intern(Prop::switch(2));
+        let l = shared_resolution(&closure, &left);
+        let r = shared_resolution(&closure, &right);
+        assert!(!Arc::ptr_eq(&l, &r));
+        // The left table resolves the spec's proposition, the right cannot.
+        let lbl = left.set_of([Prop::switch(1)]);
+        let in_left = (0..closure.len()).any(|id| l.prop_in_label(id, lbl.as_ref()));
+        assert!(in_left);
+        let in_right = (0..closure.len()).any(|id| r.prop_in_label(id, lbl.as_ref()));
+        assert!(!in_right);
+    }
+}

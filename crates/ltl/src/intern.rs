@@ -35,8 +35,16 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::prop::Prop;
+
+/// Source of unique [`PropTable`] identities (see [`PropTable::cache_key`]).
+static NEXT_TABLE_ID: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_table_id() -> u64 {
+    NEXT_TABLE_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Index of an interned proposition within a [`PropTable`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -59,10 +67,36 @@ impl fmt::Display for PropId {
 /// An interning table mapping [`Prop`]s to dense [`PropId`]s.
 ///
 /// The table is append-only: ids handed out are stable for its lifetime.
-#[derive(Debug, Clone, Default)]
+///
+/// Every table carries a process-unique identity (see
+/// [`PropTable::cache_key`]); clones receive a fresh identity because two
+/// clones may subsequently intern *different* propositions and diverge while
+/// staying at equal lengths.
+#[derive(Debug)]
 pub struct PropTable {
     props: Vec<Prop>,
     index: HashMap<Prop, PropId>,
+    id: u64,
+}
+
+impl Default for PropTable {
+    fn default() -> Self {
+        PropTable {
+            props: Vec::new(),
+            index: HashMap::new(),
+            id: fresh_table_id(),
+        }
+    }
+}
+
+impl Clone for PropTable {
+    fn clone(&self) -> Self {
+        PropTable {
+            props: self.props.clone(),
+            index: self.index.clone(),
+            id: fresh_table_id(),
+        }
+    }
 }
 
 impl PropTable {
@@ -127,6 +161,18 @@ impl PropTable {
     /// Number of `u64` words a full-width bitset over this table needs.
     pub fn words(&self) -> usize {
         self.props.len().div_ceil(64).max(1)
+    }
+
+    /// A key identifying the current *contents* of this table for caching
+    /// purposes: the table's process-unique identity plus its length.
+    ///
+    /// Because tables are append-only and clones get fresh identities, two
+    /// equal keys imply an identical `Prop → PropId` mapping — which is what
+    /// the resolution cache in `netupd_ltl::cache` relies on. The key changes
+    /// whenever a new proposition is interned.
+    #[inline]
+    pub fn cache_key(&self) -> (u64, usize) {
+        (self.id, self.props.len())
     }
 
     /// Iterates over `(id, prop)` pairs in interning order.
@@ -489,6 +535,20 @@ mod tests {
         assert!(set.contains(table.lookup(&Prop::Dropped).unwrap()));
         let props: Vec<Prop> = set.as_ref().props(&table).collect();
         assert!(props.contains(&Prop::Dropped));
+    }
+
+    #[test]
+    fn cache_keys_distinguish_tables_and_lengths() {
+        let mut a = PropTable::new();
+        let before = a.cache_key();
+        a.intern(Prop::switch(1));
+        let after = a.cache_key();
+        assert_ne!(before, after, "interning must change the key");
+        // A clone diverges identity-wise even though contents match.
+        let b = a.clone();
+        assert_ne!(a.cache_key(), b.cache_key());
+        // Without further interning the key is stable.
+        assert_eq!(a.cache_key(), after);
     }
 
     #[test]

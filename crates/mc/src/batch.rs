@@ -11,9 +11,15 @@ use crate::labeling::Labeling;
 /// Identical labeling algorithm to [`crate::IncrementalChecker`], but every
 /// call — including [`recheck`](ModelChecker::recheck) — relabels the whole
 /// structure. Comparing the two isolates the benefit of incrementality.
+///
+/// The checker keeps one [`Labeling`] across calls purely as recycled
+/// *storage*: every query still recomputes all labels from scratch (the
+/// baseline's cost profile), but the span/backing vectors are reused instead
+/// of reallocated, which matters when a long-lived engine funnels thousands
+/// of queries through one instance.
 #[derive(Debug, Default)]
 pub struct BatchChecker {
-    _private: (),
+    scratch: Option<Labeling>,
 }
 
 impl BatchChecker {
@@ -25,7 +31,15 @@ impl BatchChecker {
 
 impl ModelChecker for BatchChecker {
     fn check(&mut self, kripke: &Kripke, phi: &Ltl) -> CheckOutcome {
-        let (labeling, labeled) = Labeling::label_all(kripke, phi);
+        let labeled = match &mut self.scratch {
+            Some(labeling) => labeling.relabel_all(kripke, phi),
+            None => {
+                let (labeling, labeled) = Labeling::label_all(kripke, phi);
+                self.scratch = Some(labeling);
+                labeled
+            }
+        };
+        let labeling = self.scratch.as_ref().expect("labeling present");
         let stats = CheckStats {
             states_labeled: labeled,
             total_states: kripke.len(),

@@ -18,9 +18,10 @@
 //!   (exactly the handicap discussed in the paper's evaluation).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use netupd_kripke::{Kripke, StateId, StateSet};
-use netupd_ltl::{Closure, Ltl};
+use netupd_ltl::{cache as ltl_cache, Closure, Ltl, ResolvedProps};
 
 use crate::checker::{CheckOutcome, CheckStats, ModelChecker};
 
@@ -33,6 +34,15 @@ const MAX_PATHS_PER_INGRESS: usize = 16_384;
 #[derive(Debug, Default)]
 pub struct HeaderSpaceChecker {
     cache: Option<PathCache>,
+    /// Per-instance closure/resolution for the current `(spec, table)` pair,
+    /// so the steady-state evaluation path is lock-free: the process-wide
+    /// `netupd_ltl::cache` is only consulted when the spec or table key
+    /// changes.
+    spec_cache: Option<SpecCache>,
+    /// Set by [`ModelChecker::begin_query`]: the cached paths may no longer
+    /// describe the structure, so the next query recomputes all of them
+    /// (recycling the per-ingress map's storage).
+    stale: bool,
 }
 
 #[derive(Debug)]
@@ -43,29 +53,55 @@ struct PathCache {
     states: usize,
 }
 
+#[derive(Debug)]
+struct SpecCache {
+    closure: Arc<Closure>,
+    resolved: Arc<ResolvedProps>,
+    /// The table key ([`netupd_ltl::PropTable::cache_key`]) the resolution
+    /// was computed for.
+    table_key: (u64, usize),
+}
+
 impl HeaderSpaceChecker {
     /// Creates a header-space checker with an empty cache.
     pub fn new() -> Self {
         HeaderSpaceChecker::default()
     }
 
-    fn evaluate(&self, kripke: &Kripke, phi: &Ltl, stats: CheckStats) -> CheckOutcome {
-        let cache = self.cache.as_ref().expect("cache present");
+    fn evaluate(&mut self, kripke: &Kripke, phi: &Ltl, stats: CheckStats) -> CheckOutcome {
         // Finite-trace semantics with final-state stuttering, evaluated
         // backward over each cached path directly against the interned state
-        // labels — no label materialization per path.
-        let closure = Closure::new(phi);
-        let resolved = closure.resolve_props(kripke.props());
+        // labels — no label materialization per path. The closure and its
+        // resolution are cached per instance and shared per (spec, table)
+        // across the query stream via `netupd_ltl::cache`.
+        let table_key = kripke.props().cache_key();
+        let reusable = self
+            .spec_cache
+            .as_ref()
+            .is_some_and(|c| c.table_key == table_key && c.closure.root() == phi);
+        if !reusable {
+            let closure = ltl_cache::shared_closure(phi);
+            let resolved = ltl_cache::shared_resolution(&closure, kripke.props());
+            self.spec_cache = Some(SpecCache {
+                closure,
+                resolved,
+                table_key,
+            });
+        }
+        let SpecCache {
+            closure, resolved, ..
+        } = self.spec_cache.as_ref().expect("refreshed above");
+        let cache = self.cache.as_ref().expect("cache present");
         let holds = cache.paths.values().flatten().all(|path| {
             let Some((last, prefix)) = path.split_last() else {
                 return true;
             };
-            let mut assignment = closure.sink_assignment_interned(kripke.label(*last), &resolved);
+            let mut assignment = closure.sink_assignment_interned(kripke.label(*last), resolved);
             for state in prefix.iter().rev() {
                 assignment = closure.successor_assignment_interned(
                     kripke.label(*state),
                     &assignment,
-                    &resolved,
+                    resolved,
                 );
             }
             closure.satisfies_root(&assignment)
@@ -110,7 +146,15 @@ fn collect_paths(
 
 impl ModelChecker for HeaderSpaceChecker {
     fn check(&mut self, kripke: &Kripke, phi: &Ltl) -> CheckOutcome {
-        let mut paths = HashMap::new();
+        self.stale = false;
+        // Recycle the previous cache's map storage for the full recompute.
+        let mut paths = match self.cache.take() {
+            Some(mut cache) => {
+                cache.paths.clear();
+                cache.paths
+            }
+            None => HashMap::new(),
+        };
         let mut visited_states = 0;
         for initial in kripke.initial_states() {
             let ingress_paths = Self::compute_paths(kripke, initial);
@@ -130,6 +174,9 @@ impl ModelChecker for HeaderSpaceChecker {
     }
 
     fn recheck(&mut self, kripke: &Kripke, phi: &Ltl, changed: &[StateId]) -> CheckOutcome {
+        if self.stale {
+            return self.check(kripke, phi);
+        }
         let Some(cache) = self.cache.as_ref() else {
             return self.check(kripke, phi);
         };
@@ -170,6 +217,10 @@ impl ModelChecker for HeaderSpaceChecker {
             incremental: true,
         };
         self.evaluate(kripke, phi, stats)
+    }
+
+    fn begin_query(&mut self) {
+        self.stale = true;
     }
 
     fn name(&self) -> &'static str {
@@ -247,6 +298,22 @@ mod tests {
         let outcome = hs.recheck(&kripke, &spec, &[]);
         assert!(outcome.holds);
         assert!(!outcome.stats.incremental);
+    }
+
+    #[test]
+    fn begin_query_forces_a_full_path_recompute() {
+        let (encoder, config, s0, h1) = line();
+        let mut kripke = encoder.encode(&config);
+        let spec = builders::reachability(Prop::AtHost(h1));
+        let mut hs = HeaderSpaceChecker::new();
+        assert!(hs.check(&kripke, &spec).holds);
+        // Mutate the structure out of band; without begin_query an empty
+        // change set would recompute nothing and keep the stale verdict.
+        encoder.reset_to(&mut kripke, &config.updated(s0, Table::empty()));
+        hs.begin_query();
+        let outcome = hs.recheck(&kripke, &spec, &[]);
+        assert!(!outcome.stats.incremental);
+        assert!(!outcome.holds);
     }
 
     #[test]

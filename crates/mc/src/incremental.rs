@@ -14,9 +14,20 @@ use crate::labeling::Labeling;
 /// changing. The labeling is kept across calls, which is what makes the
 /// synthesis loop fast: each switch update triggers one small relabeling
 /// instead of a full model-checking run.
+///
+/// The checker is reusable across query series: a full re-check (a new spec,
+/// a [`begin_query`](ModelChecker::begin_query) reset, or a changed state
+/// space) recycles the labeling's span/backing storage instead of
+/// reallocating it, and the cross-request path — recheck with an accurate
+/// change set after the structure was synced by diff — keeps full
+/// incrementality.
 #[derive(Debug, Default)]
 pub struct IncrementalChecker {
     state: Option<CheckerState>,
+    /// Set by [`ModelChecker::begin_query`]: the cached labeling's *results*
+    /// may no longer describe the structure, so the next query must relabel
+    /// everything (while still recycling the labeling's storage).
+    stale: bool,
 }
 
 #[derive(Debug)]
@@ -35,6 +46,7 @@ impl IncrementalChecker {
     /// a configuration whose labeling is no longer available).
     pub fn reset(&mut self) {
         self.state = None;
+        self.stale = false;
     }
 
     fn outcome(&self, kripke: &Kripke, stats: CheckStats) -> CheckOutcome {
@@ -51,11 +63,23 @@ impl IncrementalChecker {
 
 impl ModelChecker for IncrementalChecker {
     fn check(&mut self, kripke: &Kripke, phi: &Ltl) -> CheckOutcome {
-        let (labeling, labeled) = Labeling::label_all(kripke, phi);
-        self.state = Some(CheckerState {
-            phi: phi.clone(),
-            labeling,
-        });
+        self.stale = false;
+        let labeled = match &mut self.state {
+            // Recycle the previous labeling's storage for the full relabel.
+            Some(state) => {
+                let labeled = state.labeling.relabel_all(kripke, phi);
+                state.phi = phi.clone();
+                labeled
+            }
+            None => {
+                let (labeling, labeled) = Labeling::label_all(kripke, phi);
+                self.state = Some(CheckerState {
+                    phi: phi.clone(),
+                    labeling,
+                });
+                labeled
+            }
+        };
         let stats = CheckStats {
             states_labeled: labeled,
             total_states: kripke.len(),
@@ -65,7 +89,7 @@ impl ModelChecker for IncrementalChecker {
     }
 
     fn recheck(&mut self, kripke: &Kripke, phi: &Ltl, changed: &[StateId]) -> CheckOutcome {
-        let can_reuse = self.state.as_ref().is_some_and(|s| s.phi == *phi);
+        let can_reuse = !self.stale && self.state.as_ref().is_some_and(|s| s.phi == *phi);
         if !can_reuse {
             return self.check(kripke, phi);
         }
@@ -79,6 +103,10 @@ impl ModelChecker for IncrementalChecker {
             incremental: true,
         };
         self.outcome(kripke, stats)
+    }
+
+    fn begin_query(&mut self) {
+        self.stale = true;
     }
 
     fn name(&self) -> &'static str {
@@ -161,6 +189,27 @@ mod tests {
         let outcome = checker.recheck(&kripke, &spec, &[]);
         assert!(outcome.holds);
         assert!(!outcome.stats.incremental);
+    }
+
+    #[test]
+    fn begin_query_forces_a_full_relabel_with_recycled_storage() {
+        let (encoder, config, s0, _s1, h1) = line();
+        let mut kripke = encoder.encode(&config);
+        let spec = builders::reachability(Prop::AtHost(h1));
+        let mut checker = IncrementalChecker::new();
+        checker.check(&kripke, &spec);
+        // Mutate the structure out of band (no change set retained).
+        encoder.reset_to(&mut kripke, &config.updated(s0, Table::empty()));
+        checker.begin_query();
+        let outcome = checker.recheck(&kripke, &spec, &[]);
+        // Without begin_query an empty change set would relabel nothing and
+        // the stale labels would still claim the property holds.
+        assert!(!outcome.stats.incremental);
+        assert_eq!(outcome.stats.states_labeled, kripke.len());
+        assert!(!outcome.holds);
+        // Subsequent rechecks are incremental again.
+        let changed = encoder.apply_switch_update(&mut kripke, s0, &config.table(s0));
+        assert!(checker.recheck(&kripke, &spec, &changed).stats.incremental);
     }
 
     #[test]

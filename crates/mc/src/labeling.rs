@@ -21,15 +21,25 @@
 //! label probe is a single bit test.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use netupd_kripke::{Kripke, StateId, StateSet};
-use netupd_ltl::{Assignment, Closure, Ltl, ResolvedProps};
+use netupd_ltl::{cache, Assignment, Closure, Ltl, ResolvedProps};
 
 /// A correct labeling of a Kripke structure with respect to a specification.
 #[derive(Debug, Clone)]
 pub struct Labeling {
-    closure: Closure,
-    resolved: ResolvedProps,
+    /// The specification closure, shared process-wide per formula
+    /// (`netupd_ltl::cache`), so a stream of requests with a repeated spec
+    /// builds it once.
+    closure: Arc<Closure>,
+    /// The closure's atomic subformulas resolved against the structure's
+    /// table, shared per `(spec, table)` pair.
+    resolved: Arc<ResolvedProps>,
+    /// The table key (`PropTable::cache_key`) the resolution was computed
+    /// for; re-resolution only happens when the key changes (the table
+    /// interned new propositions, or the labeling moved to a new structure).
+    resolved_key: (u64, usize),
     /// Per-state `(offset, len)` span into `backing`.
     spans: Vec<(u32, u32)>,
     /// Flat backing storage for all per-state assignment vectors.
@@ -55,26 +65,67 @@ impl Labeling {
     /// self-loop); the synthesizer rejects such configurations before
     /// checking them.
     pub fn label_all(kripke: &Kripke, phi: &Ltl) -> (Labeling, usize) {
-        let closure = Closure::new(phi);
-        let resolved = closure.resolve_props(kripke.props());
+        let closure = cache::shared_closure(phi);
+        let resolved = cache::shared_resolution(&closure, kripke.props());
         let mut labeling = Labeling {
             closure,
             resolved,
-            spans: vec![(0, 0); kripke.len()],
+            resolved_key: kripke.props().cache_key(),
+            spans: Vec::new(),
             backing: Vec::with_capacity(kripke.len()),
             dead: 0,
             scratch_remaining: Vec::new(),
         };
+        let count = labeling.recompute(kripke);
+        (labeling, count)
+    }
+
+    /// Recomputes this labeling from scratch for `kripke` and `phi`,
+    /// **reusing** the span/backing/scratch allocations of the previous
+    /// computation. Semantically identical to replacing `self` with
+    /// `Labeling::label_all(kripke, phi)`; returns the number of states
+    /// labeled.
+    ///
+    /// This is the `begin_query`-style reset path: a reusable checker serving
+    /// a stream of queries recycles its labeling storage instead of dropping
+    /// and reallocating it per query.
+    pub fn relabel_all(&mut self, kripke: &Kripke, phi: &Ltl) -> usize {
+        if self.closure.root() != phi {
+            self.closure = cache::shared_closure(phi);
+            // A new spec invalidates the resolution regardless of the table.
+            self.resolved = cache::shared_resolution(&self.closure, kripke.props());
+            self.resolved_key = kripke.props().cache_key();
+        } else {
+            self.refresh_resolution(kripke);
+        }
+        self.recompute(kripke)
+    }
+
+    /// Re-resolves the closure against the structure's table iff the table
+    /// key changed (new propositions interned, or a different table).
+    fn refresh_resolution(&mut self, kripke: &Kripke) {
+        let key = kripke.props().cache_key();
+        if key != self.resolved_key {
+            self.resolved = cache::shared_resolution(&self.closure, kripke.props());
+            self.resolved_key = key;
+        }
+    }
+
+    /// Labels every state of `kripke` bottom-up, reusing the backing storage.
+    fn recompute(&mut self, kripke: &Kripke) -> usize {
+        self.spans.clear();
+        self.spans.resize(kripke.len(), (0, 0));
+        self.backing.clear();
+        self.dead = 0;
         let order = kripke
             .topological_order()
             .expect("network Kripke structures are DAG-like");
         for state in &order {
-            let label = labeling.compute_label(kripke, *state);
-            labeling.spans[state.0] = (labeling.backing.len() as u32, label.len() as u32);
-            labeling.backing.extend(label);
+            let label = self.compute_label(kripke, *state);
+            self.spans[state.0] = (self.backing.len() as u32, label.len() as u32);
+            self.backing.extend(label);
         }
-        let count = kripke.len();
-        (labeling, count)
+        kripke.len()
     }
 
     /// The specification closure this labeling was computed for.
@@ -97,14 +148,14 @@ impl Labeling {
             return 0;
         }
         if self.spans.len() != kripke.len() {
-            // The state space itself changed; fall back to a full relabel.
-            let (fresh, count) = Labeling::label_all(kripke, &self.closure.root().clone());
-            *self = fresh;
-            return count;
+            // The state space itself changed; fall back to a full relabel
+            // (reusing this labeling's storage).
+            self.refresh_resolution(kripke);
+            return self.recompute(kripke);
         }
-        // The table only grows and ids are stable, so re-resolving merely
-        // picks up propositions interned since the last (re)labeling.
-        self.resolved = self.closure.resolve_props(kripke.props());
+        // The table only grows and ids are stable, so a resolution stays
+        // valid until the table key changes (a newly interned proposition).
+        self.refresh_resolution(kripke);
 
         // Restrict attention to ancestors of the changed states and process
         // them in an order where successors-in-the-region come first.
@@ -428,6 +479,36 @@ mod tests {
                 assert_eq!(labeling.label(state), fresh.label(state), "round {round}");
             }
         }
+    }
+
+    #[test]
+    fn relabel_all_matches_label_all_across_specs_and_structures() {
+        let (k, _) = figure6();
+        let phi_a = builders::reachability(Prop::switch(3));
+        let phi_b = Ltl::eventually(Ltl::or_all((3..=6).map(|n| Ltl::prop(Prop::switch(n)))));
+        let (mut reused, _) = Labeling::label_all(&k, &phi_a);
+        // Same structure, new spec: the recycled labeling must agree with a
+        // fresh one.
+        let relabeled = reused.relabel_all(&k, &phi_b);
+        assert_eq!(relabeled, k.len());
+        let (fresh, _) = Labeling::label_all(&k, &phi_b);
+        for state in k.states() {
+            assert_eq!(reused.label(state), fresh.label(state));
+        }
+        assert_eq!(reused.holds(&k), fresh.holds(&k));
+        // Back to the first spec on a *different* structure (fewer states).
+        let mut k2 = Kripke::new();
+        let a = k2.add_state(key(0), label(0));
+        let b = k2.add_state(key(3), label(3));
+        k2.mark_initial(a);
+        k2.add_transition(a, b);
+        k2.add_transition(b, b);
+        reused.relabel_all(&k2, &phi_a);
+        let (fresh2, _) = Labeling::label_all(&k2, &phi_a);
+        for state in k2.states() {
+            assert_eq!(reused.label(state), fresh2.label(state));
+        }
+        assert!(reused.holds(&k2));
     }
 
     #[test]

@@ -18,7 +18,9 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use netupd_kripke::{Kripke, StateId};
-use netupd_ltl::{Assignment, Closure, Ltl, PropSet, PropSetRef, ResolvedProps};
+use netupd_ltl::{
+    cache as ltl_cache, Assignment, Closure, Ltl, PropSet, PropSetRef, ResolvedProps,
+};
 
 use crate::checker::{CheckOutcome, CheckStats, Counterexample, ModelChecker};
 
@@ -42,8 +44,12 @@ impl ProductChecker {
 
 impl ModelChecker for ProductChecker {
     fn check(&mut self, kripke: &Kripke, phi: &Ltl) -> CheckOutcome {
+        // The negated spec's closure (and its resolution against this
+        // structure's table) is shared across the query stream; the product
+        // itself is still rebuilt from scratch per query — the cost profile
+        // this backend exists to model.
         let negated = phi.negated();
-        let closure = Closure::new(&negated);
+        let closure = ltl_cache::shared_closure(&negated);
         let tableau = Tableau::new(closure, kripke);
         self.cache.reset(kripke.len());
         let stats = CheckStats {
@@ -92,10 +98,10 @@ impl AtomCache {
 
 /// The tableau of the negated specification.
 struct Tableau {
-    closure: Closure,
+    closure: Arc<Closure>,
     /// The closure's atomic subformulas resolved against the structure's
     /// proposition table, so atom enumeration probes label bits directly.
-    resolved: ResolvedProps,
+    resolved: Arc<ResolvedProps>,
     /// Indices of the temporal subformulas whose truth value must be guessed
     /// when enumerating atoms.
     temporal: Vec<usize>,
@@ -107,8 +113,8 @@ struct Tableau {
 }
 
 impl Tableau {
-    fn new(closure: Closure, kripke: &Kripke) -> Self {
-        let resolved = closure.resolve_props(kripke.props());
+    fn new(closure: Arc<Closure>, kripke: &Kripke) -> Self {
+        let resolved = ltl_cache::shared_resolution(&closure, kripke.props());
         let temporal: Vec<usize> = closure
             .iter()
             .filter(|(_, phi)| matches!(phi, Ltl::Next(_) | Ltl::Until(..) | Ltl::Release(..)))

@@ -2,6 +2,7 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::config::Configuration;
 use crate::packet::TrafficClass;
@@ -18,14 +19,21 @@ use crate::types::{HostId, PortId, SwitchId};
 /// induces (Lemma 2 of the paper).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Network {
-    topology: Topology,
+    topology: Arc<Topology>,
     config: Configuration,
 }
 
 impl Network {
     /// Creates a static network.
-    pub fn new(topology: Topology, config: Configuration) -> Self {
-        Network { topology, config }
+    ///
+    /// The topology is shared (`Arc`); passing an owned [`Topology`] wraps it
+    /// without copying, and the many intermediate networks an update induces
+    /// all share one topology allocation.
+    pub fn new(topology: impl Into<Arc<Topology>>, config: Configuration) -> Self {
+        Network {
+            topology: topology.into(),
+            config,
+        }
     }
 
     /// The topology.
@@ -38,20 +46,20 @@ impl Network {
         &self.config
     }
 
-    /// The functional update `N[sw <- tbl]`.
+    /// The functional update `N[sw <- tbl]` (shares the topology).
     #[must_use]
     pub fn updated(&self, sw: SwitchId, table: crate::table::Table) -> Network {
         Network {
-            topology: self.topology.clone(),
+            topology: Arc::clone(&self.topology),
             config: self.config.updated(sw, table),
         }
     }
 
-    /// Replaces the whole configuration, keeping the topology.
+    /// Replaces the whole configuration, keeping (sharing) the topology.
     #[must_use]
     pub fn with_config(&self, config: Configuration) -> Network {
         Network {
-            topology: self.topology.clone(),
+            topology: Arc::clone(&self.topology),
             config,
         }
     }

@@ -12,6 +12,7 @@
 //! made it to their destination and how many rules each switch held over time.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 
 use crate::command::{Command, CommandSeq};
 use crate::config::Configuration;
@@ -191,7 +192,7 @@ enum ControllerState {
 /// See the [module documentation](self) for the timing model.
 #[derive(Debug, Clone)]
 pub struct Simulator {
-    topology: Topology,
+    topology: Arc<Topology>,
     config: Configuration,
     options: SimulatorOptions,
     /// Per-link FIFO queues of in-flight packets, indexed by link id.
@@ -207,7 +208,11 @@ pub struct Simulator {
 
 impl Simulator {
     /// Creates a simulator over `topology` starting from `initial` tables.
-    pub fn new(topology: Topology, initial: Configuration) -> Self {
+    ///
+    /// The topology is shared (`Arc`); passing an owned [`Topology`] wraps it
+    /// without copying, and callers that already hold an `Arc` share it.
+    pub fn new(topology: impl Into<Arc<Topology>>, initial: Configuration) -> Self {
+        let topology = topology.into();
         let link_queues = vec![VecDeque::new(); topology.num_links()];
         let mut report = ProbeReport::default();
         for (sw, table) in initial.iter() {

@@ -409,6 +409,97 @@ pub fn double_diamond_scenario<R: Rng>(
     ))
 }
 
+/// Generates a seeded *churn stream*: `steps` successive update scenarios
+/// over one graph where each step's initial configuration is **exactly** the
+/// previous step's final configuration — the rolling-reconfiguration
+/// workload a long-lived controller serves.
+///
+/// Step 0 is an ordinary [`diamond_scenario`]. Each following step keeps the
+/// flow (source, destination, class, waypoints, and spec) fixed and re-routes
+/// it: with equal probability it either flips back to the path it just left
+/// or — when the graph admits one — moves to a fresh path that avoids the
+/// current path's interior while still visiting the waypoints in order. The
+/// stream is fully determined by `rng`, so a seed reproduces it exactly.
+///
+/// Returns `None` if the graph admits no diamond for `kind` (see
+/// [`diamond_scenario`]) or a step cannot be re-routed; `steps == 0` yields
+/// an empty stream.
+pub fn churn_scenarios<R: Rng>(
+    graph: &NetworkGraph,
+    kind: PropertyKind,
+    steps: usize,
+    rng: &mut R,
+) -> Option<Vec<UpdateScenario>> {
+    if steps == 0 {
+        return Some(Vec::new());
+    }
+    let mut out = Vec::with_capacity(steps);
+    out.push(diamond_scenario(graph, kind, rng)?);
+    while out.len() < steps {
+        let next = churn_step(graph, out.last().expect("non-empty"), rng)?;
+        out.push(next);
+    }
+    Some(out)
+}
+
+/// Builds the next step of a churn stream: re-routes the (single) flow of
+/// `prev` away from its current (final) path, starting from `prev`'s final
+/// configuration.
+fn churn_step<R: Rng>(
+    graph: &NetworkGraph,
+    prev: &UpdateScenario,
+    rng: &mut R,
+) -> Option<UpdateScenario> {
+    let pair = prev.pairs.first()?;
+    let current = &pair.final_path;
+    let src = *current.first()?;
+    let dst = *current.last()?;
+
+    // Candidate next paths: the path the flow just left (always viable for a
+    // diamond), plus — when the graph admits one — a fresh path avoiding the
+    // current interior while visiting the waypoints in order.
+    let mut candidates: Vec<Vec<SwitchId>> = vec![pair.initial_path.clone()];
+    if let Some(fresh) = final_path_through(graph, src, dst, current, &pair.waypoints) {
+        if fresh != *current && !candidates.contains(&fresh) {
+            candidates.push(fresh);
+        }
+    }
+    let new_path = candidates.swap_remove(rng.gen_range(0..candidates.len()));
+    if new_path == *current {
+        return None;
+    }
+
+    // The step starts exactly where the previous step ended.
+    let initial = prev.final_config.clone();
+    let mut final_config = graph.compile_path(&new_path, pair.dst_host, &pair.class, Priority(10));
+    // Switches carrying rules (or explicitly emptied tables) in the initial
+    // configuration that the new path does not use must end empty — they are
+    // part of the update, exactly as in `assemble`.
+    for sw in initial.switches().collect::<Vec<_>>() {
+        if final_config.table_ref(sw).is_none() {
+            final_config.set_table(sw, netupd_model::Table::empty());
+        }
+    }
+
+    let next_pair = FlowPair {
+        src_host: pair.src_host,
+        dst_host: pair.dst_host,
+        class: pair.class.clone(),
+        initial_path: current.clone(),
+        final_path: new_path,
+        waypoints: pair.waypoints.clone(),
+        spec: pair.spec.clone(),
+    };
+    Some(UpdateScenario {
+        graph: graph.clone(),
+        pairs: vec![next_pair],
+        initial,
+        final_config,
+        spec: prev.spec.clone(),
+        kind: prev.kind,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -517,6 +608,63 @@ mod tests {
         assert_eq!(reverse.initial_path, reversed);
         check_config_delivers(&scenario, &scenario.initial);
         check_config_delivers(&scenario, &scenario.final_config);
+    }
+
+    #[test]
+    fn churn_steps_chain_configurations_exactly() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let graph = generators::fat_tree(4);
+        let steps =
+            churn_scenarios(&graph, PropertyKind::Reachability, 5, &mut rng).expect("churn");
+        assert_eq!(steps.len(), 5);
+        for (i, step) in steps.iter().enumerate() {
+            assert!(step.updating_switches() > 0, "step {i} must update");
+            assert_ne!(step.initial, step.final_config, "step {i} must change");
+            check_config_delivers(step, &step.initial);
+            check_config_delivers(step, &step.final_config);
+            if i > 0 {
+                assert_eq!(
+                    step.initial,
+                    steps[i - 1].final_config,
+                    "step {i} must start where step {} ended",
+                    i - 1
+                );
+                assert_eq!(step.spec, steps[i - 1].spec, "the spec stays fixed");
+            }
+        }
+    }
+
+    #[test]
+    fn churn_keeps_waypoints_on_every_path() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let graph = generators::fat_tree(4);
+        let steps = churn_scenarios(&graph, PropertyKind::Waypoint, 4, &mut rng).expect("churn");
+        for step in &steps {
+            let pair = &step.pairs[0];
+            for w in &pair.waypoints {
+                assert!(pair.initial_path.contains(w));
+                assert!(pair.final_path.contains(w));
+            }
+        }
+    }
+
+    #[test]
+    fn churn_is_deterministic_per_seed_and_empty_for_zero_steps() {
+        let graph = generators::fat_tree(4);
+        let mut rng_a = StdRng::seed_from_u64(77);
+        let mut rng_b = StdRng::seed_from_u64(77);
+        let a = churn_scenarios(&graph, PropertyKind::Reachability, 6, &mut rng_a).unwrap();
+        let b = churn_scenarios(&graph, PropertyKind::Reachability, 6, &mut rng_b).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.pairs[0].final_path, y.pairs[0].final_path);
+            assert_eq!(x.final_config, y.final_config);
+        }
+        let mut rng = StdRng::seed_from_u64(77);
+        assert!(
+            churn_scenarios(&graph, PropertyKind::Reachability, 0, &mut rng)
+                .unwrap()
+                .is_empty()
+        );
     }
 
     #[test]

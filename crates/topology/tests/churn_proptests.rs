@@ -1,0 +1,121 @@
+//! Property-based coverage for the churn-stream generator
+//! (`scenario::churn_scenarios`): every step of every seeded stream must be a
+//! well-formed update scenario, the steps must chain exactly, the
+//! specification must only name live nodes, and a seed must reproduce the
+//! stream bit for bit.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use netupd_ltl::{Ltl, Prop};
+use netupd_topo::scenario::{churn_scenarios, PropertyKind, UpdateScenario};
+use netupd_topo::{generators, NetworkGraph};
+
+/// Collects every atomic proposition mentioned by a specification.
+fn collect_props(phi: &Ltl, out: &mut Vec<Prop>) {
+    match phi {
+        Ltl::Prop(p) | Ltl::NotProp(p) => out.push(*p),
+        _ => {}
+    }
+    for child in phi.children() {
+        collect_props(child, out);
+    }
+}
+
+/// The spec must only name switches and hosts that exist in the topology.
+fn assert_spec_names_live_nodes(scenario: &UpdateScenario) {
+    let topo = scenario.topology();
+    let mut props = Vec::new();
+    collect_props(&scenario.spec, &mut props);
+    assert!(!props.is_empty(), "a scenario spec mentions something");
+    for prop in props {
+        match prop {
+            Prop::Switch(sw) => {
+                assert!(topo.switches().contains(&sw), "{sw} not in topology")
+            }
+            Prop::AtHost(h) => assert!(topo.hosts().contains(&h), "{h:?} not in topology"),
+            // Ports, field guards, and Dropped are class-level, not node-level.
+            Prop::Port(_) | Prop::FieldIs(..) | Prop::Dropped => {}
+        }
+    }
+}
+
+fn graph_for(seed: u64) -> NetworkGraph {
+    if seed.is_multiple_of(2) {
+        generators::fat_tree(4)
+    } else {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generators::small_world(20, 4, 0.1, &mut rng)
+    }
+}
+
+fn kind_for(seed: u64) -> PropertyKind {
+    match seed % 3 {
+        0 => PropertyKind::Reachability,
+        1 => PropertyKind::Waypoint,
+        _ => PropertyKind::ServiceChain { length: 2 },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every step of a seeded churn stream is well-formed: it changes the
+    /// configuration, chains exactly onto its predecessor, keeps the flow's
+    /// endpoints and spec fixed, and names only live nodes.
+    #[test]
+    fn churn_steps_are_well_formed(seed in 0u64..500, steps in 1usize..6) {
+        let graph = graph_for(seed);
+        let kind = kind_for(seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let Some(stream) = churn_scenarios(&graph, kind, steps, &mut rng) else {
+            // Some graphs admit no diamond for the kind; nothing to check.
+            return Ok(());
+        };
+        prop_assert_eq!(stream.len(), steps);
+        for (i, step) in stream.iter().enumerate() {
+            prop_assert!(step.initial != step.final_config, "step {} is a no-op", i);
+            prop_assert!(step.updating_switches() > 0);
+            prop_assert_eq!(step.pairs.len(), 1);
+            let pair = &step.pairs[0];
+            prop_assert_ne!(&pair.initial_path, &pair.final_path);
+            assert_spec_names_live_nodes(step);
+            if i > 0 {
+                let prev = &stream[i - 1];
+                prop_assert!(
+                    step.initial == prev.final_config,
+                    "step {} must start at step {}'s final configuration", i, i - 1
+                );
+                prop_assert_eq!(&step.pairs[0].initial_path, &prev.pairs[0].final_path);
+                prop_assert_eq!(&step.spec, &prev.spec);
+                prop_assert_eq!(step.pairs[0].src_host, prev.pairs[0].src_host);
+                prop_assert_eq!(step.pairs[0].dst_host, prev.pairs[0].dst_host);
+            }
+        }
+    }
+
+    /// The same seed reproduces the same stream, step for step.
+    #[test]
+    fn churn_is_deterministic_per_seed(seed in 0u64..500, steps in 1usize..5) {
+        let graph = graph_for(seed);
+        let kind = kind_for(seed);
+        let mut rng_a = StdRng::seed_from_u64(seed);
+        let mut rng_b = StdRng::seed_from_u64(seed);
+        let a = churn_scenarios(&graph, kind, steps, &mut rng_a);
+        let b = churn_scenarios(&graph, kind, steps, &mut rng_b);
+        match (a, b) {
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(&b) {
+                    prop_assert_eq!(&x.initial, &y.initial);
+                    prop_assert_eq!(&x.final_config, &y.final_config);
+                    prop_assert_eq!(&x.pairs[0].final_path, &y.pairs[0].final_path);
+                    prop_assert_eq!(&x.spec, &y.spec);
+                }
+            }
+            (None, None) => {}
+            other => prop_assert!(false, "divergent generation: {:?}", other.0.is_some()),
+        }
+    }
+}

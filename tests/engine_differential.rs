@@ -1,0 +1,138 @@
+//! Differential test for the long-lived `UpdateEngine`: for every backend
+//! and thread count, an engine fed a churn stream must produce byte-identical
+//! `UpdateSequence`s — commands, unit order, and verdict — to a fresh
+//! `Synthesizer` per request.
+//!
+//! Speculation is forced on (as in `tests/parallel_determinism.rs`) so the
+//! threaded runs exercise the speculative machinery even on single-core CI
+//! runners, and CI additionally runs this suite under `RUST_TEST_THREADS=1`.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use netupd::mc::Backend;
+use netupd::synth::{
+    Granularity, SynthesisError, SynthesisOptions, Synthesizer, UpdateEngine, UpdateProblem,
+};
+use netupd::topo::generators;
+use netupd::topo::scenario::{churn_scenarios, PropertyKind};
+
+/// Forces the speculative fan-out on regardless of the host's core count.
+fn force_speculation() {
+    std::env::set_var("NETUPD_SEARCH_SPECULATION", "6");
+}
+
+/// A seeded churn stream as a vector of problems sharing one topology `Arc`.
+fn churn_problems(kind: PropertyKind, steps: usize, seed: u64) -> Vec<UpdateProblem> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = generators::fat_tree(4);
+    let scenarios = churn_scenarios(&graph, kind, steps, &mut rng).expect("churn stream");
+    let topology = Arc::new(graph.topology().clone());
+    scenarios
+        .iter()
+        .map(|s| UpdateProblem::from_scenario_shared(s, Arc::clone(&topology)))
+        .collect()
+}
+
+/// Feeds the stream to one engine and, per request, to a fresh synthesizer;
+/// commands, order, and verdict must agree on every step.
+fn assert_engine_matches_fresh(problems: &[UpdateProblem], options: SynthesisOptions) {
+    let mut engine = UpdateEngine::for_problem(&problems[0], options.clone());
+    for (step, problem) in problems.iter().enumerate() {
+        let fresh = Synthesizer::new(problem.clone())
+            .with_options(options.clone())
+            .synthesize();
+        let reused = engine.solve(problem);
+        match (fresh, reused) {
+            (Ok(f), Ok(r)) => {
+                assert_eq!(f.commands, r.commands, "step {step}: commands diverged");
+                assert_eq!(f.order, r.order, "step {step}: unit order diverged");
+            }
+            (Err(f), Err(r)) => match (&f, &r) {
+                (
+                    SynthesisError::NoOrderingExists { .. },
+                    SynthesisError::NoOrderingExists { .. },
+                ) => {}
+                _ => assert_eq!(f, r, "step {step}: error verdicts diverged"),
+            },
+            (f, r) => panic!("step {step}: verdicts diverged: fresh {f:?}, engine {r:?}"),
+        }
+    }
+    assert_eq!(engine.rebuilds(), 0, "a churn stream must never rebuild");
+}
+
+#[test]
+fn engine_matches_fresh_for_all_backends_at_one_thread() {
+    force_speculation();
+    let problems = churn_problems(PropertyKind::Reachability, 5, 101);
+    for backend in Backend::ALL {
+        assert_engine_matches_fresh(&problems, SynthesisOptions::with_backend(backend));
+    }
+}
+
+#[test]
+fn engine_matches_fresh_for_all_backends_at_four_threads() {
+    force_speculation();
+    let problems = churn_problems(PropertyKind::Reachability, 5, 101);
+    for backend in Backend::ALL {
+        assert_engine_matches_fresh(
+            &problems,
+            SynthesisOptions::with_backend(backend).threads(4),
+        );
+    }
+}
+
+#[test]
+fn engine_matches_fresh_on_waypoint_churn() {
+    force_speculation();
+    let problems = churn_problems(PropertyKind::Waypoint, 4, 7);
+    for threads in [1, 4] {
+        assert_engine_matches_fresh(&problems, SynthesisOptions::default().threads(threads));
+    }
+}
+
+#[test]
+fn engine_matches_fresh_on_service_chain_churn() {
+    force_speculation();
+    let problems = churn_problems(PropertyKind::ServiceChain { length: 2 }, 4, 13);
+    for threads in [1, 4] {
+        assert_engine_matches_fresh(&problems, SynthesisOptions::default().threads(threads));
+    }
+}
+
+#[test]
+fn engine_matches_fresh_at_rule_granularity() {
+    force_speculation();
+    let problems = churn_problems(PropertyKind::Reachability, 3, 29);
+    for threads in [1, 4] {
+        assert_engine_matches_fresh(
+            &problems,
+            SynthesisOptions::default()
+                .granularity(Granularity::Rule)
+                .threads(threads),
+        );
+    }
+}
+
+#[test]
+fn engine_amortization_shows_in_the_work_counters() {
+    force_speculation();
+    let problems = churn_problems(PropertyKind::Reachability, 4, 101);
+    let mut engine = UpdateEngine::for_problem(&problems[0], SynthesisOptions::default());
+    let mut fresh_relabeled = 0usize;
+    let mut reused_relabeled = 0usize;
+    for problem in &problems {
+        let fresh = Synthesizer::new(problem.clone())
+            .synthesize()
+            .expect("fresh solves");
+        let reused = engine.solve(problem).expect("engine solves");
+        fresh_relabeled += fresh.stats.states_relabeled;
+        reused_relabeled += reused.stats.states_relabeled;
+    }
+    assert!(
+        reused_relabeled < fresh_relabeled,
+        "engine reuse must relabel fewer states across the stream: {reused_relabeled} vs {fresh_relabeled}"
+    );
+}
