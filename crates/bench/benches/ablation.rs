@@ -11,7 +11,7 @@ use netupd_bench::{
     time_synthesis_with, TopologyFamily,
 };
 use netupd_mc::Backend;
-use netupd_synth::SynthesisOptions;
+use netupd_synth::{SearchStrategy, SynthesisOptions};
 use netupd_topo::scenario::PropertyKind;
 
 fn configurations() -> Vec<(&'static str, SynthesisOptions)> {
@@ -29,6 +29,10 @@ fn configurations() -> Vec<(&'static str, SynthesisOptions)> {
             "batch checker",
             SynthesisOptions::with_backend(Backend::Batch),
         ),
+        (
+            "sat-guided strategy",
+            SynthesisOptions::default().strategy(SearchStrategy::SatGuided),
+        ),
     ]
 }
 
@@ -45,6 +49,8 @@ fn bench_ablation(c: &mut Criterion) {
             "runtime",
             "mc calls",
             "states relabeled",
+            "sat conflicts/clauses/learnt",
+            "cegis iters",
         ],
     );
     let mut group = c.benchmark_group("ablation");
@@ -65,9 +71,17 @@ fn bench_ablation(c: &mut Criterion) {
                 continue;
             }
             let single = time_synthesis_with(&workload.problem, options.clone());
-            let (calls, relabeled) = match &single.outcome {
-                Ok(stats) => (stats.model_checker_calls, stats.states_relabeled),
-                Err(_) => (0, 0),
+            let (calls, relabeled, sat, iters) = match &single.outcome {
+                Ok(stats) => (
+                    stats.model_checker_calls,
+                    stats.states_relabeled,
+                    format!(
+                        "{}/{}/{}",
+                        stats.sat_conflicts, stats.sat_clauses, stats.sat_learnt
+                    ),
+                    stats.cegis_iterations,
+                ),
+                Err(_) => (0, 0, "-".to_string(), 0),
             };
             print_row(&[
                 workload_name.to_string(),
@@ -75,6 +89,8 @@ fn bench_ablation(c: &mut Criterion) {
                 fmt_ms(single.elapsed),
                 calls.to_string(),
                 relabeled.to_string(),
+                sat,
+                iters.to_string(),
             ]);
             group.bench_function(format!("{workload_name}/{name}"), |b| {
                 b.iter(|| time_synthesis_with(&workload.problem, options.clone()))

@@ -15,10 +15,10 @@
 
 use netupd_bench::{
     churn_workload, fast_mode, fmt_min_mean_max, print_header, print_row, report_samples,
-    sample_churn_stream, BenchReport, StreamMode, TopologyFamily,
+    sample_churn_stream, strategy_threads, BenchReport, StreamMode, TopologyFamily,
 };
 use netupd_mc::Backend;
-use netupd_synth::SynthesisOptions;
+use netupd_synth::{SearchStrategy, SynthesisOptions};
 use netupd_topo::scenario::PropertyKind;
 
 /// The `(family, size)` shapes measured.
@@ -52,6 +52,7 @@ fn main() {
             "family",
             "switches",
             "backend",
+            "strategy",
             "threads",
             "mode",
             "[min mean max]",
@@ -62,41 +63,66 @@ fn main() {
     for (family, size) in SHAPES {
         let workload = churn_workload(family, size, PropertyKind::Reachability, steps, 42);
         for backend in Backend::ALL {
-            for threads in THREADS {
-                let options = SynthesisOptions::with_backend(backend).threads(threads);
-                for mode in StreamMode::ALL {
-                    let samples =
-                        sample_churn_stream(&workload, &options, mode, samples_per_series);
-                    let mean_s =
-                        samples.iter().map(|d| d.as_secs_f64()).sum::<f64>() / samples.len() as f64;
-                    let req_per_sec = if mean_s > 0.0 { 1.0 / mean_s } else { 0.0 };
-                    print_row(&[
-                        family.name().to_string(),
-                        workload.switches.to_string(),
-                        backend.to_string(),
-                        threads.to_string(),
-                        mode.name().to_string(),
-                        fmt_min_mean_max(&samples),
-                        format!("{req_per_sec:.0}"),
-                    ]);
-                    report.record(
-                        format!(
-                            "churn/{}/{}/{}/t{}",
-                            family.name(),
-                            backend,
-                            mode.name(),
-                            threads
-                        ),
-                        &[
-                            ("family", family.name()),
-                            ("backend", &backend.to_string()),
-                            ("mode", mode.name()),
-                            ("switches", &workload.switches.to_string()),
-                            ("steps", &steps.to_string()),
-                            ("threads", &threads.to_string()),
-                        ],
-                        &samples,
-                    );
+            for strategy in SearchStrategy::ALL {
+                // DFS sweeps the full thread axis; the SAT-guided strategy is
+                // measured at one thread (see `strategy_threads`).
+                let thread_axis: Vec<usize> = match strategy {
+                    SearchStrategy::Dfs => THREADS.to_vec(),
+                    SearchStrategy::SatGuided => strategy_threads(strategy).to_vec(),
+                };
+                for threads in thread_axis {
+                    let options = SynthesisOptions::with_backend(backend)
+                        .strategy(strategy)
+                        .threads(threads);
+                    for mode in StreamMode::ALL {
+                        let samples =
+                            sample_churn_stream(&workload, &options, mode, samples_per_series);
+                        let mean_s = samples.iter().map(|d| d.as_secs_f64()).sum::<f64>()
+                            / samples.len() as f64;
+                        let req_per_sec = if mean_s > 0.0 { 1.0 / mean_s } else { 0.0 };
+                        print_row(&[
+                            family.name().to_string(),
+                            workload.switches.to_string(),
+                            backend.to_string(),
+                            strategy.to_string(),
+                            threads.to_string(),
+                            mode.name().to_string(),
+                            fmt_min_mean_max(&samples),
+                            format!("{req_per_sec:.0}"),
+                        ]);
+                        // DFS keeps the pre-axis record ids so perf
+                        // trajectories across PRs stay diffable.
+                        let id = match strategy {
+                            SearchStrategy::Dfs => format!(
+                                "churn/{}/{}/{}/t{}",
+                                family.name(),
+                                backend,
+                                mode.name(),
+                                threads
+                            ),
+                            SearchStrategy::SatGuided => format!(
+                                "churn/{}/{}/{}/{}/t{}",
+                                family.name(),
+                                backend,
+                                strategy,
+                                mode.name(),
+                                threads
+                            ),
+                        };
+                        report.record(
+                            id,
+                            &[
+                                ("family", family.name()),
+                                ("backend", &backend.to_string()),
+                                ("strategy", strategy.name()),
+                                ("mode", mode.name()),
+                                ("switches", &workload.switches.to_string()),
+                                ("steps", &steps.to_string()),
+                                ("threads", &threads.to_string()),
+                            ],
+                            &samples,
+                        );
+                    }
                 }
             }
         }

@@ -1,16 +1,19 @@
 //! Figure 7(a–c): synthesis runtime with the Incremental checker versus the
 //! monolithic product checker (NuSMV stand-in) and the Batch checker, on the
 //! three topology families, for the reachability property — swept across the
-//! parallel-search thread axis (1/2/4 workers; 1 is the sequential search).
+//! parallel-search thread axis (1/2/4 workers; 1 is the sequential search)
+//! and the search-strategy axis (the DFS sweeps the thread axis; the
+//! SAT-guided CEGIS strategy is measured at one thread, where its
+//! fewer-model-checker-calls profile shows directly).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use netupd_bench::{
     criterion_budget, diamond_workload, fmt_min_mean_max, print_header, print_row, report_samples,
-    sample_synthesis_with, time_synthesis_with, BenchReport, TopologyFamily, THREAD_AXIS,
+    sample_synthesis_with, strategy_threads, BenchReport, TopologyFamily,
 };
 use netupd_mc::Backend;
-use netupd_synth::SynthesisOptions;
+use netupd_synth::{SearchStrategy, SynthesisOptions};
 use netupd_topo::scenario::PropertyKind;
 
 const SIZES: [usize; 3] = [20, 50, 100];
@@ -22,7 +25,14 @@ const REPORT_SAMPLES: usize = 5;
 fn bench_backends(c: &mut Criterion) {
     print_header(
         "Figure 7(a-c): synthesis runtime by backend (reachability)",
-        &["family", "switches", "backend", "threads", "[min mean max]"],
+        &[
+            "family",
+            "switches",
+            "backend",
+            "strategy",
+            "threads",
+            "[min mean max]",
+        ],
     );
     let samples_per_series = report_samples(REPORT_SAMPLES);
     let (sample_size, warm_up, measurement) = criterion_budget();
@@ -41,42 +51,60 @@ fn bench_backends(c: &mut Criterion) {
                 if backend == Backend::Product && size > 50 {
                     continue;
                 }
-                for threads in THREAD_AXIS {
-                    let options = SynthesisOptions::with_backend(backend).threads(threads);
-                    let samples =
-                        sample_synthesis_with(&workload.problem, &options, samples_per_series);
-                    print_row(&[
-                        family.name().to_string(),
-                        workload.switches.to_string(),
-                        backend.to_string(),
-                        threads.to_string(),
-                        fmt_min_mean_max(&samples),
-                    ]);
-                    // Thread count 1 keeps the pre-axis record ids so perf
-                    // trajectories across PRs stay diffable.
-                    let id = if threads == 1 {
-                        format!("fig7/{}/{}/{}", family.name(), backend, size)
-                    } else {
-                        format!("fig7/{}/{}/{}/t{}", family.name(), backend, size, threads)
-                    };
-                    report.record(
-                        id,
-                        &[
-                            ("family", family.name()),
-                            ("backend", &backend.to_string()),
-                            ("switches", &workload.switches.to_string()),
-                            ("rules", &workload.rules.to_string()),
-                            ("threads", &threads.to_string()),
-                        ],
-                        &samples,
-                    );
-                    group.bench_with_input(
-                        BenchmarkId::new(format!("{backend}/t{threads}"), size),
-                        &workload,
-                        |b, workload| {
-                            b.iter(|| time_synthesis_with(&workload.problem, options.clone()))
-                        },
-                    );
+                for strategy in SearchStrategy::ALL {
+                    for &threads in strategy_threads(strategy) {
+                        let options = SynthesisOptions::with_backend(backend)
+                            .strategy(strategy)
+                            .threads(threads);
+                        let samples =
+                            sample_synthesis_with(&workload.problem, &options, samples_per_series);
+                        print_row(&[
+                            family.name().to_string(),
+                            workload.switches.to_string(),
+                            backend.to_string(),
+                            strategy.to_string(),
+                            threads.to_string(),
+                            fmt_min_mean_max(&samples),
+                        ]);
+                        // DFS at one thread keeps the pre-axis record ids so
+                        // perf trajectories across PRs stay diffable; the
+                        // other axes extend the id.
+                        let id = match (strategy, threads) {
+                            (SearchStrategy::Dfs, 1) => {
+                                format!("fig7/{}/{}/{}", family.name(), backend, size)
+                            }
+                            (SearchStrategy::Dfs, _) => {
+                                format!("fig7/{}/{}/{}/t{}", family.name(), backend, size, threads)
+                            }
+                            (SearchStrategy::SatGuided, _) => {
+                                format!("fig7/{}/{}/{}/{}", family.name(), backend, size, strategy)
+                            }
+                        };
+                        report.record(
+                            id,
+                            &[
+                                ("family", family.name()),
+                                ("backend", &backend.to_string()),
+                                ("strategy", strategy.name()),
+                                ("switches", &workload.switches.to_string()),
+                                ("rules", &workload.rules.to_string()),
+                                ("threads", &threads.to_string()),
+                            ],
+                            &samples,
+                        );
+                        group.bench_with_input(
+                            BenchmarkId::new(format!("{backend}/{strategy}/t{threads}"), size),
+                            &workload,
+                            |b, workload| {
+                                b.iter(|| {
+                                    netupd_bench::time_synthesis_with(
+                                        &workload.problem,
+                                        options.clone(),
+                                    )
+                                })
+                            },
+                        );
+                    }
                 }
             }
         }

@@ -1,17 +1,17 @@
 //! Figure 8(g): scalability of the Incremental backend on Small-World
 //! topologies of increasing size, for the three property families — swept
 //! across the parallel-search thread axis (1/2/4 workers; 1 is the
-//! sequential search).
+//! sequential search) and the search-strategy axis (DFS vs SAT-guided).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use netupd_bench::{
     criterion_budget, fmt_min_mean_max, multi_diamond_workload, print_header, print_row,
-    report_samples, sample_synthesis_with, time_synthesis_with, BenchReport, TopologyFamily,
-    THREAD_AXIS,
+    report_samples, sample_synthesis_with, strategy_threads, time_synthesis_with, BenchReport,
+    TopologyFamily,
 };
 use netupd_mc::Backend;
-use netupd_synth::SynthesisOptions;
+use netupd_synth::{SearchStrategy, SynthesisOptions};
 use netupd_topo::scenario::PropertyKind;
 
 const SIZES: [usize; 3] = [50, 100, 200];
@@ -31,6 +31,7 @@ fn bench_scalability(c: &mut Criterion) {
             "property",
             "switches",
             "updating switches",
+            "strategy",
             "threads",
             "[min mean max]",
         ],
@@ -46,45 +47,58 @@ fn bench_scalability(c: &mut Criterion) {
     for property in PROPERTIES {
         for size in SIZES {
             let workload = multi_diamond_workload(TopologyFamily::SmallWorld, size, property, 4, 7);
-            for threads in THREAD_AXIS {
-                let options = SynthesisOptions::with_backend(Backend::Incremental).threads(threads);
-                let samples =
-                    sample_synthesis_with(&workload.problem, &options, samples_per_series);
-                print_row(&[
-                    property.name().to_string(),
-                    workload.switches.to_string(),
-                    workload.scenario.updating_switches().to_string(),
-                    threads.to_string(),
-                    fmt_min_mean_max(&samples),
-                ]);
-                // Thread count 1 keeps the pre-axis record ids so perf
-                // trajectories across PRs stay diffable.
-                let id = if threads == 1 {
-                    format!("fig8/{}/{}", property.name(), size)
-                } else {
-                    format!("fig8/{}/{}/t{}", property.name(), size, threads)
-                };
-                report.record(
-                    id,
-                    &[
-                        ("property", property.name()),
-                        ("backend", "incremental"),
-                        ("switches", &workload.switches.to_string()),
-                        (
-                            "updating_switches",
-                            &workload.scenario.updating_switches().to_string(),
+            for strategy in SearchStrategy::ALL {
+                for &threads in strategy_threads(strategy) {
+                    let options = SynthesisOptions::with_backend(Backend::Incremental)
+                        .strategy(strategy)
+                        .threads(threads);
+                    let samples =
+                        sample_synthesis_with(&workload.problem, &options, samples_per_series);
+                    print_row(&[
+                        property.name().to_string(),
+                        workload.switches.to_string(),
+                        workload.scenario.updating_switches().to_string(),
+                        strategy.to_string(),
+                        threads.to_string(),
+                        fmt_min_mean_max(&samples),
+                    ]);
+                    // DFS at one thread keeps the pre-axis record ids so perf
+                    // trajectories across PRs stay diffable.
+                    let id = match (strategy, threads) {
+                        (SearchStrategy::Dfs, 1) => format!("fig8/{}/{}", property.name(), size),
+                        (SearchStrategy::Dfs, _) => {
+                            format!("fig8/{}/{}/t{}", property.name(), size, threads)
+                        }
+                        (SearchStrategy::SatGuided, _) => {
+                            format!("fig8/{}/{}/{}", property.name(), size, strategy)
+                        }
+                    };
+                    report.record(
+                        id,
+                        &[
+                            ("property", property.name()),
+                            ("backend", "incremental"),
+                            ("strategy", strategy.name()),
+                            ("switches", &workload.switches.to_string()),
+                            (
+                                "updating_switches",
+                                &workload.scenario.updating_switches().to_string(),
+                            ),
+                            ("threads", &threads.to_string()),
+                        ],
+                        &samples,
+                    );
+                    group.bench_with_input(
+                        BenchmarkId::new(
+                            format!("{}/{}/t{}", property.name(), strategy, threads),
+                            size,
                         ),
-                        ("threads", &threads.to_string()),
-                    ],
-                    &samples,
-                );
-                group.bench_with_input(
-                    BenchmarkId::new(format!("{}/t{}", property.name(), threads), size),
-                    &workload,
-                    |b, workload| {
-                        b.iter(|| time_synthesis_with(&workload.problem, options.clone()))
-                    },
-                );
+                        &workload,
+                        |b, workload| {
+                            b.iter(|| time_synthesis_with(&workload.problem, options.clone()))
+                        },
+                    );
+                }
             }
         }
     }

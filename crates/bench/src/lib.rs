@@ -40,6 +40,17 @@ use netupd_topo::{generators, NetworkGraph, UpdateScenario};
 /// of Figures 7 and 8).
 pub const THREAD_AXIS: [usize; 3] = [1, 2, 4];
 
+/// The thread counts swept for a search strategy: the DFS takes the full
+/// [`THREAD_AXIS`]; the SAT-guided strategy is measured at one thread, where
+/// its fewer-model-checker-calls profile shows directly (its parallel
+/// candidate verification is covered by the determinism suites).
+pub fn strategy_threads(strategy: netupd_synth::SearchStrategy) -> &'static [usize] {
+    match strategy {
+        netupd_synth::SearchStrategy::Dfs => &THREAD_AXIS,
+        netupd_synth::SearchStrategy::SatGuided => &[1],
+    }
+}
+
 /// Returns `true` when `NETUPD_BENCH_FAST` is set (to anything but `0`):
 /// the benches then use reduced sample counts and measurement budgets so the
 /// CI `bench-smoke` job finishes quickly while still producing complete

@@ -1,15 +1,28 @@
-//! The visited-set `V` and wrong-set `W` of the search (§4.1).
+//! The shared constraint layer of the search: the visited-set `V` and
+//! wrong-set `W` (§4.1), and the counterexample→precedence-constraint
+//! learning of §4.2 B that every [`SearchStrategy`](crate::SearchStrategy)
+//! builds on.
 //!
-//! Both sets are predicates over configurations, where a configuration is
+//! `V` and `W` are predicates over configurations, where a configuration is
 //! abstracted by the set of update units already applied. `V` records exact
 //! unit sets already explored; `W` records counterexample formulas: a
 //! counterexample observed at some configuration rules out *every*
 //! configuration that agrees with it on which of the counterexample's
 //! switches are updated and which are not.
+//!
+//! The same counterexamples also induce *ordering* constraints ("some
+//! not-yet-updated switch on the trace must be updated before some updated
+//! one"), maintained incrementally in a SAT solver. The DFS strategy uses
+//! them negatively — [`OrderingConstraints`] detects unsatisfiability and
+//! terminates the search early — while the SAT-guided strategy completes the
+//! CEGIS loop: [`UnitOrdering`] *decodes a candidate total order from the
+//! solver's model*, hands it to the model checker, and learns the failure
+//! back as a new clause.
 
-use std::collections::{BTreeSet, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use netupd_model::SwitchId;
+use netupd_sat::{Lit, Model, SolveResult, Solver, SolverStats, Var};
 
 /// The set `V` of visited configurations, keyed by the set of applied units.
 #[derive(Debug, Default, Clone)]
@@ -116,6 +129,345 @@ impl WrongSet {
     }
 }
 
+/// Accumulated ordering constraints over switch updates (§4.2 B).
+///
+/// Every counterexample observed at a configuration with updated switches `A`
+/// and not-yet-updated switches `C` (both restricted to the switches on the
+/// counterexample trace) implies that in any correct simple order, *some*
+/// switch of `C` must be updated before *some* switch of `A`. These
+/// constraints are encoded over precedence variables `before(x, y)` together
+/// with totality, antisymmetry, and transitivity axioms; when the clause set
+/// becomes unsatisfiable, no simple switch-granularity order exists and the
+/// DFS strategy stops immediately.
+#[derive(Debug, Default)]
+pub struct OrderingConstraints {
+    solver: Solver,
+    /// Precedence variable `before(a, b)` for each ordered pair.
+    precedence: HashMap<(SwitchId, SwitchId), Var>,
+    /// Switches mentioned so far.
+    switches: Vec<SwitchId>,
+    /// Counterexample pairs already encoded, keyed by the restricted
+    /// `(updated, not_updated)` switch-set pair: repeat observations of the
+    /// same pair would re-add an identical clause to the solver.
+    seen: HashSet<(BTreeSet<SwitchId>, BTreeSet<SwitchId>)>,
+    constraints: usize,
+}
+
+impl OrderingConstraints {
+    /// Creates an empty constraint store.
+    pub fn new() -> Self {
+        OrderingConstraints::default()
+    }
+
+    /// Number of *distinct* counterexample-derived clauses added so far.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints
+    }
+
+    /// Effort counters of the underlying solver.
+    pub fn solver_stats(&self) -> SolverStats {
+        self.solver.stats()
+    }
+
+    /// Returns the precedence variable for `a` before `b`, creating it (and
+    /// the order axioms it participates in) on demand.
+    fn before_var(&mut self, a: SwitchId, b: SwitchId) -> Var {
+        debug_assert_ne!(a, b);
+        if let Some(var) = self.precedence.get(&(a, b)) {
+            return *var;
+        }
+        self.ensure_switch(a);
+        self.ensure_switch(b);
+        self.precedence[&(a, b)]
+    }
+
+    /// Registers a switch: creates precedence variables against every known
+    /// switch and adds totality, antisymmetry, and transitivity axioms.
+    fn ensure_switch(&mut self, sw: SwitchId) {
+        if self.switches.contains(&sw) {
+            return;
+        }
+        let existing = self.switches.clone();
+        for other in &existing {
+            let fwd = self.solver.new_var();
+            let bwd = self.solver.new_var();
+            self.precedence.insert((sw, *other), fwd);
+            self.precedence.insert((*other, sw), bwd);
+            // Totality: one of the two orders holds.
+            self.solver.add_clause([Lit::pos(fwd), Lit::pos(bwd)]);
+            // Antisymmetry: not both.
+            self.solver.add_clause([Lit::neg(fwd), Lit::neg(bwd)]);
+        }
+        self.switches.push(sw);
+        // Transitivity among all triples involving the new switch.
+        let switches = self.switches.clone();
+        for x in &switches {
+            for y in &switches {
+                for z in &switches {
+                    if x == y || y == z || x == z {
+                        continue;
+                    }
+                    if *x != sw && *y != sw && *z != sw {
+                        continue;
+                    }
+                    let xy = self.precedence[&(*x, *y)];
+                    let yz = self.precedence[&(*y, *z)];
+                    let xz = self.precedence[&(*x, *z)];
+                    self.solver
+                        .add_clause([Lit::neg(xy), Lit::neg(yz), Lit::pos(xz)]);
+                }
+            }
+        }
+    }
+
+    /// Adds the constraint derived from a counterexample: some switch of
+    /// `not_updated` must precede some switch of `updated`.
+    ///
+    /// Constraints with an empty side are ignored (they carry no ordering
+    /// information: an empty `updated` side means the initial configuration
+    /// itself violates the specification, which the search reports directly).
+    /// Identical `(updated, not_updated)` pairs are deduplicated — the same
+    /// violating trace observed at different search positions would otherwise
+    /// re-add an identical clause per observation.
+    pub fn add_counterexample(
+        &mut self,
+        updated: &BTreeSet<SwitchId>,
+        not_updated: &BTreeSet<SwitchId>,
+    ) {
+        if updated.is_empty() || not_updated.is_empty() {
+            return;
+        }
+        if self.seen.contains(&(updated.clone(), not_updated.clone())) {
+            return;
+        }
+        let mut clause = Vec::with_capacity(updated.len() * not_updated.len());
+        for c in not_updated {
+            for a in updated {
+                if c == a {
+                    continue;
+                }
+                clause.push(Lit::pos(self.before_var(*c, *a)));
+            }
+        }
+        if !clause.is_empty() {
+            self.solver.add_clause(clause);
+            self.seen.insert((updated.clone(), not_updated.clone()));
+            self.constraints += 1;
+        }
+    }
+
+    /// Returns `true` if some total order of switch updates is still
+    /// consistent with every constraint added so far.
+    pub fn satisfiable(&mut self) -> bool {
+        self.solver.solve() == SolveResult::Sat
+    }
+}
+
+/// The CEGIS constraint store of the SAT-guided strategy: precedence
+/// constraints over *update units*, with a model decoder.
+///
+/// Where [`OrderingConstraints`] only asks "is some order still possible?",
+/// this store completes the loop the paper's §4.2 B machinery was already
+/// paying for: `before(i, j)` variables are allocated for every unit pair up
+/// front (one variable per unordered pair — `before(j, i)` is its negation,
+/// so antisymmetry and totality are free), transitivity axioms are added
+/// eagerly, and [`propose`](UnitOrdering::propose) decodes the solver's
+/// model into a concrete total order for the model checker to verify.
+/// Failed verifications come back through
+/// [`block_prefix_set`](UnitOrdering::block_prefix_set) (sound for any
+/// granularity and backend: applying a set of units yields the same
+/// configuration in any order, so a violating prefix *set* refutes every
+/// order that realizes it) or the stronger
+/// [`require_some_before`](UnitOrdering::require_some_before)
+/// (the §4.2 B switch-set constraint, available when the backend produced a
+/// counterexample at switch granularity). Both clause forms exclude the
+/// model they were learnt from, so the loop never re-proposes an order and
+/// terminates; unsatisfiability proves no simple order exists.
+#[derive(Debug)]
+pub struct UnitOrdering {
+    solver: Solver,
+    n: usize,
+    /// Variable for the pair `(i, j)` with `i < j`: positive polarity means
+    /// unit `i` precedes unit `j`. Indexed by [`UnitOrdering::pair_index`].
+    pair_vars: Vec<Var>,
+    /// Canonicalized learnt clauses, for deduplication.
+    seen: HashSet<Vec<Lit>>,
+    constraints: usize,
+    proposals: usize,
+}
+
+impl UnitOrdering {
+    /// Creates a store over `n` units, with all precedence variables and the
+    /// transitivity axioms (two clauses per unordered triple) in place. The
+    /// variable numbering is a pure function of `n`, which keeps every
+    /// downstream model — and therefore every proposed order — deterministic.
+    pub fn new(n: usize) -> Self {
+        let mut solver = Solver::new();
+        let pair_vars: Vec<Var> = (0..n * n.saturating_sub(1) / 2)
+            .map(|_| solver.new_var())
+            .collect();
+        let mut store = UnitOrdering {
+            solver,
+            n,
+            pair_vars,
+            seen: HashSet::new(),
+            constraints: 0,
+            proposals: 0,
+        };
+        // Transitivity: for every unordered triple i < j < k, forbid the two
+        // cyclic assignments (i<j<k<i and its reverse). All acyclic
+        // assignments of the three pair variables are consistent.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                for k in (j + 1)..n {
+                    let ij = store.before_lit(i, j);
+                    let jk = store.before_lit(j, k);
+                    let ik = store.before_lit(i, k);
+                    store.solver.add_clause([ij.negated(), jk.negated(), ik]);
+                    store.solver.add_clause([ij, jk, ik.negated()]);
+                }
+            }
+        }
+        store
+    }
+
+    /// Number of units the store orders.
+    pub fn num_units(&self) -> usize {
+        self.n
+    }
+
+    /// Number of *distinct* learnt constraint clauses.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints
+    }
+
+    /// Number of [`propose`](UnitOrdering::propose) calls made (the CEGIS
+    /// iteration count).
+    pub fn proposals(&self) -> usize {
+        self.proposals
+    }
+
+    /// Effort counters of the underlying solver.
+    pub fn solver_stats(&self) -> SolverStats {
+        self.solver.stats()
+    }
+
+    fn pair_index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < j && j < self.n);
+        // Row-major upper triangle: row i starts after the first i rows,
+        // which hold (n-1) + (n-2) + ... + (n-i) entries.
+        i * (2 * self.n - i - 1) / 2 + (j - i - 1)
+    }
+
+    /// The literal asserting "unit `a` precedes unit `b`".
+    fn before_lit(&self, a: usize, b: usize) -> Lit {
+        debug_assert_ne!(a, b);
+        if a < b {
+            Lit::pos(self.pair_vars[self.pair_index(a, b)])
+        } else {
+            Lit::neg(self.pair_vars[self.pair_index(b, a)])
+        }
+    }
+
+    /// Asks the solver for a total order consistent with every constraint
+    /// learnt so far, decoded from the model over the `before` variables.
+    /// Returns `None` when the constraints are unsatisfiable — no simple
+    /// order of the units exists.
+    pub fn propose(&mut self) -> Option<Vec<usize>> {
+        self.proposals += 1;
+        if self.solver.solve() != SolveResult::Sat {
+            return None;
+        }
+        let model = self.solver.model_snapshot();
+        Some(self.decode(&model))
+    }
+
+    /// Decodes a model into the total order it describes: unit `i`'s rank is
+    /// the number of units the model places before it. The axioms guarantee
+    /// the relation is a strict total order, so the ranks are a permutation.
+    fn decode(&self, model: &Model) -> Vec<usize> {
+        let mut rank = vec![0usize; self.n];
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                let i_first = model
+                    .value(self.pair_vars[self.pair_index(i, j)])
+                    .unwrap_or(false);
+                if i_first {
+                    rank[j] += 1;
+                } else {
+                    rank[i] += 1;
+                }
+            }
+        }
+        let mut order: Vec<usize> = (0..self.n).collect();
+        order.sort_by_key(|&i| (rank[i], i));
+        debug_assert!(
+            order.windows(2).all(|w| rank[w[0]] < rank[w[1]]) || self.n < 2,
+            "transitivity axioms must make the decoded relation a total order"
+        );
+        order
+    }
+
+    /// Learns that the unit set `applied` must never be exactly the units of
+    /// a prefix: some unit outside the set has to precede some unit inside
+    /// it. Sound whenever the configuration produced by applying `applied`
+    /// (in any order — unit applications commute) violates the
+    /// specification. Returns `false` if the clause was already known.
+    pub fn block_prefix_set(&mut self, applied: &BTreeSet<usize>) -> bool {
+        let mut clause = Vec::new();
+        for outside in (0..self.n).filter(|u| !applied.contains(u)) {
+            for &inside in applied {
+                clause.push(self.before_lit(outside, inside));
+            }
+        }
+        self.learn(clause)
+    }
+
+    /// Learns the §4.2 B constraint: some unit of `before_units` must precede
+    /// some unit of `after_units`. Returns `false` if the clause was already
+    /// known.
+    pub fn require_some_before(&mut self, before_units: &[usize], after_units: &[usize]) -> bool {
+        let mut clause = Vec::with_capacity(before_units.len() * after_units.len());
+        for &c in before_units {
+            for &a in after_units {
+                if c == a {
+                    continue;
+                }
+                clause.push(self.before_lit(c, a));
+            }
+        }
+        self.learn(clause)
+    }
+
+    /// Learns that exactly this total order must never be proposed again:
+    /// some adjacent pair has to swap. The weakest possible clause — used
+    /// only as the progress safety net when the stronger clause forms turn
+    /// out to be already known. Returns `false` if the clause was already
+    /// known.
+    pub fn block_order(&mut self, order: &[usize]) -> bool {
+        let clause: Vec<Lit> = order
+            .windows(2)
+            .map(|pair| self.before_lit(pair[1], pair[0]))
+            .collect();
+        self.learn(clause)
+    }
+
+    /// Adds a learnt clause after canonicalization and deduplication.
+    /// An *empty* clause is rejected up front by callers' soundness
+    /// arguments; if one slips through it correctly makes the store
+    /// unsatisfiable.
+    fn learn(&mut self, mut clause: Vec<Lit>) -> bool {
+        clause.sort_unstable();
+        clause.dedup();
+        if !self.seen.insert(clause.clone()) {
+            return false;
+        }
+        self.solver.add_clause(clause);
+        self.constraints += 1;
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,5 +509,173 @@ mod tests {
         wrong.learn(&[sw(1), sw(2)], &updated);
         wrong.learn(&[sw(2), sw(1)], &updated);
         assert_eq!(wrong.len(), 1);
+    }
+
+    // ---- ordering constraints (§4.2 B) -------------------------------------
+
+    fn set(ids: &[u32]) -> BTreeSet<SwitchId> {
+        ids.iter().map(|n| sw(*n)).collect()
+    }
+
+    #[test]
+    fn empty_constraints_are_satisfiable() {
+        let mut constraints = OrderingConstraints::new();
+        assert!(constraints.satisfiable());
+        assert_eq!(constraints.num_constraints(), 0);
+    }
+
+    #[test]
+    fn single_constraint_is_satisfiable() {
+        let mut constraints = OrderingConstraints::new();
+        constraints.add_counterexample(&set(&[1]), &set(&[2]));
+        assert!(constraints.satisfiable());
+        assert_eq!(constraints.num_constraints(), 1);
+    }
+
+    #[test]
+    fn contradictory_pair_is_unsat() {
+        let mut constraints = OrderingConstraints::new();
+        // s2 must come before s1, and s1 must come before s2.
+        constraints.add_counterexample(&set(&[1]), &set(&[2]));
+        constraints.add_counterexample(&set(&[2]), &set(&[1]));
+        assert!(!constraints.satisfiable());
+    }
+
+    #[test]
+    fn cycle_through_three_switches_is_unsat() {
+        let mut constraints = OrderingConstraints::new();
+        constraints.add_counterexample(&set(&[1]), &set(&[2]));
+        constraints.add_counterexample(&set(&[2]), &set(&[3]));
+        constraints.add_counterexample(&set(&[3]), &set(&[1]));
+        assert!(!constraints.satisfiable());
+    }
+
+    #[test]
+    fn disjunctive_constraints_remain_satisfiable() {
+        let mut constraints = OrderingConstraints::new();
+        // "2 or 3 before 1" and "1 before 2" is satisfiable via 3 before 1.
+        constraints.add_counterexample(&set(&[1]), &set(&[2, 3]));
+        constraints.add_counterexample(&set(&[2]), &set(&[1]));
+        assert!(constraints.satisfiable());
+    }
+
+    #[test]
+    fn empty_sides_are_ignored() {
+        let mut constraints = OrderingConstraints::new();
+        constraints.add_counterexample(&set(&[]), &set(&[1]));
+        constraints.add_counterexample(&set(&[1]), &set(&[]));
+        assert_eq!(constraints.num_constraints(), 0);
+        assert!(constraints.satisfiable());
+    }
+
+    #[test]
+    fn identical_counterexample_pairs_are_deduplicated() {
+        let mut constraints = OrderingConstraints::new();
+        constraints.add_counterexample(&set(&[1, 4]), &set(&[2, 3]));
+        let clauses_after_first = constraints.solver_stats().clauses;
+        constraints.add_counterexample(&set(&[1, 4]), &set(&[2, 3]));
+        constraints.add_counterexample(&set(&[1, 4]), &set(&[2, 3]));
+        // One distinct constraint, and the solver saw exactly one clause for
+        // it (no silent re-adds).
+        assert_eq!(constraints.num_constraints(), 1);
+        assert_eq!(constraints.solver_stats().clauses, clauses_after_first);
+        // A genuinely different pair still counts.
+        constraints.add_counterexample(&set(&[1]), &set(&[2, 3]));
+        assert_eq!(constraints.num_constraints(), 2);
+    }
+
+    // ---- unit ordering (CEGIS store) ----------------------------------------
+
+    #[test]
+    fn unconstrained_proposal_is_the_identity_order() {
+        let mut store = UnitOrdering::new(4);
+        // With no constraints and all-false phases, every `before(i, j)` with
+        // i < j decodes negatively... either way the proposal is *a* valid
+        // permutation, and proposing twice without learning is stable.
+        let first = store.propose().expect("no constraints");
+        let second = store.propose().expect("still satisfiable");
+        assert_eq!(first, second);
+        let mut sorted = first.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+        assert_eq!(store.proposals(), 2);
+    }
+
+    #[test]
+    fn require_some_before_steers_the_proposal() {
+        let mut store = UnitOrdering::new(3);
+        assert!(store.require_some_before(&[2], &[0]));
+        assert!(store.require_some_before(&[2], &[1]));
+        let order = store.propose().expect("satisfiable");
+        let pos = |u: usize| order.iter().position(|&x| x == u).unwrap();
+        assert!(pos(2) < pos(0));
+        assert!(pos(2) < pos(1));
+    }
+
+    #[test]
+    fn contradictory_unit_constraints_are_unsat() {
+        let mut store = UnitOrdering::new(2);
+        assert!(store.require_some_before(&[0], &[1]));
+        assert!(store.require_some_before(&[1], &[0]));
+        assert!(store.propose().is_none());
+    }
+
+    #[test]
+    fn block_prefix_set_excludes_the_prefix() {
+        let mut store = UnitOrdering::new(3);
+        // Forbid {0} as a prefix set: unit 0 must not come first.
+        assert!(store.block_prefix_set(&[0].into_iter().collect()));
+        // Blocking each proposed first element in turn must never re-propose
+        // a blocked one, and exhausts the three alternatives.
+        let mut blocked = 1;
+        while let Some(order) = store.propose() {
+            assert_ne!(order[0], 0);
+            assert!(
+                store.block_prefix_set(&[order[0]].into_iter().collect()),
+                "re-proposed an already blocked prefix"
+            );
+            blocked += 1;
+            assert!(blocked <= 3, "more first elements than units");
+        }
+        assert_eq!(blocked, 3);
+    }
+
+    #[test]
+    fn blocking_all_prefixes_proves_infeasibility() {
+        let mut store = UnitOrdering::new(2);
+        assert!(store.block_prefix_set(&[0].into_iter().collect()));
+        assert!(store.block_prefix_set(&[1].into_iter().collect()));
+        assert!(store.propose().is_none());
+    }
+
+    #[test]
+    fn learnt_clauses_are_deduplicated() {
+        let mut store = UnitOrdering::new(3);
+        assert!(store.require_some_before(&[0], &[1, 2]));
+        assert!(!store.require_some_before(&[0], &[1, 2]));
+        assert_eq!(store.num_constraints(), 1);
+    }
+
+    #[test]
+    fn every_proposal_is_a_permutation_and_loop_terminates() {
+        // Block whatever is proposed; the store must enumerate distinct
+        // permutations and eventually go unsatisfiable (after at most 3! = 6
+        // proposals).
+        let mut store = UnitOrdering::new(3);
+        let mut seen = HashSet::new();
+        let mut rounds = 0;
+        while let Some(order) = store.propose() {
+            rounds += 1;
+            assert!(rounds <= 6, "more proposals than permutations");
+            assert!(seen.insert(order.clone()), "re-proposed {order:?}");
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2]);
+            // Refute the exact order: block its first two prefix sets and the
+            // full set minus the last element... blocking the 2-element
+            // prefix alone kills 2 of the 6 orders per round.
+            store.block_prefix_set(&order[..2].iter().copied().collect());
+        }
+        assert!(rounds >= 3, "blocked too aggressively: {rounds}");
     }
 }

@@ -64,10 +64,11 @@ use std::sync::Arc;
 use netupd_kripke::NetworkKripke;
 use netupd_model::{CommandSeq, HostId, Topology, TrafficClass};
 
-use crate::options::SynthesisOptions;
+use crate::options::{SearchStrategy, SynthesisOptions};
 use crate::parallel::{self, WorkerContext};
 use crate::problem::UpdateProblem;
-use crate::search::{finish_sequence, Search, SynthStats, SynthesisError, UpdateSequence};
+use crate::search::{finish_sequence, SynthStats, SynthesisError, UpdateSequence};
+use crate::strategy::{dfs::DfsSearch, sat_guided};
 use crate::units::plan_units;
 
 /// A long-lived synthesis engine serving a stream of [`UpdateProblem`]s over
@@ -183,16 +184,26 @@ impl UpdateEngine {
         }
         self.requests_served += 1;
         let units = plan_units(problem, self.options.granularity);
-        if self.options.threads > 1 && !units.is_empty() {
-            return parallel::synthesize_with_contexts(
+        match self.options.strategy {
+            SearchStrategy::SatGuided => sat_guided::solve(
                 problem,
                 &self.options,
                 &units,
                 &self.encoder,
+                &mut self.seq_ctx,
                 &mut self.worker_ctxs,
-            );
+            ),
+            SearchStrategy::Dfs if self.options.threads > 1 && !units.is_empty() => {
+                parallel::synthesize_with_contexts(
+                    problem,
+                    &self.options,
+                    &units,
+                    &self.encoder,
+                    &mut self.worker_ctxs,
+                )
+            }
+            SearchStrategy::Dfs => self.solve_sequential(problem, &units),
         }
-        self.solve_sequential(problem, &units)
     }
 
     /// Whether the problem matches the engine's fixed triple. The topology
@@ -268,7 +279,7 @@ impl UpdateEngine {
         // leaves them consistent at whatever configuration it ends on, which
         // the context records for the next request's diff-sync.
         let (kripke, checker) = ctx.checking_parts_mut();
-        let mut search = Search::new(
+        let mut search = DfsSearch::new(
             problem,
             &self.options,
             units,
@@ -279,6 +290,7 @@ impl UpdateEngine {
         );
         let outcome = search.dfs();
         let sat_constraints = search.ordering.num_constraints();
+        let solver = search.ordering.solver_stats();
         let stats = std::mem::take(&mut search.stats);
         let end_config = std::mem::take(&mut search.config);
         drop(search);
@@ -288,6 +300,9 @@ impl UpdateEngine {
             Some(order_indices) => {
                 let mut stats = stats;
                 stats.sat_constraints = sat_constraints;
+                stats.sat_conflicts = solver.conflicts;
+                stats.sat_clauses = solver.clauses;
+                stats.sat_learnt = solver.learnt;
                 Ok(finish_sequence(
                     problem,
                     &self.options,

@@ -6,17 +6,26 @@
 //! Given an initial configuration, a final configuration, and an LTL
 //! specification over single-packet traces, the synthesizer searches for an
 //! ordering of switch updates (interleaved with `wait` commands) such that
-//! every intermediate configuration satisfies the specification. The search
-//! is the paper's `OrderUpdate` algorithm: a depth-first search over simple,
-//! careful command sequences that
+//! every intermediate configuration satisfies the specification. Two
+//! [`SearchStrategy`] implementations share one substrate (see
+//! [`strategy`]):
 //!
-//! * checks every candidate configuration with an incremental model checker
-//!   (labels are reused between the closely-related queries),
-//! * learns from counterexamples, pruning every future configuration that
-//!   agrees with a counterexample on its updated/not-updated switches,
-//! * terminates early when the accumulated ordering constraints become
-//!   unsatisfiable (decided by an incremental SAT solver), and
-//! * removes unnecessary `wait` commands in a reachability-based post-pass.
+//! * [`SearchStrategy::Dfs`] (the default) is the paper's `OrderUpdate`
+//!   algorithm: a depth-first search over simple, careful command sequences
+//!   that checks every candidate configuration with an incremental model
+//!   checker (labels are reused between the closely-related queries), learns
+//!   from counterexamples, pruning every future configuration that agrees
+//!   with a counterexample on its updated/not-updated switches, and
+//!   terminates early when the accumulated ordering constraints become
+//!   unsatisfiable (decided by an incremental SAT solver).
+//! * [`SearchStrategy::SatGuided`] completes the same §4.2 B machinery into
+//!   a CEGIS loop: the SAT solver *proposes* a constraint-consistent total
+//!   order, the backend verifies it prefix by prefix in one
+//!   first-failing-prefix call, and the failure is learnt back as a new
+//!   clause — until a model verifies or the clause set goes unsatisfiable.
+//!
+//! Either way, unnecessary `wait` commands are removed in a
+//! reachability-based post-pass.
 //!
 //! Baselines used in the paper's evaluation — the naïve update and the
 //! two-phase (versioned) consistent update — are provided in [`baselines`],
@@ -53,18 +62,18 @@
 
 pub mod baselines;
 pub mod constraints;
-pub mod early_term;
 pub mod engine;
 pub mod exec;
 pub mod options;
 pub mod parallel;
 pub mod problem;
 pub mod search;
+pub mod strategy;
 pub mod units;
 pub mod wait_removal;
 
 pub use engine::UpdateEngine;
-pub use options::{Granularity, SynthesisOptions};
+pub use options::{Granularity, SearchStrategy, SynthesisOptions};
 pub use problem::UpdateProblem;
 pub use search::{SynthStats, SynthesisError, Synthesizer, UpdateSequence};
 pub use units::UpdateUnit;

@@ -1,5 +1,7 @@
 //! Synthesis options.
 
+use std::fmt;
+
 use netupd_mc::Backend;
 
 /// The granularity at which the update is decomposed into atomic steps.
@@ -15,11 +17,51 @@ pub enum Granularity {
     Rule,
 }
 
+/// The search strategy used to order the update units (see
+/// [`crate::strategy`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SearchStrategy {
+    /// The paper's `OrderUpdate` depth-first search (§4): explore unit
+    /// prefixes, check each incrementally, learn counterexamples into the
+    /// wrong-set, and use the ordering constraints only to detect
+    /// infeasibility early.
+    #[default]
+    Dfs,
+    /// The CEGIS completion of §4.2 B: ask the incremental SAT solver for a
+    /// total order consistent with every learnt precedence constraint,
+    /// verify the candidate sequence prefix by prefix with the configured
+    /// backend, learn the failure back as a new clause, and repeat until a
+    /// model verifies (success) or the constraints go unsatisfiable
+    /// (infeasible).
+    SatGuided,
+}
+
+impl SearchStrategy {
+    /// Both strategies, in a stable order (DFS first).
+    pub const ALL: [SearchStrategy; 2] = [SearchStrategy::Dfs, SearchStrategy::SatGuided];
+
+    /// A short, stable name used in benchmark output and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SearchStrategy::Dfs => "dfs",
+            SearchStrategy::SatGuided => "sat-guided",
+        }
+    }
+}
+
+impl fmt::Display for SearchStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Options controlling the synthesis search.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SynthesisOptions {
     /// The model-checking backend to use.
     pub backend: Backend,
+    /// The search strategy (DFS or SAT-guided CEGIS).
+    pub strategy: SearchStrategy,
     /// Update granularity.
     pub granularity: Granularity,
     /// Learn from counterexamples and prune configurations known to be wrong
@@ -48,6 +90,7 @@ impl Default for SynthesisOptions {
     fn default() -> Self {
         SynthesisOptions {
             backend: Backend::Incremental,
+            strategy: SearchStrategy::Dfs,
             granularity: Granularity::Switch,
             use_counterexamples: true,
             early_termination: true,
@@ -66,6 +109,13 @@ impl SynthesisOptions {
             backend,
             ..SynthesisOptions::default()
         }
+    }
+
+    /// Builder-style setter for the search strategy.
+    #[must_use]
+    pub fn strategy(mut self, strategy: SearchStrategy) -> Self {
+        self.strategy = strategy;
+        self
     }
 
     /// Builder-style setter for the granularity.
@@ -116,6 +166,7 @@ mod tests {
     fn defaults_enable_all_optimizations() {
         let options = SynthesisOptions::default();
         assert_eq!(options.backend, Backend::Incremental);
+        assert_eq!(options.strategy, SearchStrategy::Dfs);
         assert_eq!(options.granularity, Granularity::Switch);
         assert!(options.use_counterexamples);
         assert!(options.early_termination);
@@ -126,12 +177,14 @@ mod tests {
     #[test]
     fn builder_setters() {
         let options = SynthesisOptions::with_backend(Backend::Batch)
+            .strategy(SearchStrategy::SatGuided)
             .granularity(Granularity::Rule)
             .counterexamples(false)
             .early_termination(false)
             .wait_removal(false)
             .threads(4);
         assert_eq!(options.backend, Backend::Batch);
+        assert_eq!(options.strategy, SearchStrategy::SatGuided);
         assert_eq!(options.granularity, Granularity::Rule);
         assert!(!options.use_counterexamples);
         assert!(!options.early_termination);

@@ -52,11 +52,10 @@ use std::sync::RwLock;
 
 use netupd_kripke::{Kripke, NetworkKripke, StateId};
 use netupd_ltl::Ltl;
-use netupd_mc::{Backend, CheckOutcome, ModelChecker};
+use netupd_mc::{Backend, CheckOutcome, ModelChecker, SequenceOutcome, SequenceStep};
 use netupd_model::{Configuration, SwitchId, Table};
 
-use crate::constraints::{VisitedSet, WrongSet};
-use crate::early_term::OrderingConstraints;
+use crate::constraints::{OrderingConstraints, VisitedSet, WrongSet};
 use crate::options::{Granularity, SynthesisOptions};
 use crate::problem::UpdateProblem;
 use crate::search::{
@@ -185,6 +184,35 @@ impl WorkerContext {
     /// Records the configuration the search structure was left at.
     pub(crate) fn set_config(&mut self, config: Configuration) {
         self.config = config;
+    }
+
+    /// Verifies an update-step sequence starting from `base` on the search
+    /// structure: syncs to `base` by per-switch diff (or cold-encodes it),
+    /// then walks the steps through the checker's first-failing-prefix entry
+    /// ([`ModelChecker::check_sequence`]), folding the sync's rewired states
+    /// into the first recheck so no separate baseline query is paid.
+    ///
+    /// The context's tracked configuration is updated to wherever the walk
+    /// stopped (base plus the applied steps), which is what lets the next
+    /// CEGIS iteration (or the next request) sync by diff again.
+    pub(crate) fn verify_sequence(
+        &mut self,
+        encoder: &NetworkKripke,
+        base: &Configuration,
+        spec: &Ltl,
+        steps: &[SequenceStep],
+    ) -> SequenceOutcome {
+        let carried = self.sync_main(encoder, base);
+        let kripke = self.kripke.as_mut().expect("synced above");
+        let outcome = self
+            .checker
+            .check_sequence(encoder, kripke, spec, &carried, steps);
+        // `sync_main` left `self.config` at `base`; advance it by the steps
+        // the walk actually applied.
+        for step in &steps[..outcome.steps_applied] {
+            self.config.set_table(step.switch, step.table.clone());
+        }
+        outcome
     }
 
     /// Resets the context for a new `(topology, classes)` series: the
@@ -524,6 +552,10 @@ fn commit(
         Some(order_indices) => {
             let mut stats = scheduler.stats;
             stats.sat_constraints = scheduler.ordering.num_constraints();
+            let solver = scheduler.ordering.solver_stats();
+            stats.sat_conflicts = solver.conflicts;
+            stats.sat_clauses = solver.clauses;
+            stats.sat_learnt = solver.learnt;
             stats.model_checker_calls = checks_per_worker.iter().sum();
             stats.states_relabeled = states_relabeled;
             stats.checks_per_worker = checks_per_worker;
@@ -1282,6 +1314,122 @@ impl Scheduler<'_> {
         }
         (calls, relabeled, contexts)
     }
+}
+
+// ---- candidate-order verification (SAT-guided strategy) --------------------
+
+/// The outcome of a (possibly parallel) candidate-order verification.
+pub(crate) struct OrderVerification {
+    /// The first failing prefix: the step index and, when the backend
+    /// produced one, the switches on the counterexample trace.
+    pub(crate) first_failure: Option<(usize, Option<Vec<SwitchId>>)>,
+    /// Checks performed per worker (deterministic: the chunking is static).
+    pub(crate) checks_per_worker: Vec<usize>,
+    /// Total states (re)labeled across all workers.
+    pub(crate) states_relabeled: usize,
+}
+
+/// Verifies a candidate-order step sequence across the persistent worker
+/// contexts: the steps are split into contiguous chunks, one per worker, and
+/// each worker syncs its structure by diff to its chunk's base configuration
+/// (one fold into its first recheck) and walks its chunk with the backend's
+/// first-failing-prefix entry.
+///
+/// Determinism: the chunk boundaries are a pure function of `(steps.len(),
+/// options.threads)`, each prefix verdict is a pure function of the prefix
+/// (module docs), and a worker stops only at a failure *inside its own
+/// chunk* — there is no cross-worker abort whose timing could leak into the
+/// counters. The first failure overall is the first failing worker's
+/// failure, because the chunks partition the steps in order.
+pub(crate) fn verify_order_with_contexts(
+    options: &SynthesisOptions,
+    spec: &Ltl,
+    encoder: &NetworkKripke,
+    contexts: &mut Vec<Option<WorkerContext>>,
+    base: &Configuration,
+    steps: &[SequenceStep],
+) -> OrderVerification {
+    let n = steps.len();
+    let threads = options.threads.min(n).max(1);
+    contexts.resize_with(threads.max(contexts.len()), || None);
+    let chunk = n / threads;
+    let remainder = n % threads;
+    let bounds: Vec<(usize, usize)> = (0..threads)
+        .map(|w| {
+            let lo = w * chunk + w.min(remainder);
+            (lo, lo + chunk + usize::from(w < remainder))
+        })
+        .collect();
+    // Each worker starts from its chunk's base configuration: `base` with
+    // the preceding chunks' steps applied. One running walk snapshots
+    // exactly the `threads` boundary configurations.
+    let chunk_bases: Vec<Configuration> = {
+        let mut bases = Vec::with_capacity(threads);
+        let mut running = base.clone();
+        let mut applied = 0;
+        for &(lo, _) in &bounds {
+            for step in &steps[applied..lo] {
+                running.set_table(step.switch, step.table.clone());
+            }
+            applied = lo;
+            bases.push(running.clone());
+        }
+        bases
+    };
+    let taken: Vec<WorkerContext> = (0..threads)
+        .map(|w| {
+            contexts[w]
+                .take()
+                .unwrap_or_else(|| WorkerContext::fresh(options.backend))
+        })
+        .collect();
+
+    let results: Vec<(WorkerContext, SequenceOutcome)> = if threads == 1 {
+        // Single chunk: no point paying a thread spawn.
+        let mut ctx = taken.into_iter().next().expect("one context");
+        let outcome = ctx.verify_sequence(encoder, &chunk_bases[0], spec, steps);
+        vec![(ctx, outcome)]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = taken
+                .into_iter()
+                .enumerate()
+                .map(|(w, mut ctx)| {
+                    let (lo, hi) = bounds[w];
+                    let chunk_base = &chunk_bases[w];
+                    scope.spawn(move || {
+                        let outcome =
+                            ctx.verify_sequence(encoder, chunk_base, spec, &steps[lo..hi]);
+                        (ctx, outcome)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("verification worker panicked"))
+                .collect()
+        })
+    };
+
+    let mut verification = OrderVerification {
+        first_failure: None,
+        checks_per_worker: vec![0; threads],
+        states_relabeled: 0,
+    };
+    for (worker, (ctx, outcome)) in results.into_iter().enumerate() {
+        contexts[worker] = Some(ctx);
+        verification.checks_per_worker[worker] = outcome.checks;
+        verification.states_relabeled += outcome.states_labeled;
+        if verification.first_failure.is_none() {
+            if let Some(local) = outcome.first_failure {
+                verification.first_failure = Some((
+                    bounds[worker].0 + local,
+                    outcome.counterexample.map(|cex| cex.switches),
+                ));
+            }
+        }
+    }
+    verification
 }
 
 /// The first candidate at or after `from` that the replay's candidate scan

@@ -1,15 +1,15 @@
-//! The `OrderUpdate` synthesis algorithm (§4 of the paper).
+//! The shared substrate of the `OrderUpdate` synthesis strategies (§4 of the
+//! paper): result and statistics types, the one-shot [`Synthesizer`] entry
+//! point, and the sequence-materialization helpers every
+//! [`SearchStrategy`](crate::SearchStrategy) commits its result through. The
+//! strategy implementations themselves live in [`crate::strategy`].
 
 use std::collections::BTreeSet;
 use std::fmt;
 
-use netupd_kripke::{Kripke, NetworkKripke};
-use netupd_mc::ModelChecker;
 use netupd_model::{CommandSeq, Configuration, SwitchId};
 
-use crate::constraints::{VisitedSet, WrongSet};
-use crate::early_term::OrderingConstraints;
-use crate::options::{Granularity, SynthesisOptions};
+use crate::options::SynthesisOptions;
 use crate::problem::UpdateProblem;
 use crate::units::UpdateUnit;
 use crate::wait_removal;
@@ -53,6 +53,18 @@ pub struct SynthStats {
     /// attribution (Figure 7) stays honest about the total checking work
     /// performed.
     pub checks_per_worker: Vec<usize>,
+    /// Conflicts the ordering SAT solver worked through — across the
+    /// early-termination queries of the DFS strategy, or across the CEGIS
+    /// iterations of the SAT-guided strategy.
+    pub sat_conflicts: u64,
+    /// Clauses in the ordering solver: order axioms, learnt constraints, and
+    /// CDCL-learnt clauses.
+    pub sat_clauses: usize,
+    /// CDCL-learnt clauses in the ordering solver.
+    pub sat_learnt: usize,
+    /// Propose→verify→learn iterations of the SAT-guided strategy's CEGIS
+    /// loop. Zero for the DFS strategy.
+    pub cegis_iterations: usize,
 }
 
 /// A synthesized update: the command sequence to execute, the order of atomic
@@ -237,167 +249,10 @@ pub(crate) fn build_command_sequence(initial: &Configuration, order: &[UpdateUni
     commands
 }
 
-/// The mutable state of one sequential DFS run.
-///
-/// The structure, checker, and configuration are *borrowed* from the caller
-/// — the one-shot path hands in freshly built state, while the long-lived
-/// [`UpdateEngine`](crate::UpdateEngine) hands in its persistent sequential
-/// context (whose labels carry over from the previous request). The DFS
-/// leaves `kripke`/`checker`/`config` mutually consistent at whatever
-/// configuration the search ended on, which is what makes the context
-/// reusable for the next request's sync-by-diff.
-pub(crate) struct Search<'a> {
-    pub(crate) problem: &'a UpdateProblem,
-    pub(crate) options: &'a SynthesisOptions,
-    pub(crate) units: &'a [UpdateUnit],
-    pub(crate) encoder: &'a NetworkKripke,
-    pub(crate) kripke: &'a mut Kripke,
-    pub(crate) checker: &'a mut dyn ModelChecker,
-    pub(crate) config: Configuration,
-    pub(crate) applied: BTreeSet<usize>,
-    pub(crate) visited: VisitedSet,
-    pub(crate) wrong: WrongSet,
-    pub(crate) ordering: OrderingConstraints,
-    pub(crate) stats: SynthStats,
-}
-
-impl<'a> Search<'a> {
-    /// Sets up a DFS run over borrowed checking state, starting from the
-    /// problem's initial configuration with empty visited/wrong sets.
-    pub(crate) fn new(
-        problem: &'a UpdateProblem,
-        options: &'a SynthesisOptions,
-        units: &'a [UpdateUnit],
-        encoder: &'a NetworkKripke,
-        kripke: &'a mut Kripke,
-        checker: &'a mut dyn ModelChecker,
-        stats: SynthStats,
-    ) -> Self {
-        Search {
-            problem,
-            options,
-            units,
-            encoder,
-            kripke,
-            checker,
-            config: problem.initial.clone(),
-            applied: BTreeSet::new(),
-            visited: VisitedSet::new(),
-            wrong: WrongSet::new(),
-            ordering: OrderingConstraints::new(),
-            stats,
-        }
-    }
-
-    /// Switches considered "updated" in the current configuration: those for
-    /// which every planned unit has been applied.
-    fn updated_switches(&self) -> BTreeSet<SwitchId> {
-        updated_switches(self.units, &self.applied)
-    }
-
-    pub(crate) fn dfs(&mut self) -> Result<Option<Vec<usize>>, SynthesisError> {
-        if self.applied.len() == self.units.len() {
-            return Ok(Some(Vec::new()));
-        }
-        for idx in 0..self.units.len() {
-            if self.applied.contains(&idx) {
-                continue;
-            }
-            if self.stats.model_checker_calls >= self.options.max_checks {
-                return Err(SynthesisError::SearchBudgetExhausted);
-            }
-            let unit = &self.units[idx];
-            let switch = unit.switch();
-
-            // Pre-checks against V and W (line 6 of the paper's algorithm).
-            let mut candidate = self.applied.clone();
-            candidate.insert(idx);
-            if self.visited.contains(&candidate) {
-                self.stats.configurations_pruned += 1;
-                continue;
-            }
-            self.visited.insert(&candidate);
-            if self.options.use_counterexamples && self.options.granularity == Granularity::Switch {
-                let mut updated = self.updated_switches();
-                updated.insert(switch);
-                if self.wrong.excludes(&updated) {
-                    self.stats.configurations_pruned += 1;
-                    continue;
-                }
-            }
-
-            // Apply the unit (swUpdate) and re-check incrementally.
-            let old_table = self.config.table(switch);
-            let new_table = unit.apply(&self.config);
-            self.config.set_table(switch, new_table.clone());
-            self.applied.insert(idx);
-            let changed = self
-                .encoder
-                .apply_switch_update(self.kripke, switch, &new_table);
-            self.stats.model_checker_calls += 1;
-            let outcome = self
-                .checker
-                .recheck(self.kripke, &self.problem.spec, &changed);
-            self.stats.states_relabeled += outcome.stats.states_labeled;
-
-            if outcome.holds {
-                if let Some(mut rest) = self.dfs()? {
-                    rest.insert(0, idx);
-                    return Ok(Some(rest));
-                }
-            } else {
-                self.stats.backtracks += 1;
-                if self.options.use_counterexamples
-                    && self.options.granularity == Granularity::Switch
-                {
-                    if let Some(cex) = &outcome.counterexample {
-                        let updated = self.updated_switches();
-                        self.wrong.learn(&cex.switches, &updated);
-                        self.stats.counterexamples_learnt += 1;
-                        if self.options.early_termination {
-                            let cex_updated: BTreeSet<SwitchId> = cex
-                                .switches
-                                .iter()
-                                .copied()
-                                .filter(|sw| updated.contains(sw))
-                                .collect();
-                            let cex_not_updated: BTreeSet<SwitchId> = cex
-                                .switches
-                                .iter()
-                                .copied()
-                                .filter(|sw| !updated.contains(sw))
-                                .collect();
-                            self.ordering
-                                .add_counterexample(&cex_updated, &cex_not_updated);
-                            if !self.ordering.satisfiable() {
-                                return Err(SynthesisError::NoOrderingExists {
-                                    proven_by_constraints: true,
-                                });
-                            }
-                        }
-                    }
-                }
-            }
-
-            // Undo the unit and restore the checker's labels.
-            self.applied.remove(&idx);
-            self.config.set_table(switch, old_table.clone());
-            let restored = self
-                .encoder
-                .apply_switch_update(self.kripke, switch, &old_table);
-            self.stats.model_checker_calls += 1;
-            let restore_outcome = self
-                .checker
-                .recheck(self.kripke, &self.problem.spec, &restored);
-            self.stats.states_relabeled += restore_outcome.stats.states_labeled;
-        }
-        Ok(None)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::options::Granularity;
     use netupd_ltl::semantics;
     use netupd_mc::Backend;
     use netupd_model::Network;

@@ -1,0 +1,32 @@
+//! The pluggable search strategies behind
+//! [`SearchStrategy`](crate::SearchStrategy).
+//!
+//! Both strategies solve the same problem — order the update units so that
+//! every intermediate configuration satisfies the specification — over the
+//! same substrate: the visited/wrong sets and counterexample→constraint
+//! learning of [`crate::constraints`], prefix checking through the
+//! sync-by-diff [`WorkerContext`](crate::parallel)s the engine persists
+//! across requests, and the unified [`SynthStats`](crate::SynthStats) /
+//! [`finish_sequence`](crate::search) commit path of [`crate::search`].
+//!
+//! * `dfs` is the paper's `OrderUpdate` depth-first search (§4): it
+//!   explores prefixes one candidate unit at a time, prunes with the
+//!   visited- and wrong-sets, and uses the learnt ordering constraints only
+//!   *negatively* — unsatisfiability terminates the search early.
+//! * `sat_guided` completes the same machinery into a CEGIS loop
+//!   (§4.2 B, run forward): the incremental SAT solver *proposes* a total
+//!   order consistent with every learnt precedence clause, the configured
+//!   backend verifies the candidate sequence prefix by prefix in one
+//!   first-failing-prefix call, and the failure is learnt back as a new
+//!   clause — until a model verifies (success) or the clause set goes
+//!   unsatisfiable (infeasible, strictly subsuming the DFS's early
+//!   termination).
+//!
+//! Each strategy is individually deterministic: for a fixed problem and
+//! options (including the thread count), commands, unit order, verdict, and
+//! statistics are byte-identical across runs. The two strategies agree on
+//! the verdict — an order exists or it does not — but may commit *different*
+//! correct orders.
+
+pub(crate) mod dfs;
+pub(crate) mod sat_guided;

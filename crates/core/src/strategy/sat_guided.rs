@@ -1,0 +1,315 @@
+//! The SAT-guided (CEGIS) ordering strategy.
+//!
+//! The DFS strategy already derives precedence constraints from every
+//! counterexample (§4.2 B) but only uses them *negatively*: unsatisfiability
+//! aborts the search, and the CDCL solver's models are discarded. This
+//! strategy completes the loop:
+//!
+//! 1. **Propose.** Ask the incremental solver for a total order of the
+//!    update units consistent with every learnt precedence clause
+//!    ([`UnitOrdering::propose`] decodes the model over the `before(i, j)`
+//!    variables; phase saving in the solver makes successive proposals warm
+//!    restarts of the previous one).
+//! 2. **Verify.** Check the candidate sequence with the configured backend
+//!    through the first-failing-prefix entry
+//!    ([`ModelChecker::check_sequence`](netupd_mc::ModelChecker)): walk the
+//!    order, recheck incrementally after every step, stop at the first
+//!    violating prefix and extract its counterexample trace — one call per
+//!    candidate. With `threads > 1` the walk is chunked across the engine's
+//!    persistent worker contexts
+//!    ([`verify_order_with_contexts`](crate::parallel)).
+//! 3. **Learn.** Refute the failure: at switch granularity with a
+//!    counterexample in hand, the §4.2 B clause "some not-yet-updated switch
+//!    on the trace must precede some updated one"; otherwise (rule
+//!    granularity, counterexample-free backends, or ablations) the exact
+//!    prefix-set blocking clause "some unit outside the failing set must
+//!    precede some unit inside it" — sound because unit applications
+//!    commute, so the violating configuration is a function of the applied
+//!    *set*, not the order.
+//!
+//! The loop ends with a SAT-model-verified sequence (success) or an
+//! unsatisfiable clause set (infeasible — strictly subsuming the DFS's early
+//! termination, which proves infeasibility only from the counterexamples its
+//! own search path happens to produce). Every learnt clause excludes the
+//! model it was learnt from, so the loop visits each total order at most
+//! once and terminates.
+//!
+//! # Determinism
+//!
+//! For a fixed problem and options the run is byte-identical: the solver is
+//! deterministic, the decode is a pure function of the model, every prefix
+//! verdict is a pure function of the prefix (the invariant the parallel DFS
+//! already rests on, DESIGN.md §5), and the parallel verification uses
+//! static chunking with no cross-worker abort. The *budget* is charged by
+//! the sequential-equivalent schedule (one check per walked prefix), so the
+//! verdict cannot depend on the thread count either.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use netupd_kripke::NetworkKripke;
+use netupd_mc::SequenceStep;
+use netupd_model::{CommandSeq, SwitchId};
+
+use crate::constraints::UnitOrdering;
+use crate::options::{Granularity, SynthesisOptions};
+use crate::parallel::{self, WorkerContext};
+use crate::problem::UpdateProblem;
+use crate::search::{
+    finish_sequence, updated_switches, SynthStats, SynthesisError, UpdateSequence,
+};
+use crate::units::UpdateUnit;
+
+/// Runs the SAT-guided strategy over the engine's persistent contexts:
+/// the sequential context for `threads == 1`, the per-worker context slots
+/// otherwise (slot 0 doubles as the initial/final-probe context, exactly as
+/// worker 0 does in the parallel DFS).
+pub(crate) fn solve(
+    problem: &UpdateProblem,
+    options: &SynthesisOptions,
+    units: &[UpdateUnit],
+    encoder: &NetworkKripke,
+    seq_ctx: &mut Option<WorkerContext>,
+    worker_ctxs: &mut Vec<Option<WorkerContext>>,
+) -> Result<UpdateSequence, SynthesisError> {
+    let parallel = options.threads > 1 && !units.is_empty();
+    let mut stats = SynthStats::default();
+    let mut checks_per_worker = if parallel {
+        vec![0usize; options.threads.min(units.len())]
+    } else {
+        Vec::new()
+    };
+
+    // Check the initial configuration (line 7 of the paper's algorithm).
+    {
+        let ctx = lead_context(parallel, seq_ctx, worker_ctxs, options);
+        let outcome = ctx.check_config(encoder, &problem.initial, &problem.spec);
+        stats.model_checker_calls += 1;
+        stats.states_relabeled += outcome.stats.states_labeled;
+        if let Some(first) = checks_per_worker.first_mut() {
+            *first += 1;
+        }
+        if !outcome.holds {
+            return Err(SynthesisError::InitialConfigurationViolates);
+        }
+    }
+    if units.is_empty() {
+        return Ok(UpdateSequence {
+            commands: CommandSeq::new(),
+            order: Vec::new(),
+            stats,
+        });
+    }
+
+    // Reject problems whose target configuration is itself incorrect (the
+    // same dedicated probe structure/checker the DFS paths use, so the
+    // search checker's incremental labels survive).
+    {
+        let ctx = lead_context(parallel, seq_ctx, worker_ctxs, options);
+        let outcome = ctx.probe_config(encoder, &problem.final_config, &problem.spec);
+        stats.model_checker_calls += 1;
+        stats.states_relabeled += outcome.stats.states_labeled;
+        if let Some(first) = checks_per_worker.first_mut() {
+            *first += 1;
+        }
+        if !outcome.holds {
+            return Err(SynthesisError::FinalConfigurationViolates);
+        }
+    }
+
+    let n = units.len();
+    let mut store = UnitOrdering::new(n);
+    let units_of_switch = index_units_by_switch(units);
+    // Prefix *sets* already verified to hold. A prefix verdict is a pure
+    // function of the applied unit set (unit applications commute and check
+    // outcomes are pure functions of the configuration), so a prefix a
+    // previous iteration walked through never needs re-checking — and
+    // successive proposals share long prefixes, because each learnt clause
+    // only perturbs the tail it refuted.
+    let mut verified: HashSet<BTreeSet<usize>> = HashSet::new();
+    // The deterministic, thread-count-independent budget mirror: the checks
+    // the sequential walk would issue (initial check + final probe so far).
+    let mut budget_calls = 2usize;
+
+    loop {
+        let Some(order) = store.propose() else {
+            return Err(SynthesisError::NoOrderingExists {
+                proven_by_constraints: true,
+            });
+        };
+
+        // Materialize the candidate: one table-install step per unit. The
+        // walk's base configurations are derived on demand — cloning a full
+        // configuration per prefix would dominate the loop on large shapes.
+        let steps = materialize(problem, units, &order);
+
+        // Skip the longest already-verified prefix: the walk starts at the
+        // first prefix whose unit set has not been checked before.
+        let mut start = 0;
+        let mut prefix_set = BTreeSet::new();
+        while start < n {
+            prefix_set.insert(order[start]);
+            if !verified.contains(&prefix_set) {
+                break;
+            }
+            start += 1;
+        }
+
+        // A verification pass may need one check per remaining unit; demand
+        // the budget up front so the verdict cannot depend on how far a
+        // thread-split walk happens to get.
+        if budget_calls + (n - start) > options.max_checks {
+            return Err(SynthesisError::SearchBudgetExhausted);
+        }
+
+        let first_failure = if start == n {
+            // Every prefix of this order was verified in earlier iterations.
+            None
+        } else {
+            // The configuration the walk starts from: the initial
+            // configuration with the skipped prefix applied.
+            let mut base = problem.initial.clone();
+            for step in &steps[..start] {
+                base.set_table(step.switch, step.table.clone());
+            }
+            if parallel {
+                let verification = parallel::verify_order_with_contexts(
+                    options,
+                    &problem.spec,
+                    encoder,
+                    worker_ctxs,
+                    &base,
+                    &steps[start..],
+                );
+                stats.model_checker_calls += verification.checks_per_worker.iter().sum::<usize>();
+                stats.states_relabeled += verification.states_relabeled;
+                for (worker, checks) in verification.checks_per_worker.iter().enumerate() {
+                    checks_per_worker[worker] += checks;
+                }
+                verification
+                    .first_failure
+                    .map(|(local, cex)| (start + local, cex))
+            } else {
+                let ctx = seq_ctx.as_mut().expect("initialized by the initial check");
+                let outcome = ctx.verify_sequence(encoder, &base, &problem.spec, &steps[start..]);
+                stats.model_checker_calls += outcome.checks;
+                stats.states_relabeled += outcome.states_labeled;
+                outcome.first_failure.map(|local| {
+                    (
+                        start + local,
+                        outcome.counterexample.map(|cex| cex.switches),
+                    )
+                })
+            }
+        };
+
+        // Record the prefixes this iteration proved to hold.
+        let held_through = match &first_failure {
+            Some((failing, _)) => *failing,
+            None => n,
+        };
+        let mut held_set: BTreeSet<usize> = order[..start].iter().copied().collect();
+        for &index in &order[start..held_through] {
+            held_set.insert(index);
+            verified.insert(held_set.clone());
+        }
+
+        match first_failure {
+            None => {
+                stats.cegis_iterations = store.proposals();
+                stats.sat_constraints = store.num_constraints();
+                let solver = store.solver_stats();
+                stats.sat_conflicts = solver.conflicts;
+                stats.sat_clauses = solver.clauses;
+                stats.sat_learnt = solver.learnt;
+                stats.checks_per_worker = checks_per_worker;
+                return Ok(finish_sequence(problem, options, units, &order, stats));
+            }
+            Some((failing, cex_switches)) => {
+                budget_calls += failing + 1 - start;
+                stats.backtracks += 1;
+                let applied: BTreeSet<usize> = order[..=failing].iter().copied().collect();
+                let mut learnt = false;
+                if options.use_counterexamples && options.granularity == Granularity::Switch {
+                    if let Some(cex) = &cex_switches {
+                        stats.counterexamples_learnt += 1;
+                        let updated = updated_switches(units, &applied);
+                        let after: Vec<usize> = cex
+                            .iter()
+                            .filter(|sw| updated.contains(sw))
+                            .filter_map(|sw| units_of_switch.get(sw))
+                            .flatten()
+                            .copied()
+                            .collect();
+                        let before: Vec<usize> = cex
+                            .iter()
+                            .filter(|sw| !updated.contains(sw))
+                            .filter_map(|sw| units_of_switch.get(sw))
+                            .flatten()
+                            .copied()
+                            .collect();
+                        if !after.is_empty() && !before.is_empty() {
+                            learnt = store.require_some_before(&before, &after);
+                        }
+                    }
+                }
+                // The generic fallback (and the safety net keeping the loop
+                // strictly progressing: each of these clause forms excludes
+                // the model it was learnt from, so at least one is new).
+                if !learnt && !store.block_prefix_set(&applied) {
+                    store.block_order(&order);
+                }
+            }
+        }
+    }
+}
+
+/// The context that performs the initial check and the final probe:
+/// the persistent sequential context for single-threaded runs, worker
+/// slot 0 otherwise.
+fn lead_context<'a>(
+    parallel: bool,
+    seq_ctx: &'a mut Option<WorkerContext>,
+    worker_ctxs: &'a mut Vec<Option<WorkerContext>>,
+    options: &SynthesisOptions,
+) -> &'a mut WorkerContext {
+    let slot = if parallel {
+        if worker_ctxs.is_empty() {
+            worker_ctxs.push(None);
+        }
+        &mut worker_ctxs[0]
+    } else {
+        seq_ctx
+    };
+    slot.get_or_insert_with(|| WorkerContext::fresh(options.backend))
+}
+
+/// Builds the candidate's step sequence: one table-install per unit, derived
+/// by walking a single running configuration.
+fn materialize(
+    problem: &UpdateProblem,
+    units: &[UpdateUnit],
+    order: &[usize],
+) -> Vec<SequenceStep> {
+    let mut config = problem.initial.clone();
+    let mut steps = Vec::with_capacity(order.len());
+    for &index in order {
+        let unit = &units[index];
+        let table = unit.apply(&config);
+        config.set_table(unit.switch(), table.clone());
+        steps.push(SequenceStep {
+            switch: unit.switch(),
+            table,
+        });
+    }
+    steps
+}
+
+/// Unit indices per switch, for translating counterexample switch sets into
+/// unit-level precedence clauses.
+fn index_units_by_switch(units: &[UpdateUnit]) -> BTreeMap<SwitchId, Vec<usize>> {
+    let mut map: BTreeMap<SwitchId, Vec<usize>> = BTreeMap::new();
+    for (index, unit) in units.iter().enumerate() {
+        map.entry(unit.switch()).or_default().push(index);
+    }
+    map
+}

@@ -2,9 +2,9 @@
 
 use std::fmt;
 
-use netupd_kripke::{Kripke, StateId};
+use netupd_kripke::{Kripke, NetworkKripke, StateId};
 use netupd_ltl::Ltl;
-use netupd_model::SwitchId;
+use netupd_model::{SwitchId, Table};
 
 /// A counterexample trace: a path through the Kripke structure from an
 /// initial state that violates the specification.
@@ -87,6 +87,35 @@ impl CheckOutcome {
     }
 }
 
+/// One step of a prefix-sequence verification: install `table` on `switch`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SequenceStep {
+    /// The switch whose table the step replaces.
+    pub switch: SwitchId,
+    /// The table the step installs.
+    pub table: Table,
+}
+
+/// The outcome of a prefix-sequence verification
+/// ([`ModelChecker::check_sequence`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SequenceOutcome {
+    /// Index (into the step slice) of the first step after which the
+    /// specification fails, or `None` if every prefix holds.
+    pub first_failure: Option<usize>,
+    /// A violating trace for the failing prefix, when the backend supports
+    /// counterexamples.
+    pub counterexample: Option<Counterexample>,
+    /// Number of steps actually applied to the structure: `first_failure + 1`
+    /// on failure, the full step count otherwise. The structure is left at
+    /// the configuration those steps produce.
+    pub steps_applied: usize,
+    /// Model-checker queries issued (one per applied step).
+    pub checks: usize,
+    /// Total states (re)labeled across the walk.
+    pub states_labeled: usize,
+}
+
 /// A model checker for DAG-like Kripke structures.
 ///
 /// Backends may keep per-structure state (labels) between calls; the
@@ -109,6 +138,63 @@ pub trait ModelChecker: Send {
     fn recheck(&mut self, kripke: &Kripke, phi: &Ltl, changed: &[StateId]) -> CheckOutcome {
         let _ = changed;
         self.check(kripke, phi)
+    }
+
+    /// Verifies an update sequence prefix by prefix, returning the first
+    /// failing prefix (and its counterexample trace) in one call.
+    ///
+    /// The walk starts from whatever configuration `kripke` currently
+    /// encodes: each step rewires the structure through the encoder's
+    /// incremental [`apply_switch_update`](NetworkKripke::apply_switch_update)
+    /// and re-checks over exactly the rewired states, so every backend
+    /// verifies the sequence at its own incremental cost model (the
+    /// incremental and header-space checkers relabel only affected states,
+    /// batch and product pay a full check per step). `carried` is folded into
+    /// the first step's change set — callers that synced the structure to the
+    /// walk's starting configuration by diff (the engine's cross-request
+    /// reuse, or a [`reset_to`](NetworkKripke::reset_to) re-point) pass the
+    /// states that sync rewired, so no separate "establish the baseline"
+    /// query is needed.
+    ///
+    /// On return the structure encodes the configuration after
+    /// [`steps_applied`](SequenceOutcome::steps_applied) steps: all of them
+    /// when every prefix holds, the failing prefix otherwise.
+    fn check_sequence(
+        &mut self,
+        encoder: &NetworkKripke,
+        kripke: &mut Kripke,
+        phi: &Ltl,
+        carried: &[StateId],
+        steps: &[SequenceStep],
+    ) -> SequenceOutcome {
+        let mut carried: Vec<StateId> = carried.to_vec();
+        let mut checks = 0;
+        let mut states_labeled = 0;
+        for (index, step) in steps.iter().enumerate() {
+            let mut changed = std::mem::take(&mut carried);
+            changed.extend(encoder.apply_switch_update(kripke, step.switch, &step.table));
+            changed.sort_unstable();
+            changed.dedup();
+            let outcome = self.recheck(kripke, phi, &changed);
+            checks += 1;
+            states_labeled += outcome.stats.states_labeled;
+            if !outcome.holds {
+                return SequenceOutcome {
+                    first_failure: Some(index),
+                    counterexample: outcome.counterexample,
+                    steps_applied: index + 1,
+                    checks,
+                    states_labeled,
+                };
+            }
+        }
+        SequenceOutcome {
+            first_failure: None,
+            counterexample: None,
+            steps_applied: steps.len(),
+            checks,
+            states_labeled,
+        }
     }
 
     /// Prepares the checker for a new query series whose relation to the

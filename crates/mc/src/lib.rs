@@ -65,7 +65,9 @@ pub mod labeling;
 pub mod product;
 
 pub use batch::BatchChecker;
-pub use checker::{Backend, CheckOutcome, CheckStats, Counterexample, ModelChecker};
+pub use checker::{
+    Backend, CheckOutcome, CheckStats, Counterexample, ModelChecker, SequenceOutcome, SequenceStep,
+};
 pub use headerspace::HeaderSpaceChecker;
 pub use incremental::IncrementalChecker;
 pub use labeling::Labeling;

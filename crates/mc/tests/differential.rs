@@ -153,3 +153,69 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `check_sequence` agrees with a step-by-step `recheck` walk — same
+    /// first failing prefix, same verdict per prefix, structure left at the
+    /// same configuration — for every backend.
+    #[test]
+    fn check_sequence_matches_stepwise_recheck(seed in 0u64..48) {
+        let Some(scenario) = scenario_for_seed(seed) else { return Ok(()); };
+        let encoder = encoder_for(&scenario);
+        // The update steps: install each differing switch's final table, in
+        // switch-id order. Intermediate prefixes may well violate the spec —
+        // exactly the interesting case.
+        let steps: Vec<netupd_mc::SequenceStep> = scenario
+            .initial
+            .differing_switches(&scenario.final_config)
+            .into_iter()
+            .map(|sw| netupd_mc::SequenceStep {
+                switch: sw,
+                table: scenario.final_config.table(sw),
+            })
+            .collect();
+        for backend in netupd_mc::Backend::ALL {
+            // One-call walk.
+            let mut seq_kripke = encoder.encode(&scenario.initial);
+            let mut seq_checker = backend.instantiate();
+            seq_checker.check(&seq_kripke, &scenario.spec);
+            let outcome = seq_checker.check_sequence(
+                &encoder,
+                &mut seq_kripke,
+                &scenario.spec,
+                &[],
+                &steps,
+            );
+            // Step-by-step walk with a second instance.
+            let mut kripke = encoder.encode(&scenario.initial);
+            let mut checker = backend.instantiate();
+            checker.check(&kripke, &scenario.spec);
+            let mut expected_failure = None;
+            for (index, step) in steps.iter().enumerate() {
+                let changed = encoder.apply_switch_update(&mut kripke, step.switch, &step.table);
+                let check = checker.recheck(&kripke, &scenario.spec, &changed);
+                if !check.holds {
+                    expected_failure = Some((index, check.counterexample));
+                    break;
+                }
+            }
+            match (&outcome.first_failure, &expected_failure) {
+                (Some(k), Some((expected, cex))) => {
+                    assert_eq!(k, expected, "seed {seed}, {backend}: failing prefix diverged");
+                    assert_eq!(outcome.steps_applied, k + 1, "seed {seed}, {backend}");
+                    assert_eq!(
+                        &outcome.counterexample, cex,
+                        "seed {seed}, {backend}: counterexample diverged"
+                    );
+                }
+                (None, None) => {
+                    assert_eq!(outcome.steps_applied, steps.len(), "seed {seed}, {backend}");
+                }
+                other => panic!("seed {seed}, {backend}: verdicts diverged: {other:?}"),
+            }
+            assert_eq!(outcome.checks, outcome.steps_applied, "seed {seed}, {backend}");
+        }
+    }
+}

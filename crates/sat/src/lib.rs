@@ -36,4 +36,4 @@
 
 pub mod solver;
 
-pub use solver::{Lit, SolveResult, Solver, Var};
+pub use solver::{Lit, Model, SolveResult, Solver, SolverStats, Var};

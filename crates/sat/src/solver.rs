@@ -68,6 +68,54 @@ impl SolveResult {
     }
 }
 
+/// An immutable snapshot of the satisfying assignment found by the most
+/// recent [`Solver::solve`] call.
+///
+/// [`Solver::value`] reads the live assignment, which the next `add_clause`
+/// or `solve` call destroys (both backtrack to decision level 0). Callers
+/// that need to *use* a model while also extending the clause set — the
+/// CEGIS loop of the SAT-guided ordering synthesizer decodes an order from
+/// the model, verifies it, and then learns a clause refuting it — take a
+/// snapshot first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Model {
+    values: Vec<Option<bool>>,
+}
+
+impl Model {
+    /// The value the model assigns to `var`, if any. Variables not assigned
+    /// by the solve (possible under assumptions) read as `None`.
+    pub fn value(&self, var: Var) -> Option<bool> {
+        self.values.get(var.0 as usize).copied().flatten()
+    }
+
+    /// Number of variables covered by the snapshot.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the snapshot covers no variables.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Aggregate effort counters of a [`Solver`], for surfacing SAT work in
+/// synthesis statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolverStats {
+    /// Variables allocated.
+    pub vars: usize,
+    /// Clauses stored (problem clauses plus CDCL-learnt clauses).
+    pub clauses: usize,
+    /// CDCL-learnt clauses currently stored.
+    pub learnt: usize,
+    /// Conflicts encountered across all `solve` calls.
+    pub conflicts: u64,
+    /// Restarts performed across all `solve` calls.
+    pub restarts: u64,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Value {
     Unassigned,
@@ -118,6 +166,12 @@ pub struct Solver {
     /// permanently unsatisfiable.
     unsat: bool,
     conflicts: u64,
+    restarts: u64,
+    /// Last assigned polarity per variable (phase saving). Decisions re-use
+    /// the saved polarity, so successive `solve` calls of an incremental
+    /// series restart warm: the parts of the previous model untouched by the
+    /// newly added clauses are rediscovered without search.
+    saved_phase: Vec<bool>,
 }
 
 impl Solver {
@@ -138,6 +192,10 @@ impl Solver {
         self.activity.push(0.0);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
+        // `false` matches the solver's historical always-negative first
+        // decision, so phase saving only changes *later* visits to a
+        // variable.
+        self.saved_phase.push(false);
         var
     }
 
@@ -281,16 +339,24 @@ impl Solver {
             } else if conflicts_since_restart >= next_restart {
                 // Luby-style restart, preserving assumptions semantics by
                 // backtracking to level 0 (assumptions are re-installed).
+                // Phase saving makes the restart warm: the next descent
+                // re-assigns the saved polarities without search.
                 conflicts_since_restart = 0;
                 restart_idx += 1;
                 next_restart = 32 * luby(restart_idx);
+                self.restarts += 1;
                 self.backtrack_to(0);
             } else {
                 match self.pick_branch_var() {
                     None => return SolveResult::Sat,
                     Some(var) => {
+                        let lit = if self.saved_phase[var.0 as usize] {
+                            Lit::pos(var)
+                        } else {
+                            Lit::neg(var)
+                        };
                         self.trail_limits.push(self.trail.len());
-                        self.enqueue(Lit::neg(var), UNDEF_CLAUSE);
+                        self.enqueue(lit, UNDEF_CLAUSE);
                     }
                 }
             }
@@ -304,6 +370,32 @@ impl Solver {
             Value::Unassigned => None,
             Value::True => Some(true),
             Value::False => Some(false),
+        }
+    }
+
+    /// Snapshots the current assignment as an immutable [`Model`].
+    ///
+    /// Meaningful immediately after a [`solve`](Solver::solve) that returned
+    /// [`SolveResult::Sat`]; the snapshot survives later `add_clause`/`solve`
+    /// calls (which destroy the live assignment [`value`](Solver::value)
+    /// reads).
+    pub fn model_snapshot(&self) -> Model {
+        Model {
+            values: (0..self.values.len() as u32)
+                .map(|i| self.value(Var(i)))
+                .collect(),
+        }
+    }
+
+    /// Aggregate effort counters (variables, clauses, learnt clauses,
+    /// conflicts, restarts).
+    pub fn stats(&self) -> SolverStats {
+        SolverStats {
+            vars: self.num_vars(),
+            clauses: self.num_clauses(),
+            learnt: self.num_learnt(),
+            conflicts: self.conflicts,
+            restarts: self.restarts,
         }
     }
 
@@ -345,6 +437,7 @@ impl Solver {
             while self.trail.len() > limit {
                 let lit = self.trail.pop().expect("trail non-empty");
                 let var = lit.var().0 as usize;
+                self.saved_phase[var] = self.values[var] == Value::True;
                 self.values[var] = Value::Unassigned;
                 self.reasons[var] = UNDEF_CLAUSE;
             }
@@ -721,6 +814,61 @@ mod tests {
         assert!(solver.solve().is_sat());
         // The chain forces everything true.
         assert_eq!(solver.value(vars[39]), Some(true));
+    }
+
+    #[test]
+    fn model_snapshot_survives_clause_addition() {
+        let mut solver = Solver::new();
+        let vars = make_vars(&mut solver, 3);
+        solver.add_clause([lit(&vars, 1), lit(&vars, 2)]);
+        solver.add_clause([lit(&vars, -1)]);
+        assert!(solver.solve().is_sat());
+        let model = solver.model_snapshot();
+        assert_eq!(model.len(), 3);
+        assert!(!model.is_empty());
+        assert_eq!(model.value(vars[0]), Some(false));
+        assert_eq!(model.value(vars[1]), Some(true));
+        // Adding a clause backtracks the live assignment, but the snapshot
+        // is unaffected.
+        solver.add_clause([lit(&vars, 3)]);
+        assert_eq!(model.value(vars[1]), Some(true));
+    }
+
+    #[test]
+    fn phase_saving_is_deterministic_across_incremental_calls() {
+        // Two identically-built solvers produce identical models at every
+        // step of an incremental series.
+        let build = || {
+            let mut solver = Solver::new();
+            let vars = make_vars(&mut solver, 6);
+            for i in 1..6 {
+                solver.add_clause([lit(&vars, -i), lit(&vars, i + 1), lit(&vars, -(i % 3 + 1))]);
+            }
+            (solver, vars)
+        };
+        let (mut a, vars_a) = build();
+        let (mut b, vars_b) = build();
+        for extra in [2i32, -4, 5] {
+            a.add_clause([lit(&vars_a, extra)]);
+            b.add_clause([lit(&vars_b, extra)]);
+            assert_eq!(a.solve(), b.solve());
+            assert_eq!(a.model_snapshot(), b.model_snapshot());
+        }
+    }
+
+    #[test]
+    fn stats_reflect_effort() {
+        let mut solver = Solver::new();
+        let vars = make_vars(&mut solver, 2);
+        solver.add_clause([lit(&vars, 1), lit(&vars, 2)]);
+        solver.add_clause([lit(&vars, -1), lit(&vars, 2)]);
+        solver.add_clause([lit(&vars, 1), lit(&vars, -2)]);
+        assert!(solver.solve().is_sat());
+        let stats = solver.stats();
+        assert_eq!(stats.vars, 2);
+        assert_eq!(stats.clauses, solver.num_clauses());
+        assert_eq!(stats.learnt, solver.num_learnt());
+        assert_eq!(stats.conflicts, solver.num_conflicts());
     }
 
     #[test]

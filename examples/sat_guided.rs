@@ -1,0 +1,81 @@
+//! The SAT-guided (CEGIS) ordering strategy, side by side with the DFS.
+//!
+//! `SearchStrategy::SatGuided` completes the §4.2 B machinery into a
+//! counterexample-guided loop: the incremental SAT solver *proposes* a total
+//! order consistent with every precedence constraint learnt so far, the
+//! configured backend verifies the candidate sequence prefix by prefix in
+//! one first-failing-prefix call, and the failure is learnt back as a new
+//! clause — until a model verifies (success) or the clause set goes
+//! unsatisfiable (no simple order exists). Where the DFS pays two checks per
+//! backtrack (the failed candidate plus the label restore), the SAT-guided
+//! loop pays one check per walked prefix — on workloads where a few learnt
+//! constraints pin the order down, it needs markedly fewer model-checker
+//! calls.
+//!
+//! Run with: `cargo run --release --example sat_guided`
+
+use netupd_mc::Backend;
+use netupd_synth::{SearchStrategy, SynthesisOptions, Synthesizer, UpdateProblem, UpdateSequence};
+use netupd_topo::generators;
+use netupd_topo::scenario::{multi_diamond_scenario, PropertyKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run(problem: &UpdateProblem, strategy: SearchStrategy) -> UpdateSequence {
+    let options = SynthesisOptions::with_backend(Backend::Incremental).strategy(strategy);
+    Synthesizer::new(problem.clone())
+        .with_options(options)
+        .synthesize()
+        .unwrap_or_else(|e| panic!("{strategy} failed: {e}"))
+}
+
+fn main() {
+    // Several flows moving at once: enough ordering conflicts that both
+    // strategies have real work to do.
+    let mut rng = StdRng::seed_from_u64(7);
+    let graph = generators::small_world(60, 4, 0.1, &mut rng);
+    let scenario = multi_diamond_scenario(&graph, PropertyKind::Waypoint, 3, &mut rng)
+        .expect("small-world topologies admit diamonds");
+    let problem = UpdateProblem::from_scenario(&scenario);
+    println!(
+        "{} switches, {} updating\n",
+        graph.num_switches(),
+        problem.switches_to_update().len()
+    );
+
+    for strategy in SearchStrategy::ALL {
+        let result = run(&problem, strategy);
+        println!(
+            "{strategy:>10}: {} commands ({} waits), {} model-checker calls, \
+             {} backtracks, {} SAT constraints ({} conflicts, {} clauses)",
+            result.commands.len(),
+            result.stats.waits_after_removal,
+            result.stats.model_checker_calls,
+            result.stats.backtracks,
+            result.stats.sat_constraints,
+            result.stats.sat_conflicts,
+            result.stats.sat_clauses,
+        );
+        if strategy == SearchStrategy::SatGuided {
+            println!(
+                "{:>10}  CEGIS converged in {} propose→verify→learn iteration(s)",
+                "", result.stats.cegis_iterations
+            );
+        }
+    }
+
+    // Both strategies must agree that an order exists; the orders themselves
+    // may differ — each is independently verified against the specification.
+    let dfs = run(&problem, SearchStrategy::Dfs);
+    let sat = run(&problem, SearchStrategy::SatGuided);
+    println!(
+        "\nverdicts agree; orders {} ({} vs {} commands)",
+        if dfs.commands == sat.commands {
+            "coincide"
+        } else {
+            "differ (both verified)"
+        },
+        dfs.commands.len(),
+        sat.commands.len(),
+    );
+}

@@ -1,7 +1,7 @@
-//! Differential test for the long-lived `UpdateEngine`: for every backend
-//! and thread count, an engine fed a churn stream must produce byte-identical
-//! `UpdateSequence`s — commands, unit order, and verdict — to a fresh
-//! `Synthesizer` per request.
+//! Differential test for the long-lived `UpdateEngine`: for every backend,
+//! search strategy, and thread count, an engine fed a churn stream must
+//! produce byte-identical `UpdateSequence`s — commands, unit order, and
+//! verdict — to a fresh `Synthesizer` per request.
 //!
 //! Speculation is forced on (as in `tests/parallel_determinism.rs`) so the
 //! threaded runs exercise the speculative machinery even on single-core CI
@@ -12,9 +12,12 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use netupd::ltl::semantics;
 use netupd::mc::Backend;
+use netupd::model::Network;
 use netupd::synth::{
-    Granularity, SynthesisError, SynthesisOptions, Synthesizer, UpdateEngine, UpdateProblem,
+    Granularity, SearchStrategy, SynthesisError, SynthesisOptions, Synthesizer, UpdateEngine,
+    UpdateProblem,
 };
 use netupd::topo::generators;
 use netupd::topo::scenario::{churn_scenarios, PropertyKind};
@@ -113,6 +116,104 @@ fn engine_matches_fresh_at_rule_granularity() {
                 .granularity(Granularity::Rule)
                 .threads(threads),
         );
+    }
+}
+
+/// Replays a synthesized command sequence through the trace semantics — an
+/// independent, model-checker-free check that every intermediate
+/// configuration satisfies the specification.
+fn assert_sequence_correct(problem: &UpdateProblem, commands: &netupd::model::CommandSeq) {
+    let mut config = problem.initial.clone();
+    let check = |config: &netupd::model::Configuration| {
+        let net = Network::new(problem.topology.clone(), config.clone());
+        for class in &problem.classes {
+            for host in &problem.ingress_hosts {
+                let (sw, pt) = problem
+                    .topology
+                    .switch_of_host(*host)
+                    .expect("ingress host");
+                for trace in net.traces_from(sw, pt, class) {
+                    assert!(
+                        semantics::satisfies(&trace, &problem.spec),
+                        "intermediate configuration violates the spec on {trace}"
+                    );
+                }
+            }
+        }
+    };
+    check(&config);
+    for (sw, table) in commands.updates() {
+        config.set_table(sw, table.clone());
+        check(&config);
+    }
+}
+
+#[test]
+fn sat_guided_engine_matches_fresh_for_all_backends() {
+    force_speculation();
+    let problems = churn_problems(PropertyKind::Reachability, 4, 101);
+    for backend in Backend::ALL {
+        for threads in [1, 4] {
+            assert_engine_matches_fresh(
+                &problems,
+                SynthesisOptions::with_backend(backend)
+                    .strategy(SearchStrategy::SatGuided)
+                    .threads(threads),
+            );
+        }
+    }
+}
+
+#[test]
+fn sat_guided_engine_matches_fresh_at_rule_granularity() {
+    force_speculation();
+    let problems = churn_problems(PropertyKind::Reachability, 3, 29);
+    for threads in [1, 4] {
+        assert_engine_matches_fresh(
+            &problems,
+            SynthesisOptions::default()
+                .strategy(SearchStrategy::SatGuided)
+                .granularity(Granularity::Rule)
+                .threads(threads),
+        );
+    }
+}
+
+/// Both strategies agree on the verdict for every step of every stream, and
+/// every SatGuided-produced sequence passes an independent full-sequence
+/// check through the trace semantics.
+#[test]
+fn strategies_agree_on_churn_stream_verdicts() {
+    force_speculation();
+    for (kind, steps, seed) in [
+        (PropertyKind::Reachability, 4, 101),
+        (PropertyKind::Waypoint, 3, 7),
+        (PropertyKind::ServiceChain { length: 2 }, 3, 13),
+    ] {
+        let problems = churn_problems(kind, steps, seed);
+        for backend in Backend::ALL {
+            let dfs_options = SynthesisOptions::with_backend(backend);
+            let sat_options =
+                SynthesisOptions::with_backend(backend).strategy(SearchStrategy::SatGuided);
+            let mut dfs_engine = UpdateEngine::for_problem(&problems[0], dfs_options);
+            let mut sat_engine = UpdateEngine::for_problem(&problems[0], sat_options);
+            for (step, problem) in problems.iter().enumerate() {
+                let dfs = dfs_engine.solve(problem);
+                let sat = sat_engine.solve(problem);
+                match (&dfs, &sat) {
+                    (Ok(_), Ok(sat_result)) => {
+                        assert_sequence_correct(problem, &sat_result.commands);
+                    }
+                    (
+                        Err(SynthesisError::NoOrderingExists { .. }),
+                        Err(SynthesisError::NoOrderingExists { .. }),
+                    ) => {}
+                    (d, s) => panic!(
+                        "{backend} step {step}: strategies disagree: dfs {d:?}, sat-guided {s:?}"
+                    ),
+                }
+            }
+        }
     }
 }
 

@@ -1,8 +1,11 @@
 //! Integration tests for the infeasibility experiments (Figure 8(h)/(i)):
 //! double-diamond workloads have no switch-granularity ordering update but
-//! are solvable at rule granularity.
+//! are solvable at rule granularity — under *both* search strategies, which
+//! must agree on every verdict.
 
-use netupd_synth::{Granularity, SynthesisError, SynthesisOptions, Synthesizer, UpdateProblem};
+use netupd_synth::{
+    Granularity, SearchStrategy, SynthesisError, SynthesisOptions, Synthesizer, UpdateProblem,
+};
 use netupd_topo::generators;
 use netupd_topo::scenario::{double_diamond_scenario, PropertyKind};
 use rand::rngs::StdRng;
@@ -18,32 +21,72 @@ fn double_diamond_problem(seed: u64) -> UpdateProblem {
 
 #[test]
 fn double_diamonds_are_infeasible_at_switch_granularity() {
-    let mut infeasible = 0;
-    for seed in [17u64, 23, 41] {
-        let problem = double_diamond_problem(seed);
-        match Synthesizer::new(problem).synthesize() {
-            Err(SynthesisError::NoOrderingExists { .. }) => infeasible += 1,
-            Ok(_) => {}
-            Err(other) => panic!("unexpected error: {other}"),
+    for strategy in SearchStrategy::ALL {
+        let mut infeasible = 0;
+        for seed in [17u64, 23, 41] {
+            let problem = double_diamond_problem(seed);
+            let result = Synthesizer::new(problem)
+                .with_options(SynthesisOptions::default().strategy(strategy))
+                .synthesize();
+            match result {
+                Err(SynthesisError::NoOrderingExists { .. }) => infeasible += 1,
+                Ok(_) => {}
+                Err(other) => panic!("{strategy}: unexpected error: {other}"),
+            }
         }
+        assert!(
+            infeasible >= 2,
+            "{strategy}: expected most double-diamond instances to be switch-infeasible, got {infeasible}/3"
+        );
     }
-    assert!(
-        infeasible >= 2,
-        "expected most double-diamond instances to be switch-infeasible, got {infeasible}/3"
-    );
 }
 
 #[test]
 fn double_diamonds_are_solvable_at_rule_granularity() {
-    for seed in [17u64, 23] {
-        let problem = double_diamond_problem(seed);
-        let result = Synthesizer::new(problem.clone())
-            .with_options(SynthesisOptions::default().granularity(Granularity::Rule))
-            .synthesize();
-        // Rule granularity decouples the two flows' rules, so these instances
-        // become solvable.
-        let result = result.unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-        assert!(result.commands.num_updates() > problem.switches_to_update().len());
+    for strategy in SearchStrategy::ALL {
+        for seed in [17u64, 23] {
+            let problem = double_diamond_problem(seed);
+            let result = Synthesizer::new(problem.clone())
+                .with_options(
+                    SynthesisOptions::default()
+                        .strategy(strategy)
+                        .granularity(Granularity::Rule),
+                )
+                .synthesize();
+            // Rule granularity decouples the two flows' rules, so these
+            // instances become solvable.
+            let result = result.unwrap_or_else(|e| panic!("{strategy} seed {seed}: {e}"));
+            assert!(result.commands.num_updates() > problem.switches_to_update().len());
+        }
+    }
+}
+
+/// The two strategies must return the same verdict on every instance —
+/// including the seeds where the double diamond happens to be solvable.
+#[test]
+fn strategies_agree_on_every_infeasibility_verdict() {
+    for seed in [17u64, 23, 41, 59] {
+        for granularity in [Granularity::Switch, Granularity::Rule] {
+            let problem = double_diamond_problem(seed);
+            let dfs = Synthesizer::new(problem.clone())
+                .with_options(SynthesisOptions::default().granularity(granularity))
+                .synthesize();
+            let sat = Synthesizer::new(problem)
+                .with_options(
+                    SynthesisOptions::default()
+                        .strategy(SearchStrategy::SatGuided)
+                        .granularity(granularity),
+                )
+                .synthesize();
+            match (&dfs, &sat) {
+                (Ok(_), Ok(_)) => {}
+                (
+                    Err(SynthesisError::NoOrderingExists { .. }),
+                    Err(SynthesisError::NoOrderingExists { .. }),
+                ) => {}
+                other => panic!("seed {seed} {granularity:?}: verdicts diverged: {other:?}"),
+            }
+        }
     }
 }
 

@@ -70,6 +70,12 @@ fn assert_schedule_counters_match(s: &UpdateSequence, p: &UpdateSequence) {
         p.stats.counterexamples_learnt
     );
     assert_eq!(s.stats.sat_constraints, p.stats.sat_constraints);
+    // The SAT-effort counters are deterministic too: both modes feed the
+    // ordering solver the identical clause stream.
+    assert_eq!(s.stats.sat_conflicts, p.stats.sat_conflicts);
+    assert_eq!(s.stats.sat_clauses, p.stats.sat_clauses);
+    assert_eq!(s.stats.sat_learnt, p.stats.sat_learnt);
+    assert_eq!(s.stats.cegis_iterations, p.stats.cegis_iterations);
     assert_eq!(s.stats.waits_before_removal, p.stats.waits_before_removal);
     assert_eq!(s.stats.waits_after_removal, p.stats.waits_after_removal);
     assert_eq!(
