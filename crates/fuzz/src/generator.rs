@@ -1,0 +1,422 @@
+//! Seeded random generation of fuzz cases.
+//!
+//! A *case* is a short stream of update requests over one topology — a
+//! single scenario or a churn stream — drawn from the repository's scenario
+//! generators, optionally enriched with an extra specification conjunct from
+//! the richer grammar ([`netupd_ltl::builders::until_chain`], fairness-shaped
+//! `G F`, response properties, drop-freedom, avoidance). Everything is
+//! derived from a per-case seed, so a `(master seed, index)` pair reproduces
+//! a case exactly on any machine.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use netupd_ltl::{builders, Ltl, Prop};
+use netupd_model::Field;
+use netupd_synth::{Granularity, UpdateProblem};
+use netupd_topo::scenario::{
+    churn_scenarios, diamond_scenario, double_diamond_scenario, failure_churn_scenarios,
+    multi_diamond_scenario, partially_applied_scenario, steps_are_chained, PropertyKind,
+    UpdateScenario,
+};
+use netupd_topo::{generators, NetworkGraph};
+
+/// One generated fuzz case: a request stream plus its provenance.
+#[derive(Debug, Clone)]
+pub struct FuzzCase {
+    /// Position of the case in the run.
+    pub index: usize,
+    /// The per-case seed every random choice was derived from.
+    pub seed: u64,
+    /// Human-readable summary of the drawn shape, for reports.
+    pub descriptor: String,
+    /// The update requests, in stream order (length 1 for one-shot shapes).
+    pub problems: Vec<UpdateProblem>,
+    /// The granularity every matrix cell runs the case at.
+    pub granularity: Granularity,
+}
+
+/// `splitmix64`: the standard seed-expansion mix, used to derive independent
+/// per-case seeds from `(master, index)` without any shared-stream coupling.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Derives the per-case seed for `index` under `master_seed`.
+pub fn case_seed(master_seed: u64, index: usize) -> u64 {
+    splitmix64(master_seed ^ splitmix64(index as u64))
+}
+
+/// Draws an index from cumulative weights.
+fn weighted(rng: &mut StdRng, weights: &[u32]) -> usize {
+    let total: u32 = weights.iter().sum();
+    let mut draw = rng.gen_range(0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if draw < *w {
+            return i;
+        }
+        draw -= *w;
+    }
+    weights.len() - 1
+}
+
+/// Topology families the generator draws from — small enough that the full
+/// behavior matrix stays fast in debug builds.
+fn draw_graph(rng: &mut StdRng) -> (String, NetworkGraph) {
+    match weighted(rng, &[3, 3, 2, 1]) {
+        0 => ("figure1".to_string(), generators::figure1().0),
+        1 => {
+            let n = rng.gen_range(8..=14);
+            let graph = generators::small_world(n, 4, 0.1, rng);
+            (format!("small_world(n={n})"), graph)
+        }
+        2 => {
+            let n = rng.gen_range(8..=12);
+            let graph = generators::waxman(n, 0.4, 0.15, rng);
+            (format!("waxman(n={n})"), graph)
+        }
+        _ => ("fat_tree(4)".to_string(), generators::fat_tree(4)),
+    }
+}
+
+fn draw_kind(rng: &mut StdRng) -> PropertyKind {
+    match weighted(rng, &[4, 3, 2]) {
+        0 => PropertyKind::Reachability,
+        1 => PropertyKind::Waypoint,
+        _ => PropertyKind::ServiceChain { length: 2 },
+    }
+}
+
+/// An extra specification conjunct from the enriched grammar, layered on top
+/// of a scenario's own property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Enrichment {
+    /// The scenario spec alone.
+    None,
+    /// `G ¬dropped` (single-flow shapes only: with several classes sharing a
+    /// Kripke structure, cross-class traces drop at ingress by construction).
+    NoDrops,
+    /// Guarded `G F at(dst)` — the recurrence form of delivery.
+    Fairness,
+    /// `G ((class ∧ src) ⇒ F at(dst))` — a response property.
+    Response,
+    /// Guarded nested until: `¬at(dst) U ((¬at(dst) ∧ ¬dropped) U at(dst))`.
+    UntilChain,
+    /// `G ¬sw` for a switch drawn either off both paths (satisfiable) or on
+    /// the initial path (the initial configuration then violates the spec —
+    /// every cell must agree on that verdict).
+    Avoid,
+}
+
+impl Enrichment {
+    fn name(self) -> &'static str {
+        match self {
+            Enrichment::None => "none",
+            Enrichment::NoDrops => "no-drops",
+            Enrichment::Fairness => "fairness",
+            Enrichment::Response => "response",
+            Enrichment::UntilChain => "until-chain",
+            Enrichment::Avoid => "avoid",
+        }
+    }
+}
+
+/// Draws an enrichment applicable to single-flow shapes.
+fn draw_enrichment(rng: &mut StdRng) -> Enrichment {
+    match weighted(rng, &[4, 2, 2, 2, 2, 1]) {
+        0 => Enrichment::None,
+        1 => Enrichment::NoDrops,
+        2 => Enrichment::Fairness,
+        3 => Enrichment::Response,
+        4 => Enrichment::UntilChain,
+        _ => Enrichment::Avoid,
+    }
+}
+
+/// Builds the enrichment conjunct for the (single) flow of `scenario`.
+/// Returns `None` when the enrichment does not apply (e.g. no candidate
+/// switch for `Avoid`).
+fn enrichment_formula(
+    enrichment: Enrichment,
+    scenario: &UpdateScenario,
+    rng: &mut StdRng,
+) -> Option<Ltl> {
+    let pair = scenario.pairs.first()?;
+    let src_sw = *pair.initial_path.first()?;
+    let dst = Prop::AtHost(pair.dst_host);
+    let class_prop = Prop::FieldIs(Field::Dst, u64::from(pair.dst_host.0));
+    let guard = Ltl::and(Ltl::prop(class_prop), Ltl::prop(Prop::Switch(src_sw)));
+    match enrichment {
+        Enrichment::None => None,
+        Enrichment::NoDrops => Some(builders::no_drops()),
+        Enrichment::Fairness => Some(Ltl::implies(guard, builders::infinitely_often(dst))),
+        Enrichment::Response => Some(Ltl::globally(Ltl::implies(
+            Ltl::and(Ltl::prop(class_prop), Ltl::prop(Prop::Switch(src_sw))),
+            Ltl::eventually(Ltl::prop(dst)),
+        ))),
+        Enrichment::UntilChain => {
+            let chain = builders::until_chain(
+                &[
+                    Ltl::not_prop(dst),
+                    Ltl::and(Ltl::not_prop(dst), Ltl::not_prop(Prop::Dropped)),
+                ],
+                Ltl::prop(dst),
+            );
+            Some(Ltl::implies(guard, chain))
+        }
+        Enrichment::Avoid => {
+            let on_paths = |sw| pair.initial_path.contains(&sw) || pair.final_path.contains(&sw);
+            if rng.gen_bool(0.5) {
+                // A switch on neither path: satisfiable, exercises the
+                // checker without constraining the order.
+                let free: Vec<_> = scenario
+                    .topology()
+                    .switches()
+                    .iter()
+                    .copied()
+                    .filter(|sw| !on_paths(*sw))
+                    .collect();
+                if free.is_empty() {
+                    return None;
+                }
+                let sw = free[rng.gen_range(0..free.len())];
+                Some(builders::always_avoids(Prop::Switch(sw)))
+            } else {
+                // An interior switch of the initial path that the final path
+                // abandons: the initial configuration itself violates the
+                // spec, so every cell must report that verdict.
+                let abandoned: Vec<_> = pair.initial_path
+                    [1..pair.initial_path.len().saturating_sub(1)]
+                    .iter()
+                    .copied()
+                    .filter(|sw| !pair.final_path.contains(sw))
+                    .collect();
+                if abandoned.is_empty() {
+                    return None;
+                }
+                let sw = abandoned[rng.gen_range(0..abandoned.len())];
+                Some(builders::always_avoids(Prop::Switch(sw)))
+            }
+        }
+    }
+}
+
+/// The case shapes, mirroring the scenario generators plus the two
+/// failure-injection forms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Shape {
+    Diamond,
+    MultiDiamond,
+    DoubleDiamond,
+    Churn,
+    FailureChurn,
+    PartiallyApplied,
+}
+
+fn draw_shape(rng: &mut StdRng) -> Shape {
+    match weighted(rng, &[3, 2, 2, 3, 3, 2]) {
+        0 => Shape::Diamond,
+        1 => Shape::MultiDiamond,
+        2 => Shape::DoubleDiamond,
+        3 => Shape::Churn,
+        4 => Shape::FailureChurn,
+        _ => Shape::PartiallyApplied,
+    }
+}
+
+/// Tries one draw; `None` means the drawn combination did not admit a
+/// scenario on the drawn graph (the caller retries with the same rng).
+fn try_generate(rng: &mut StdRng) -> Option<(String, Vec<UpdateScenario>, Granularity)> {
+    let (graph_name, graph) = draw_graph(rng);
+    let kind = draw_kind(rng);
+    let shape = draw_shape(rng);
+    let granularity = if matches!(weighted(rng, &[3, 1]), 1) {
+        Granularity::Rule
+    } else {
+        Granularity::Switch
+    };
+    let (shape_name, mut scenarios): (String, Vec<UpdateScenario>) = match shape {
+        Shape::Diamond => (
+            "diamond".to_string(),
+            vec![diamond_scenario(&graph, kind, rng)?],
+        ),
+        Shape::MultiDiamond => (
+            "multi-diamond[2]".to_string(),
+            vec![multi_diamond_scenario(&graph, kind, 2, rng)?],
+        ),
+        Shape::DoubleDiamond => (
+            "double-diamond".to_string(),
+            vec![double_diamond_scenario(&graph, kind, rng)?],
+        ),
+        Shape::Churn => {
+            let steps = rng.gen_range(2..=3);
+            let stream = churn_scenarios(&graph, kind, steps, rng)?;
+            (format!("churn[{steps}]"), stream)
+        }
+        Shape::FailureChurn => {
+            let steps = rng.gen_range(2..=3);
+            let stream = failure_churn_scenarios(&graph, kind, steps, rng)?;
+            let events: Vec<&str> = stream.iter().map(|(e, _)| e.name()).collect();
+            (
+                format!("failure-churn[{}]", events.join(",")),
+                stream.into_iter().map(|(_, s)| s).collect(),
+            )
+        }
+        Shape::PartiallyApplied => {
+            let base = diamond_scenario(&graph, kind, rng)?;
+            let partial = partially_applied_scenario(&base, rng)?;
+            ("partially-applied".to_string(), vec![base, partial])
+        }
+    };
+    debug_assert!(
+        shape != Shape::Churn && shape != Shape::FailureChurn || steps_are_chained(&scenarios),
+        "churn-style streams must chain"
+    );
+
+    // Enrichments only apply to single-flow shapes (the guard references the
+    // one flow; `no_drops` is unsound across classes).
+    let enrichment = if scenarios.iter().all(|s| s.pairs.len() == 1) {
+        draw_enrichment(rng)
+    } else {
+        Enrichment::None
+    };
+    let mut enrichment_name = Enrichment::None.name();
+    if enrichment != Enrichment::None {
+        // The conjunct is derived from the first scenario and — like the base
+        // churn spec — stays fixed across the stream.
+        if let Some(extra) = enrichment_formula(enrichment, &scenarios[0], rng) {
+            enrichment_name = enrichment.name();
+            for scenario in &mut scenarios {
+                scenario.spec = Ltl::and(scenario.spec.clone(), extra.clone());
+            }
+        }
+    }
+
+    let descriptor = format!(
+        "topo={graph_name} kind={} shape={shape_name} gran={} enrich={enrichment_name}",
+        kind.name(),
+        match granularity {
+            Granularity::Switch => "switch",
+            Granularity::Rule => "rule",
+        },
+    );
+    Some((descriptor, scenarios, granularity))
+}
+
+/// Generates case `index` of a run with `master_seed`.
+///
+/// Unproductive draws (a graph that does not admit the drawn shape) are
+/// retried deterministically; after a bounded number of retries the generator
+/// falls back to a diamond on Figure 1, which always succeeds.
+pub fn generate_case(master_seed: u64, index: usize) -> FuzzCase {
+    let seed = case_seed(master_seed, index);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut drawn = None;
+    for _ in 0..32 {
+        if let Some(result) = try_generate(&mut rng) {
+            drawn = Some(result);
+            break;
+        }
+    }
+    let (descriptor, scenarios, granularity) = drawn.unwrap_or_else(|| {
+        let graph = generators::figure1().0;
+        let scenario = diamond_scenario(&graph, PropertyKind::Reachability, &mut rng)
+            .expect("figure 1 always admits a reachability diamond");
+        (
+            "topo=figure1 kind=reachability shape=diamond(fallback) gran=switch enrich=none"
+                .to_string(),
+            vec![scenario],
+            Granularity::Switch,
+        )
+    });
+
+    // One lifted topology shared by the whole stream, so the engine-reuse
+    // axis actually reuses its synthesis state.
+    let topology = Arc::new(scenarios[0].topology().clone());
+    let problems = scenarios
+        .iter()
+        .map(|s| UpdateProblem::from_scenario_shared(s, Arc::clone(&topology)))
+        .collect();
+    FuzzCase {
+        index,
+        seed,
+        descriptor: format!("seed={seed:#018x} {descriptor}"),
+        problems,
+        granularity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_seeds_are_independent_and_deterministic() {
+        assert_eq!(case_seed(1, 0), case_seed(1, 0));
+        assert_ne!(case_seed(1, 0), case_seed(1, 1));
+        assert_ne!(case_seed(1, 0), case_seed(2, 0));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for index in 0..8 {
+            let a = generate_case(0xfeed, index);
+            let b = generate_case(0xfeed, index);
+            assert_eq!(a.descriptor, b.descriptor);
+            assert_eq!(a.problems.len(), b.problems.len());
+            for (pa, pb) in a.problems.iter().zip(&b.problems) {
+                assert_eq!(pa.initial, pb.initial);
+                assert_eq!(pa.final_config, pb.final_config);
+                assert_eq!(pa.spec, pb.spec);
+            }
+        }
+    }
+
+    #[test]
+    fn streams_share_one_topology_arc() {
+        for index in 0..16 {
+            let case = generate_case(7, index);
+            assert!(!case.problems.is_empty());
+            for problem in &case.problems[1..] {
+                assert!(Arc::ptr_eq(&case.problems[0].topology, &problem.topology));
+            }
+        }
+    }
+
+    #[test]
+    fn shapes_and_enrichments_are_covered() {
+        let mut shapes = std::collections::BTreeSet::new();
+        let mut enrichments = std::collections::BTreeSet::new();
+        for index in 0..64 {
+            let case = generate_case(0xc0ffee, index);
+            let shape = case
+                .descriptor
+                .split(" shape=")
+                .nth(1)
+                .and_then(|s| s.split_whitespace().next())
+                .unwrap()
+                .split('[')
+                .next()
+                .unwrap()
+                .to_string();
+            shapes.insert(shape);
+            let enrich = case
+                .descriptor
+                .split(" enrich=")
+                .nth(1)
+                .unwrap()
+                .to_string();
+            enrichments.insert(enrich);
+        }
+        assert!(shapes.len() >= 4, "shape diversity too low: {shapes:?}");
+        assert!(
+            enrichments.len() >= 3,
+            "enrichment diversity too low: {enrichments:?}"
+        );
+    }
+}

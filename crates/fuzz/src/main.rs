@@ -1,0 +1,79 @@
+//! Command-line front end for the differential fuzzer.
+//!
+//! ```text
+//! cargo run -p netupd-fuzz -- --seed 0x5eedcafe --cases 200
+//! ```
+//!
+//! Exits non-zero when any discrepancy is found, printing a minimized
+//! self-contained reproducer for each.
+
+use std::process::ExitCode;
+
+use netupd_fuzz::{budget_from_env, run, FuzzOptions};
+
+fn parse_u64(value: &str) -> Option<u64> {
+    if let Some(hex) = value.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        value.parse().ok()
+    }
+}
+
+fn main() -> ExitCode {
+    let mut options = FuzzOptions {
+        cases: budget_from_env(FuzzOptions::default().cases),
+        ..FuzzOptions::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => match args.next().as_deref().and_then(parse_u64) {
+                Some(seed) => options.seed = seed,
+                None => return usage("--seed needs a decimal or 0x-hex value"),
+            },
+            "--cases" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(cases) => options.cases = cases,
+                None => return usage("--cases needs a number"),
+            },
+            "--no-minimize" => options.minimize = false,
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let report = run(&options);
+    println!("{}", report.summary());
+    if report.discrepancies.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for discrepancy in &report.discrepancies {
+            eprintln!();
+            eprintln!("{}", discrepancy.reproducer);
+            eprintln!(
+                "re-run just this case with: cargo run -p netupd-fuzz -- --seed {:#x} --cases {} \
+                 # case index {}",
+                report.seed,
+                discrepancy.case_index + 1,
+                discrepancy.case_index
+            );
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("error: {error}");
+    }
+    eprintln!(
+        "usage: netupd-fuzz [--seed N|0xN] [--cases N] [--no-minimize]\n\
+         \n\
+         Seeded differential fuzzing of the update synthesizer across the full\n\
+         behavior matrix. NETUPD_FUZZ_BUDGET overrides the default case count."
+    );
+    if error.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

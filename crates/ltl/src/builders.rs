@@ -87,6 +87,39 @@ pub fn all_of<I: IntoIterator<Item = Ltl>>(properties: I) -> Ltl {
     Ltl::and_all(properties)
 }
 
+/// Fairness-shaped recurrence: `p` holds infinitely often — `G F p`.
+///
+/// On the finite traces of this model the final observation stutters forever
+/// (see [`crate::semantics`]), so `G F p` demands that from every position
+/// some later position satisfies `p`; equivalently, the *stuttered tail* must
+/// satisfy `p`. It is the natural "ends and stays at" property: a delivering
+/// trace satisfies `G F at(h)` because its final label is `at(h)`.
+pub fn infinitely_often(p: Prop) -> Ltl {
+    Ltl::globally(Ltl::eventually(Ltl::prop(p)))
+}
+
+/// Response / request-grant: every `trigger` is eventually followed by a
+/// `reaction` — `G (trigger ⇒ F reaction)`.
+pub fn response(trigger: Prop, reaction: Prop) -> Ltl {
+    Ltl::globally(Ltl::implies(
+        Ltl::prop(trigger),
+        Ltl::eventually(Ltl::prop(reaction)),
+    ))
+}
+
+/// Nested until chain: `stages[0] U (stages[1] U (... U goal))`.
+///
+/// Each stage must hold continuously until the next takes over, and the chain
+/// must bottom out in `goal`. With propositional stages this generalizes the
+/// waypoint/service-chain shape to arbitrary stage formulas; with an empty
+/// `stages` it is just `goal`.
+pub fn until_chain(stages: &[Ltl], goal: Ltl) -> Ltl {
+    stages
+        .iter()
+        .rev()
+        .fold(goal, |acc, stage| Ltl::until(stage.clone(), acc))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +210,65 @@ mod tests {
         ]);
         assert!(satisfies(&trace_through(&[1, 2, 3]), &phi));
         assert!(!satisfies(&trace_through(&[1, 9, 3]), &phi));
+    }
+
+    #[test]
+    fn infinitely_often_builder_checks_the_stuttered_tail() {
+        // A trace ending at host 0 stutters on its final label forever, so
+        // `G F at(h0)` holds exactly when the trace ends at h0.
+        let phi = infinitely_often(Prop::AtHost(HostId(0)));
+        assert!(satisfies(&trace_through(&[1, 2, 3]), &phi));
+        let dropped = Trace::new(
+            vec![netupd_model::Observation::new(
+                SwitchId(1),
+                PortId(1),
+                Packet::new(),
+            )],
+            TraceEnd::Dropped,
+        );
+        assert!(!satisfies(&dropped, &phi));
+        // A recurring *switch* can never hold infinitely often on a
+        // delivering trace: the stuttered tail is the egress label.
+        assert!(!satisfies(
+            &trace_through(&[1, 2, 3]),
+            &infinitely_often(Prop::switch(2))
+        ));
+    }
+
+    #[test]
+    fn response_builder() {
+        let phi = response(Prop::switch(2), Prop::switch(4));
+        // Every visit to s2 is followed by s4.
+        assert!(satisfies(&trace_through(&[1, 2, 4, 5]), &phi));
+        assert!(satisfies(&trace_through(&[2, 3, 2, 4]), &phi));
+        // A trigger with no later reaction violates it.
+        assert!(!satisfies(&trace_through(&[1, 4, 2, 5]), &phi));
+        // No trigger at all: vacuously true.
+        assert!(satisfies(&trace_through(&[1, 3, 5]), &phi));
+    }
+
+    #[test]
+    fn until_chain_builder_orders_stages() {
+        // s1-zone until s2-zone until arrival at s3. The goal is a bare
+        // proposition: with an `F`-goal the chain would collapse, because
+        // `F s3` already holds at position 0 of any trace that visits s3.
+        let phi = until_chain(
+            &[Ltl::prop(Prop::switch(1)), Ltl::prop(Prop::switch(2))],
+            Ltl::prop(Prop::switch(3)),
+        );
+        assert!(satisfies(&trace_through(&[1, 1, 2, 3]), &phi));
+        assert!(satisfies(&trace_through(&[1, 2, 2, 3]), &phi));
+        // An until may release immediately, so stage 2 can be skipped ...
+        assert!(satisfies(&trace_through(&[1, 3]), &phi));
+        // ... but a switch outside the chain breaks it.
+        assert!(!satisfies(&trace_through(&[1, 4, 2, 3]), &phi));
+        assert!(!satisfies(&trace_through(&[1, 2, 4, 3]), &phi));
+    }
+
+    #[test]
+    fn empty_until_chain_is_goal() {
+        let goal = reachability(Prop::switch(3));
+        assert_eq!(until_chain(&[], goal.clone()), goal);
     }
 
     #[test]

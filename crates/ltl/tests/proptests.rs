@@ -4,12 +4,28 @@
 use proptest::prelude::*;
 
 use netupd_ltl::semantics::satisfies_labels;
-use netupd_ltl::{Closure, Ltl, Prop};
+use netupd_ltl::{builders, Closure, Ltl, Prop};
+use netupd_model::Field;
 use std::collections::BTreeSet;
 
 /// A small pool of atomic propositions.
 fn arb_prop() -> impl Strategy<Value = Prop> {
     (0u32..4).prop_map(Prop::switch)
+}
+
+/// Atoms covering every parser production: switches, ports, hosts, header
+/// fields, and the dropped sink.
+fn arb_rich_prop() -> impl Strategy<Value = Prop> {
+    prop_oneof![
+        (0u32..6).prop_map(Prop::switch),
+        (0u32..4).prop_map(Prop::port),
+        (0u32..4).prop_map(Prop::at_host),
+        Just(Prop::Dropped),
+        (0u64..10).prop_map(|v| Prop::FieldIs(Field::Src, v)),
+        (0u64..10).prop_map(|v| Prop::FieldIs(Field::Dst, v)),
+        (0u64..10).prop_map(|v| Prop::FieldIs(Field::Typ, v)),
+        (0u64..10).prop_map(|v| Prop::FieldIs(Field::Tag, v)),
+    ]
 }
 
 /// Random NNF formulas of bounded depth.
@@ -30,6 +46,28 @@ fn arb_formula() -> impl Strategy<Value = Ltl> {
             inner.clone().prop_map(Ltl::eventually),
             inner.prop_map(Ltl::globally),
         ]
+    })
+}
+
+/// Spec-shaped formulas from the enriched builder grammar: nested until
+/// chains, fairness-shaped recurrence, and response properties over the full
+/// atom pool. Filtered to structurally interesting sizes so the corpus does
+/// not collapse onto bare atoms.
+fn arb_builder_formula() -> impl Strategy<Value = Ltl> {
+    let stages = proptest::collection::vec(arb_rich_prop().prop_map(Ltl::prop), 1..4);
+    prop_oneof![
+        (stages, arb_formula()).prop_map(|(stages, goal)| builders::until_chain(&stages, goal)),
+        arb_rich_prop().prop_map(builders::infinitely_often),
+        (arb_rich_prop(), arb_rich_prop()).prop_map(|(t, r)| builders::response(t, r)),
+        (arb_rich_prop(), arb_rich_prop()).prop_map(|(w, d)| builders::waypoint(w, d)),
+        (
+            proptest::collection::vec(arb_rich_prop(), 1..3),
+            arb_rich_prop()
+        )
+            .prop_map(|(ways, dst)| builders::service_chain(&ways, dst)),
+    ]
+    .prop_filter("builder formula should not collapse to an atom", |phi| {
+        phi.size() > 1
     })
 }
 
@@ -129,5 +167,24 @@ proptest! {
         let reparsed = netupd_ltl::parser::parse(&printed)
             .unwrap_or_else(|e| panic!("failed to reparse `{printed}`: {e}"));
         prop_assert_eq!(reparsed, phi);
+    }
+
+    /// The parser also round-trips the enriched builder grammar — nested
+    /// until chains, `G F` recurrence, and response properties — over the
+    /// full atom pool (ports, hosts, header fields, `dropped`).
+    #[test]
+    fn parser_roundtrips_builder_grammar(phi in arb_builder_formula()) {
+        let printed = phi.to_string();
+        let reparsed = netupd_ltl::parser::parse(&printed)
+            .unwrap_or_else(|e| panic!("failed to reparse `{printed}`: {e}"));
+        prop_assert_eq!(reparsed, phi);
+    }
+
+    /// Negation stays complementary on the enriched grammar as well.
+    #[test]
+    fn builder_grammar_negation_is_complementary(phi in arb_builder_formula(), trace in arb_trace()) {
+        let pos = satisfies_labels(&trace, &phi);
+        let neg = satisfies_labels(&trace, &phi.negated());
+        prop_assert_ne!(pos, neg);
     }
 }

@@ -165,20 +165,15 @@ fn choose_waypoints(initial_path: &[SwitchId], count: usize) -> Vec<SwitchId> {
     waypoints
 }
 
-/// Builds a final path from `src` to `dst` that visits `waypoints` in order
-/// while avoiding the remaining interior switches of the initial path.
-fn final_path_through(
+/// Builds a simple path from `src` to `dst` that visits `waypoints` in order
+/// while avoiding every switch in `forbidden`.
+fn path_via_waypoints(
     graph: &NetworkGraph,
     src: SwitchId,
     dst: SwitchId,
-    initial_path: &[SwitchId],
     waypoints: &[SwitchId],
+    forbidden: &BTreeSet<SwitchId>,
 ) -> Option<Vec<SwitchId>> {
-    let forbidden: BTreeSet<SwitchId> = initial_path
-        .iter()
-        .copied()
-        .filter(|sw| *sw != src && *sw != dst && !waypoints.contains(sw))
-        .collect();
     let mut path: Vec<SwitchId> = vec![src];
     let mut used: BTreeSet<SwitchId> = BTreeSet::from([src]);
     let mut current = src;
@@ -195,7 +190,29 @@ fn final_path_through(
         }
         current = target;
     }
-    if path.len() < 2 || path == initial_path {
+    if path.len() < 2 {
+        None
+    } else {
+        Some(path)
+    }
+}
+
+/// Builds a final path from `src` to `dst` that visits `waypoints` in order
+/// while avoiding the remaining interior switches of the initial path.
+fn final_path_through(
+    graph: &NetworkGraph,
+    src: SwitchId,
+    dst: SwitchId,
+    initial_path: &[SwitchId],
+    waypoints: &[SwitchId],
+) -> Option<Vec<SwitchId>> {
+    let forbidden: BTreeSet<SwitchId> = initial_path
+        .iter()
+        .copied()
+        .filter(|sw| *sw != src && *sw != dst && !waypoints.contains(sw))
+        .collect();
+    let path = path_via_waypoints(graph, src, dst, waypoints, &forbidden)?;
+    if path == initial_path {
         None
     } else {
         Some(path)
@@ -437,9 +454,27 @@ pub fn churn_scenarios<R: Rng>(
     out.push(diamond_scenario(graph, kind, rng)?);
     while out.len() < steps {
         let next = churn_step(graph, out.last().expect("non-empty"), rng)?;
+        debug_assert_chained(out.last().expect("non-empty"), &next);
         out.push(next);
     }
     Some(out)
+}
+
+/// True iff each step of `steps` starts exactly at the previous step's final
+/// configuration — the invariant every churn-style stream must maintain so a
+/// long-lived engine can serve it as one rolling reconfiguration.
+pub fn steps_are_chained(steps: &[UpdateScenario]) -> bool {
+    steps.windows(2).all(|w| w[0].final_config == w[1].initial)
+}
+
+/// Debug-asserts the churn chaining invariant for one step transition, so a
+/// buggy generator fails loudly in test builds instead of silently producing
+/// an unserveable stream.
+fn debug_assert_chained(prev: &UpdateScenario, next: &UpdateScenario) {
+    debug_assert_eq!(
+        prev.final_config, next.initial,
+        "churn step must start exactly at the previous step's final configuration"
+    );
 }
 
 /// Builds the next step of a churn stream: re-routes the (single) flow of
@@ -495,6 +530,175 @@ fn churn_step<R: Rng>(
         pairs: vec![next_pair],
         initial,
         final_config,
+        spec: prev.spec.clone(),
+        kind: prev.kind,
+    })
+}
+
+/// The perturbation a failure-injected churn step applies to the flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// Ordinary re-route to a fresh path (as in [`churn_scenarios`]).
+    Reroute,
+    /// This switch on the current path failed; the flow routes around it.
+    LinkFailure(SwitchId),
+    /// The flow rolls back to the path it used before the previous step.
+    Rollback,
+}
+
+impl ChurnEvent {
+    /// A short name used in fuzz-case descriptors.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChurnEvent::Reroute => "reroute",
+            ChurnEvent::LinkFailure(_) => "link-failure",
+            ChurnEvent::Rollback => "rollback",
+        }
+    }
+}
+
+/// Generates a seeded *failure-injected* churn stream: like
+/// [`churn_scenarios`], but each step after the first draws uniformly from
+/// the viable subset of three perturbations — an ordinary re-route, a
+/// mid-stream **link failure** (an interior, non-waypoint switch of the
+/// current path fails and the replacement path routes around it; the failed
+/// switch is drained to an empty table), or an explicit **rollback** to the
+/// path the flow used before the previous step.
+///
+/// The topology object itself never changes — engines pin their problem to
+/// it — so a failure is modeled as the routing reaction it forces: the new
+/// final configuration avoids the failed switch entirely. Each element pairs
+/// the step with the [`ChurnEvent`] that produced it (step 0, the initial
+/// diamond, is labeled [`ChurnEvent::Reroute`]). The stream maintains the
+/// chaining invariant of [`churn_scenarios`] and is fully determined by
+/// `rng`.
+pub fn failure_churn_scenarios<R: Rng>(
+    graph: &NetworkGraph,
+    kind: PropertyKind,
+    steps: usize,
+    rng: &mut R,
+) -> Option<Vec<(ChurnEvent, UpdateScenario)>> {
+    if steps == 0 {
+        return Some(Vec::new());
+    }
+    let mut out = Vec::with_capacity(steps);
+    out.push((ChurnEvent::Reroute, diamond_scenario(graph, kind, rng)?));
+    while out.len() < steps {
+        let prev = &out.last().expect("non-empty").1;
+        let (event, next) = failure_churn_step(graph, prev, rng)?;
+        debug_assert_chained(prev, &next);
+        out.push((event, next));
+    }
+    Some(out)
+}
+
+/// Builds the next step of a failure-injected churn stream.
+fn failure_churn_step<R: Rng>(
+    graph: &NetworkGraph,
+    prev: &UpdateScenario,
+    rng: &mut R,
+) -> Option<(ChurnEvent, UpdateScenario)> {
+    let pair = prev.pairs.first()?;
+    let current = &pair.final_path;
+    let src = *current.first()?;
+    let dst = *current.last()?;
+
+    // Candidate perturbations, in a fixed order so the rng draw below is the
+    // only source of variation. Rollback is always viable (the previous path
+    // differs from the current one by construction).
+    let mut candidates: Vec<(ChurnEvent, Vec<SwitchId>)> =
+        vec![(ChurnEvent::Rollback, pair.initial_path.clone())];
+    if let Some(fresh) = final_path_through(graph, src, dst, current, &pair.waypoints) {
+        candidates.push((ChurnEvent::Reroute, fresh));
+    }
+    // A link failure picks an interior, non-waypoint switch of the current
+    // path; the replacement path must avoid it (and only it — revisiting the
+    // rest of the current path is allowed, as a real reroute would).
+    let failable: Vec<SwitchId> = current[1..current.len() - 1]
+        .iter()
+        .copied()
+        .filter(|sw| !pair.waypoints.contains(sw))
+        .collect();
+    if !failable.is_empty() {
+        let failed = failable[rng.gen_range(0..failable.len())];
+        let forbidden = BTreeSet::from([failed]);
+        if let Some(detour) = path_via_waypoints(graph, src, dst, &pair.waypoints, &forbidden) {
+            if detour != *current {
+                candidates.push((ChurnEvent::LinkFailure(failed), detour));
+            }
+        }
+    }
+    let (event, new_path) = candidates.swap_remove(rng.gen_range(0..candidates.len()));
+    if new_path == *current {
+        return None;
+    }
+
+    // Identical step construction to `churn_step`: start exactly where the
+    // previous step ended, drain abandoned switches to empty tables.
+    let initial = prev.final_config.clone();
+    let mut final_config = graph.compile_path(&new_path, pair.dst_host, &pair.class, Priority(10));
+    for sw in initial.switches().collect::<Vec<_>>() {
+        if final_config.table_ref(sw).is_none() {
+            final_config.set_table(sw, netupd_model::Table::empty());
+        }
+    }
+    let next_pair = FlowPair {
+        src_host: pair.src_host,
+        dst_host: pair.dst_host,
+        class: pair.class.clone(),
+        initial_path: current.clone(),
+        final_path: new_path,
+        waypoints: pair.waypoints.clone(),
+        spec: pair.spec.clone(),
+    };
+    let next = UpdateScenario {
+        graph: graph.clone(),
+        pairs: vec![next_pair],
+        initial,
+        final_config,
+        spec: prev.spec.clone(),
+        kind: prev.kind,
+    };
+    Some((event, next))
+}
+
+/// Derives a request whose initial configuration is a **partially applied**
+/// version of `prev`'s update: a random non-empty strict subset of the
+/// switches `prev` updates already carry their final tables, as if a
+/// controller crashed mid-update and a fresh request now asks to finish the
+/// transition.
+///
+/// The partially applied configuration is *not* guaranteed to satisfy the
+/// spec — a half-applied update is exactly the kind of state the paper's
+/// synthesizer exists to avoid — so callers must accept an
+/// `InitialConfigurationViolates`-style verdict as a valid outcome. Returns
+/// `None` when `prev` updates fewer than two switches (no strict subset
+/// exists).
+pub fn partially_applied_scenario<R: Rng>(
+    prev: &UpdateScenario,
+    rng: &mut R,
+) -> Option<UpdateScenario> {
+    let differing = prev.initial.differing_switches(&prev.final_config);
+    if differing.len() < 2 {
+        return None;
+    }
+    let applied = rng.gen_range(1..differing.len());
+    let mut order: Vec<SwitchId> = differing;
+    // Seeded Fisher–Yates: which switches were "already applied" is part of
+    // the case, so it must be reproducible from the rng alone.
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut initial = prev.initial.clone();
+    for sw in &order[..applied] {
+        initial.set_table(*sw, prev.final_config.table(*sw));
+    }
+    Some(UpdateScenario {
+        graph: prev.graph.clone(),
+        pairs: prev.pairs.clone(),
+        initial,
+        final_config: prev.final_config.clone(),
         spec: prev.spec.clone(),
         kind: prev.kind,
     })
@@ -645,6 +849,110 @@ mod tests {
                 assert!(pair.initial_path.contains(w));
                 assert!(pair.final_path.contains(w));
             }
+        }
+    }
+
+    #[test]
+    fn chained_predicate_detects_broken_streams() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let graph = generators::fat_tree(4);
+        let mut steps =
+            churn_scenarios(&graph, PropertyKind::Reachability, 4, &mut rng).expect("churn");
+        assert!(steps_are_chained(&steps));
+        // Corrupt one link of the chain.
+        steps[2].initial = Configuration::new();
+        assert!(!steps_are_chained(&steps));
+        // Single-element and empty streams are trivially chained.
+        assert!(steps_are_chained(&steps[..1]));
+        assert!(steps_are_chained(&[]));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "churn step must start exactly")]
+    fn chaining_violation_trips_the_debug_assertion() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let graph = generators::fat_tree(4);
+        let steps =
+            churn_scenarios(&graph, PropertyKind::Reachability, 2, &mut rng).expect("churn");
+        let mut broken = steps[1].clone();
+        broken.initial = Configuration::new();
+        debug_assert_chained(&steps[0], &broken);
+    }
+
+    #[test]
+    fn failure_churn_chains_and_covers_all_events() {
+        let graph = generators::fat_tree(4);
+        let mut seen = BTreeSet::new();
+        // Across a few seeds the three perturbations all occur.
+        for seed in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let Some(steps) =
+                failure_churn_scenarios(&graph, PropertyKind::Reachability, 6, &mut rng)
+            else {
+                continue;
+            };
+            assert_eq!(steps.len(), 6);
+            let scenarios: Vec<UpdateScenario> = steps.iter().map(|(_, s)| s.clone()).collect();
+            assert!(steps_are_chained(&scenarios));
+            for (i, (event, step)) in steps.iter().enumerate() {
+                seen.insert(event.name());
+                assert!(step.updating_switches() > 0, "step {i} must update");
+                check_config_delivers(step, &step.initial);
+                check_config_delivers(step, &step.final_config);
+                if let ChurnEvent::LinkFailure(failed) = event {
+                    // The replacement path routes around the failed switch
+                    // and the failed switch is drained.
+                    assert!(!step.pairs[0].final_path.contains(failed));
+                    assert!(step
+                        .final_config
+                        .table_ref(*failed)
+                        .is_some_and(|t| t.is_empty()));
+                }
+            }
+        }
+        assert_eq!(
+            seen,
+            BTreeSet::from(["reroute", "link-failure", "rollback"]),
+            "all three perturbations should occur across seeds"
+        );
+    }
+
+    #[test]
+    fn failure_churn_is_deterministic_per_seed() {
+        let graph = generators::fat_tree(4);
+        let mut rng_a = StdRng::seed_from_u64(3);
+        let mut rng_b = StdRng::seed_from_u64(3);
+        let a = failure_churn_scenarios(&graph, PropertyKind::Waypoint, 5, &mut rng_a).unwrap();
+        let b = failure_churn_scenarios(&graph, PropertyKind::Waypoint, 5, &mut rng_b).unwrap();
+        for ((ea, sa), (eb, sb)) in a.iter().zip(&b) {
+            assert_eq!(ea, eb);
+            assert_eq!(sa.final_config, sb.final_config);
+            assert_eq!(sa.pairs[0].final_path, sb.pairs[0].final_path);
+        }
+    }
+
+    #[test]
+    fn partially_applied_sits_strictly_between_initial_and_final() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let graph = generators::fat_tree(4);
+        let base = diamond_scenario(&graph, PropertyKind::Reachability, &mut rng).expect("diamond");
+        let partial = partially_applied_scenario(&base, &mut rng).expect("enough switches");
+        assert_ne!(partial.initial, base.initial, "some switch must be applied");
+        assert_ne!(
+            partial.initial, partial.final_config,
+            "some switch must remain to update"
+        );
+        assert_eq!(partial.final_config, base.final_config);
+        // Every differing table in the partial initial matches one side of
+        // the original update.
+        for sw in base.initial.differing_switches(&base.final_config) {
+            let table = partial.initial.table(sw);
+            assert!(
+                table.same_rules(&base.initial.table(sw))
+                    || table.same_rules(&base.final_config.table(sw)),
+                "partially applied table for {sw} must come from the update itself"
+            );
         }
     }
 

@@ -6,7 +6,7 @@
 //! shim keeps the `proptest` 1.x surface the workspace's property tests use:
 //!
 //! - the [`Strategy`](strategy::Strategy) trait with `prop_map`, `prop_flat_map`,
-//!   `prop_recursive`, and `boxed`,
+//!   `prop_filter`, `prop_recursive`, and `boxed`,
 //! - strategies for integer ranges, tuples, [`strategy::Just`],
 //!   [`collection::vec`], [`collection::btree_set`], [`option::of`], and
 //!   [`any::<bool>()`](arbitrary::any),

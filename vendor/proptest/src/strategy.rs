@@ -34,6 +34,34 @@ pub trait Strategy {
         BoxedStrategy(Rc::new(move |rng| f(self.generate(rng))))
     }
 
+    /// Keeps only values satisfying `pred`, re-sampling up to a fixed retry
+    /// budget.
+    ///
+    /// Real proptest records `whence` as the rejection reason and gives up
+    /// globally after too many rejections; this shim panics with `whence` if
+    /// a single draw needs more than 1024 attempts, which converts a
+    /// too-strict filter into a loud failure instead of a hang.
+    fn prop_filter<F>(self, whence: impl Into<String>, pred: F) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        const MAX_FILTER_RETRIES: usize = 1024;
+        let whence = whence.into();
+        BoxedStrategy(Rc::new(move |rng| {
+            for _ in 0..MAX_FILTER_RETRIES {
+                let value = self.generate(rng);
+                if pred(&value) {
+                    return value;
+                }
+            }
+            panic!(
+                "prop_filter `{whence}`: predicate rejected {MAX_FILTER_RETRIES} \
+                 consecutive values; loosen the filter or the source strategy"
+            )
+        }))
+    }
+
     /// Uses each generated value to pick a follow-up strategy, then samples
     /// from it.
     fn prop_flat_map<S, F>(self, f: F) -> BoxedStrategy<S::Value>
@@ -235,6 +263,23 @@ mod tests {
         for _ in 0..50 {
             assert!(depth(&strat.generate(&mut rng)) <= 4);
         }
+    }
+
+    #[test]
+    fn filter_resamples_until_predicate_holds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let strat = (0u32..100).prop_filter("even", |v| v % 2 == 0);
+        for _ in 0..100 {
+            assert_eq!(strat.generate(&mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "prop_filter `never`")]
+    fn filter_panics_when_predicate_never_holds() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let strat = (0u32..100).prop_filter("never", |_| false);
+        strat.generate(&mut rng);
     }
 
     #[test]
