@@ -1,6 +1,8 @@
 //! Ablation study: the contribution of each optimization the paper describes
 //! (§4.2) — counterexample pruning, SAT-based early termination, and the
-//! incremental checker itself — measured on the same workload.
+//! incremental checker itself — measured on the same workload, plus the
+//! scheduler axis: the parallel DFS (work stealing, speculation, shared
+//! pruning) and the DFS/SAT portfolio with its per-lane charged budgets.
 
 use std::time::Duration;
 
@@ -33,6 +35,11 @@ fn configurations() -> Vec<(&'static str, SynthesisOptions)> {
             "sat-guided strategy",
             SynthesisOptions::default().strategy(SearchStrategy::SatGuided),
         ),
+        ("parallel dfs (t4)", SynthesisOptions::default().threads(4)),
+        (
+            "portfolio strategy",
+            SynthesisOptions::default().strategy(SearchStrategy::Portfolio),
+        ),
     ]
 }
 
@@ -47,10 +54,16 @@ fn bench_ablation(c: &mut Criterion) {
             "workload",
             "configuration",
             "runtime",
+            "mode",
             "mc calls",
+            "charged",
             "states relabeled",
+            "stolen",
+            "spec issued/hit/wasted",
+            "prune pub/consult",
             "sat conflicts/clauses/learnt",
             "cegis iters",
+            "dfs/sat budget",
         ],
     );
     let mut group = c.benchmark_group("ablation");
@@ -71,26 +84,58 @@ fn bench_ablation(c: &mut Criterion) {
                 continue;
             }
             let single = time_synthesis_with(&workload.problem, options.clone());
-            let (calls, relabeled, sat, iters) = match &single.outcome {
-                Ok(stats) => (
-                    stats.model_checker_calls,
-                    stats.states_relabeled,
-                    format!(
-                        "{}/{}/{}",
-                        stats.sat_conflicts, stats.sat_clauses, stats.sat_learnt
+            let (mode, calls, charged, relabeled, stolen, spec, prune, sat, iters, budgets) =
+                match &single.outcome {
+                    Ok(stats) => (
+                        stats.search_mode.name().to_string(),
+                        stats.model_checker_calls.to_string(),
+                        stats.charged_calls.to_string(),
+                        stats.states_relabeled.to_string(),
+                        stats.tasks_stolen.to_string(),
+                        format!(
+                            "{}/{}/{}",
+                            stats.speculative_issued,
+                            stats.speculative_hits,
+                            stats.speculative_wasted
+                        ),
+                        format!("{}/{}", stats.prune_publishes, stats.prune_consults),
+                        format!(
+                            "{}/{}/{}",
+                            stats.sat_conflicts, stats.sat_clauses, stats.sat_learnt
+                        ),
+                        stats.cegis_iterations.to_string(),
+                        format!(
+                            "{}/{}",
+                            stats.portfolio_dfs_budget, stats.portfolio_sat_budget
+                        ),
                     ),
-                    stats.cegis_iterations,
-                ),
-                Err(_) => (0, 0, "-".to_string(), 0),
-            };
+                    Err(_) => (
+                        "-".to_string(),
+                        "0".to_string(),
+                        "0".to_string(),
+                        "0".to_string(),
+                        "0".to_string(),
+                        "-".to_string(),
+                        "-".to_string(),
+                        "-".to_string(),
+                        "0".to_string(),
+                        "-".to_string(),
+                    ),
+                };
             print_row(&[
                 workload_name.to_string(),
                 name.to_string(),
                 fmt_ms(single.elapsed),
-                calls.to_string(),
-                relabeled.to_string(),
+                mode,
+                calls,
+                charged,
+                relabeled,
+                stolen,
+                spec,
+                prune,
                 sat,
-                iters.to_string(),
+                iters,
+                budgets,
             ]);
             group.bench_function(format!("{workload_name}/{name}"), |b| {
                 b.iter(|| time_synthesis_with(&workload.problem, options.clone()))

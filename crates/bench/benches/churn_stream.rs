@@ -14,8 +14,8 @@
 //! the Criterion harness; `harness = false` hands it `main` directly.
 
 use netupd_bench::{
-    churn_workload, fast_mode, fmt_min_mean_max, print_header, print_row, report_samples,
-    sample_churn_stream, strategy_threads, BenchReport, StreamMode, TopologyFamily,
+    churn_workload, fast_mode, fmt_min_mean_max, print_header, print_row, probe_search_mode,
+    report_samples, sample_churn_stream, strategy_threads, BenchReport, StreamMode, TopologyFamily,
 };
 use netupd_mc::Backend;
 use netupd_synth::{SearchStrategy, SynthesisOptions};
@@ -64,16 +64,18 @@ fn main() {
         let workload = churn_workload(family, size, PropertyKind::Reachability, steps, 42);
         for backend in Backend::ALL {
             for strategy in SearchStrategy::ALL {
-                // DFS sweeps the full thread axis; the SAT-guided strategy is
-                // measured at one thread (see `strategy_threads`).
+                // DFS sweeps the full thread axis; the SAT-guided strategy
+                // and the portfolio are measured at one thread (see
+                // `strategy_threads`).
                 let thread_axis: Vec<usize> = match strategy {
                     SearchStrategy::Dfs => THREADS.to_vec(),
-                    SearchStrategy::SatGuided => strategy_threads(strategy).to_vec(),
+                    _ => strategy_threads(strategy).to_vec(),
                 };
                 for threads in thread_axis {
                     let options = SynthesisOptions::with_backend(backend)
                         .strategy(strategy)
                         .threads(threads);
+                    let search_mode = probe_search_mode(&workload.problems[0], &options);
                     for mode in StreamMode::ALL {
                         let samples =
                             sample_churn_stream(&workload, &options, mode, samples_per_series);
@@ -100,7 +102,7 @@ fn main() {
                                 mode.name(),
                                 threads
                             ),
-                            SearchStrategy::SatGuided => format!(
+                            _ => format!(
                                 "churn/{}/{}/{}/{}/t{}",
                                 family.name(),
                                 backend,
@@ -119,6 +121,7 @@ fn main() {
                                 ("switches", &workload.switches.to_string()),
                                 ("steps", &steps.to_string()),
                                 ("threads", &threads.to_string()),
+                                ("search_mode", search_mode),
                             ],
                             &samples,
                         );

@@ -3,14 +3,15 @@
 //! three topology families, for the reachability property — swept across the
 //! parallel-search thread axis (1/2/4 workers; 1 is the sequential search)
 //! and the search-strategy axis (the DFS sweeps the thread axis; the
-//! SAT-guided CEGIS strategy is measured at one thread, where its
-//! fewer-model-checker-calls profile shows directly).
+//! SAT-guided CEGIS strategy and the portfolio are measured at one thread,
+//! where their fewer-model-checker-calls profiles show directly).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use netupd_bench::{
-    criterion_budget, diamond_workload, fmt_min_mean_max, print_header, print_row, report_samples,
-    sample_synthesis_with, strategy_threads, BenchReport, TopologyFamily,
+    criterion_budget, diamond_workload, fmt_min_mean_max, print_header, print_row,
+    probe_search_mode, report_samples, sample_synthesis_with, strategy_threads, BenchReport,
+    TopologyFamily,
 };
 use netupd_mc::Backend;
 use netupd_synth::{SearchStrategy, SynthesisOptions};
@@ -56,6 +57,7 @@ fn bench_backends(c: &mut Criterion) {
                         let options = SynthesisOptions::with_backend(backend)
                             .strategy(strategy)
                             .threads(threads);
+                        let search_mode = probe_search_mode(&workload.problem, &options);
                         let samples =
                             sample_synthesis_with(&workload.problem, &options, samples_per_series);
                         print_row(&[
@@ -76,7 +78,7 @@ fn bench_backends(c: &mut Criterion) {
                             (SearchStrategy::Dfs, _) => {
                                 format!("fig7/{}/{}/{}/t{}", family.name(), backend, size, threads)
                             }
-                            (SearchStrategy::SatGuided, _) => {
+                            _ => {
                                 format!("fig7/{}/{}/{}/{}", family.name(), backend, size, strategy)
                             }
                         };
@@ -89,6 +91,7 @@ fn bench_backends(c: &mut Criterion) {
                                 ("switches", &workload.switches.to_string()),
                                 ("rules", &workload.rules.to_string()),
                                 ("threads", &threads.to_string()),
+                                ("search_mode", search_mode),
                             ],
                             &samples,
                         );

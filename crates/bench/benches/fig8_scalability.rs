@@ -1,14 +1,15 @@
 //! Figure 8(g): scalability of the Incremental backend on Small-World
 //! topologies of increasing size, for the three property families — swept
 //! across the parallel-search thread axis (1/2/4 workers; 1 is the
-//! sequential search) and the search-strategy axis (DFS vs SAT-guided).
+//! sequential search) and the search-strategy axis (DFS, SAT-guided, and
+//! the portfolio racing both).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use netupd_bench::{
     criterion_budget, fmt_min_mean_max, multi_diamond_workload, print_header, print_row,
-    report_samples, sample_synthesis_with, strategy_threads, time_synthesis_with, BenchReport,
-    TopologyFamily,
+    probe_search_mode, report_samples, sample_synthesis_with, strategy_threads,
+    time_synthesis_with, BenchReport, TopologyFamily,
 };
 use netupd_mc::Backend;
 use netupd_synth::{SearchStrategy, SynthesisOptions};
@@ -52,6 +53,7 @@ fn bench_scalability(c: &mut Criterion) {
                     let options = SynthesisOptions::with_backend(Backend::Incremental)
                         .strategy(strategy)
                         .threads(threads);
+                    let search_mode = probe_search_mode(&workload.problem, &options);
                     let samples =
                         sample_synthesis_with(&workload.problem, &options, samples_per_series);
                     print_row(&[
@@ -69,9 +71,7 @@ fn bench_scalability(c: &mut Criterion) {
                         (SearchStrategy::Dfs, _) => {
                             format!("fig8/{}/{}/t{}", property.name(), size, threads)
                         }
-                        (SearchStrategy::SatGuided, _) => {
-                            format!("fig8/{}/{}/{}", property.name(), size, strategy)
-                        }
+                        _ => format!("fig8/{}/{}/{}", property.name(), size, strategy),
                     };
                     report.record(
                         id,
@@ -85,6 +85,7 @@ fn bench_scalability(c: &mut Criterion) {
                                 &workload.scenario.updating_switches().to_string(),
                             ),
                             ("threads", &threads.to_string()),
+                            ("search_mode", search_mode),
                         ],
                         &samples,
                     );

@@ -1,0 +1,85 @@
+//! One-shot harness for the EXPERIMENTS.md PR 7 tables (not a bench target).
+
+use netupd_bench::{diamond_workload, multi_diamond_workload, time_synthesis_with, TopologyFamily};
+use netupd_mc::Backend;
+use netupd_synth::{SearchStrategy, SynthesisOptions, UpdateProblem};
+use netupd_topo::scenario::PropertyKind;
+
+fn shapes() -> Vec<(String, UpdateProblem)> {
+    let mut out = Vec::new();
+    for family in TopologyFamily::ALL {
+        for size in [20usize, 100] {
+            let w = diamond_workload(family, size, PropertyKind::Reachability, 42);
+            out.push((format!("fig7/{}/{}", family.name(), size), w.problem));
+        }
+    }
+    for (property, sizes) in [
+        (PropertyKind::Reachability, [50usize, 200]),
+        (PropertyKind::Waypoint, [100, 200]),
+        (PropertyKind::ServiceChain { length: 3 }, [100, 200]),
+    ] {
+        for size in sizes {
+            let w = multi_diamond_workload(TopologyFamily::SmallWorld, size, property, 4, 7);
+            out.push((format!("fig8/{}/{}", property.name(), size), w.problem));
+        }
+    }
+    out
+}
+
+fn main() {
+    println!("== strategy table (Incremental, threads 1) ==");
+    println!("shape | dfs charged | sat charged | portfolio charged | portfolio real | dfs ms | sat ms | portfolio ms");
+    for (name, problem) in shapes() {
+        let mut row = name;
+        let mut charges = Vec::new();
+        let mut times = Vec::new();
+        let mut real = 0usize;
+        for strategy in SearchStrategy::ALL {
+            let options = SynthesisOptions::with_backend(Backend::Incremental).strategy(strategy);
+            let timed = time_synthesis_with(&problem, options);
+            let stats = timed.outcome.as_ref().expect("feasible shape");
+            charges.push(stats.charged_calls);
+            times.push(timed.elapsed.as_secs_f64() * 1e3);
+            if strategy == SearchStrategy::Portfolio {
+                real = stats.model_checker_calls;
+            }
+        }
+        row.push_str(&format!(
+            " | {} | {} | {} | {real} | {:.2} | {:.2} | {:.2}",
+            charges[0], charges[1], charges[2], times[0], times[1], times[2]
+        ));
+        let ok = charges[2] <= charges[0].min(charges[1]);
+        println!("{row}{}", if ok { "" } else { "  <-- VIOLATION" });
+    }
+
+    println!();
+    println!("== fig8 threads axis (Incremental, DFS, mean of 10 after 2 warmups) ==");
+    println!("shape | t1 ms (calls/mode) | t2 ms (calls/mode) | t4 ms (calls/mode)");
+    for (property, size) in [
+        (PropertyKind::Reachability, 200usize),
+        (PropertyKind::Waypoint, 200),
+        (PropertyKind::ServiceChain { length: 3 }, 200),
+    ] {
+        let w = multi_diamond_workload(TopologyFamily::SmallWorld, size, property, 4, 7);
+        let mut row = format!("fig8/{}/{}", property.name(), size);
+        for threads in [1usize, 2, 4] {
+            let options = SynthesisOptions::with_backend(Backend::Incremental).threads(threads);
+            let mut calls = 0;
+            let mut mode = "?".to_string();
+            for _ in 0..2 {
+                let t = time_synthesis_with(&w.problem, options.clone());
+                let stats = t.outcome.as_ref().expect("feasible");
+                calls = stats.model_checker_calls;
+                mode = stats.search_mode.name().to_string();
+            }
+            let mut total = 0.0;
+            for _ in 0..10 {
+                total += time_synthesis_with(&w.problem, options.clone())
+                    .elapsed
+                    .as_secs_f64();
+            }
+            row.push_str(&format!(" | {:.2} ({calls}/{mode})", total / 10.0 * 1e3));
+        }
+        println!("{row}");
+    }
+}

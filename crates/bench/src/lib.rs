@@ -43,11 +43,14 @@ pub const THREAD_AXIS: [usize; 3] = [1, 2, 4];
 /// The thread counts swept for a search strategy: the DFS takes the full
 /// [`THREAD_AXIS`]; the SAT-guided strategy is measured at one thread, where
 /// its fewer-model-checker-calls profile shows directly (its parallel
-/// candidate verification is covered by the determinism suites).
+/// candidate verification is covered by the determinism suites); the
+/// portfolio's lockstep race runs on the calling thread by design (its
+/// result is thread-count-independent), so one thread measures it fully.
 pub fn strategy_threads(strategy: netupd_synth::SearchStrategy) -> &'static [usize] {
     match strategy {
         netupd_synth::SearchStrategy::Dfs => &THREAD_AXIS,
         netupd_synth::SearchStrategy::SatGuided => &[1],
+        netupd_synth::SearchStrategy::Portfolio => &[1],
     }
 }
 
@@ -59,14 +62,23 @@ pub fn fast_mode() -> bool {
     std::env::var("NETUPD_BENCH_FAST").is_ok_and(|v| v != "0")
 }
 
-/// Number of samples for the machine-readable report series: `default`
-/// normally, 2 in [`fast_mode`].
+/// Number of samples for the machine-readable report series: 2 in
+/// [`fast_mode`] (CI smoke), otherwise the `NETUPD_BENCH_SAMPLES`
+/// environment override or `default` raised to at least 5 — two samples
+/// proved too noisy to judge thread scaling, so the figure benches always
+/// collect enough for a stable mean.
 pub fn report_samples(default: usize) -> usize {
     if fast_mode() {
-        2
-    } else {
-        default
+        return 2;
     }
+    if let Some(samples) = std::env::var("NETUPD_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&v| v > 0)
+    {
+        return samples;
+    }
+    default.max(5)
 }
 
 /// Criterion sampling settings `(sample_size, warm_up, measurement)` for the
@@ -348,6 +360,21 @@ pub fn time_synthesis_with(
     SynthesisMeasurement {
         elapsed,
         outcome: result.map(|r| r.stats),
+    }
+}
+
+/// Runs one synthesis and returns the effective [`SearchMode`] name from its
+/// statistics. The figure benches attach this to their JSON records so the
+/// scaling numbers stay interpretable: on hardware where the speculation cap
+/// gates to zero (1-core containers), `threads > 1` runs degrade to the
+/// inline single-flight mode, and a flat thread axis means "no concurrency
+/// available", not "no speedup possible".
+///
+/// [`SearchMode`]: netupd_synth::SearchMode
+pub fn probe_search_mode(problem: &UpdateProblem, options: &SynthesisOptions) -> &'static str {
+    match time_synthesis_with(problem, options.clone()).outcome {
+        Ok(stats) => stats.search_mode.name(),
+        Err(_) => "failed",
     }
 }
 

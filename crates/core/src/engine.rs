@@ -68,7 +68,7 @@ use crate::options::{SearchStrategy, SynthesisOptions};
 use crate::parallel::{self, WorkerContext};
 use crate::problem::UpdateProblem;
 use crate::search::{finish_sequence, SynthStats, SynthesisError, UpdateSequence};
-use crate::strategy::{dfs::DfsSearch, sat_guided};
+use crate::strategy::{dfs::DfsSearch, portfolio, sat_guided};
 use crate::units::plan_units;
 
 /// A long-lived synthesis engine serving a stream of [`UpdateProblem`]s over
@@ -92,6 +92,10 @@ pub struct UpdateEngine {
     /// Persistent per-worker context slots for the parallel path (`None` =
     /// cold slot: never used yet, or its context was lost to a panic).
     worker_ctxs: Vec<Option<WorkerContext>>,
+    /// Persistent context of the portfolio's DFS lane.
+    portfolio_dfs_ctx: Option<WorkerContext>,
+    /// Persistent context of the portfolio's SAT lane.
+    portfolio_sat_ctx: Option<WorkerContext>,
     requests_served: usize,
     rebuilds: usize,
 }
@@ -131,6 +135,8 @@ impl UpdateEngine {
             encoder,
             seq_ctx: None,
             worker_ctxs: Vec::new(),
+            portfolio_dfs_ctx: None,
+            portfolio_sat_ctx: None,
             requests_served: 0,
             rebuilds: 0,
         }
@@ -203,6 +209,14 @@ impl UpdateEngine {
                 )
             }
             SearchStrategy::Dfs => self.solve_sequential(problem, &units),
+            SearchStrategy::Portfolio => portfolio::solve(
+                problem,
+                &self.options,
+                &units,
+                &self.encoder,
+                &mut self.portfolio_dfs_ctx,
+                &mut self.portfolio_sat_ctx,
+            ),
         }
     }
 
@@ -226,6 +240,12 @@ impl UpdateEngine {
             ctx.begin_new_series();
         }
         for ctx in self.worker_ctxs.iter_mut().flatten() {
+            ctx.begin_new_series();
+        }
+        for ctx in [&mut self.portfolio_dfs_ctx, &mut self.portfolio_sat_ctx]
+            .into_iter()
+            .flatten()
+        {
             ctx.begin_new_series();
         }
         self.rebuilds += 1;
@@ -303,6 +323,8 @@ impl UpdateEngine {
                 stats.sat_conflicts = solver.conflicts;
                 stats.sat_clauses = solver.clauses;
                 stats.sat_learnt = solver.learnt;
+                // Sequentially, the schedule cost *is* the real cost.
+                stats.charged_calls = stats.model_checker_calls;
                 Ok(finish_sequence(
                     problem,
                     &self.options,

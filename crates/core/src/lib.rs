@@ -6,7 +6,7 @@
 //! Given an initial configuration, a final configuration, and an LTL
 //! specification over single-packet traces, the synthesizer searches for an
 //! ordering of switch updates (interleaved with `wait` commands) such that
-//! every intermediate configuration satisfies the specification. Two
+//! every intermediate configuration satisfies the specification. Three
 //! [`SearchStrategy`] implementations share one substrate (see
 //! [`strategy`]):
 //!
@@ -23,6 +23,12 @@
 //!   order, the backend verifies it prefix by prefix in one
 //!   first-failing-prefix call, and the failure is learnt back as a new
 //!   clause — until a model verifies or the clause set goes unsatisfiable.
+//! * [`SearchStrategy::Portfolio`] races the two as resumable sequential
+//!   lanes under a deterministic budget-ordered winner rule: each lane is
+//!   charged by the model-checker calls its sequential schedule issues, and
+//!   the lane completing within the smaller charged budget wins (ties break
+//!   to DFS) — so the portfolio never pays more than the cheaper strategy
+//!   and its result is byte-identical at every thread count.
 //!
 //! Either way, unnecessary `wait` commands are removed in a
 //! reachability-based post-pass.
@@ -75,5 +81,5 @@ pub mod wait_removal;
 pub use engine::UpdateEngine;
 pub use options::{Granularity, SearchStrategy, SynthesisOptions};
 pub use problem::UpdateProblem;
-pub use search::{SynthStats, SynthesisError, Synthesizer, UpdateSequence};
+pub use search::{SearchMode, SynthStats, SynthesisError, Synthesizer, UpdateSequence};
 pub use units::UpdateUnit;

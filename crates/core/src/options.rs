@@ -34,17 +34,30 @@ pub enum SearchStrategy {
     /// model verifies (success) or the constraints go unsatisfiable
     /// (infeasible).
     SatGuided,
+    /// Race DFS and SatGuided with a deterministic *budget-ordered* winner
+    /// rule: both strategies run as resumable sequential lanes charged by the
+    /// model-checker calls their sequential schedule would issue, and the
+    /// strategy completing within the smaller charged budget wins (ties break
+    /// to DFS). The verdict, committed sequence, and statistics are therefore
+    /// byte-identical at every thread count, and the winner's charged budget
+    /// never exceeds the cheaper standalone strategy's.
+    Portfolio,
 }
 
 impl SearchStrategy {
-    /// Both strategies, in a stable order (DFS first).
-    pub const ALL: [SearchStrategy; 2] = [SearchStrategy::Dfs, SearchStrategy::SatGuided];
+    /// All strategies, in a stable order (DFS first).
+    pub const ALL: [SearchStrategy; 3] = [
+        SearchStrategy::Dfs,
+        SearchStrategy::SatGuided,
+        SearchStrategy::Portfolio,
+    ];
 
     /// A short, stable name used in benchmark output and reports.
     pub fn name(self) -> &'static str {
         match self {
             SearchStrategy::Dfs => "dfs",
             SearchStrategy::SatGuided => "sat-guided",
+            SearchStrategy::Portfolio => "portfolio",
         }
     }
 }
@@ -60,7 +73,8 @@ impl fmt::Display for SearchStrategy {
 pub struct SynthesisOptions {
     /// The model-checking backend to use.
     pub backend: Backend,
-    /// The search strategy (DFS or SAT-guided CEGIS).
+    /// The search strategy (DFS, SAT-guided CEGIS, or the portfolio racing
+    /// both).
     pub strategy: SearchStrategy,
     /// Update granularity.
     pub granularity: Granularity,

@@ -1,7 +1,7 @@
 //! The pluggable search strategies behind
 //! [`SearchStrategy`](crate::SearchStrategy).
 //!
-//! Both strategies solve the same problem — order the update units so that
+//! All strategies solve the same problem — order the update units so that
 //! every intermediate configuration satisfies the specification — over the
 //! same substrate: the visited/wrong sets and counterexample→constraint
 //! learning of [`crate::constraints`], prefix checking through the
@@ -21,12 +21,19 @@
 //!   clause — until a model verifies (success) or the clause set goes
 //!   unsatisfiable (infeasible, strictly subsuming the DFS's early
 //!   termination).
+//! * `portfolio` races the two as resumable sequential lanes under a
+//!   deterministic budget-ordered winner rule: both lanes are charged by
+//!   their sequential-equivalent schedule, and the lane completing within
+//!   the smaller charged budget wins (ties break to DFS) — so the portfolio
+//!   never charges more than the cheaper parent and its result is
+//!   byte-identical at every thread count.
 //!
 //! Each strategy is individually deterministic: for a fixed problem and
 //! options (including the thread count), commands, unit order, verdict, and
-//! statistics are byte-identical across runs. The two strategies agree on
-//! the verdict — an order exists or it does not — but may commit *different*
+//! statistics are byte-identical across runs. The strategies agree on the
+//! verdict — an order exists or it does not — but may commit *different*
 //! correct orders.
 
 pub(crate) mod dfs;
+pub(crate) mod portfolio;
 pub(crate) mod sat_guided;

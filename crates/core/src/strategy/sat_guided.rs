@@ -15,9 +15,9 @@
 //!    ([`ModelChecker::check_sequence`](netupd_mc::ModelChecker)): walk the
 //!    order, recheck incrementally after every step, stop at the first
 //!    violating prefix and extract its counterexample trace — one call per
-//!    candidate. With `threads > 1` the walk is chunked across the engine's
-//!    persistent worker contexts
-//!    ([`verify_order_with_contexts`](crate::parallel)).
+//!    candidate. With `threads > 1` the walk is split into fine-grained
+//!    *grains* fed through a work-stealing pool over the engine's persistent
+//!    worker contexts ([`verify_order_with_contexts`](crate::parallel)).
 //! 3. **Learn.** Refute the failure: at switch granularity with a
 //!    counterexample in hand, the §4.2 B clause "some not-yet-updated switch
 //!    on the trace must precede some updated one"; otherwise (rule
@@ -39,10 +39,11 @@
 //! For a fixed problem and options the run is byte-identical: the solver is
 //! deterministic, the decode is a pure function of the model, every prefix
 //! verdict is a pure function of the prefix (the invariant the parallel DFS
-//! already rests on, DESIGN.md §5), and the parallel verification uses
-//! static chunking with no cross-worker abort. The *budget* is charged by
-//! the sequential-equivalent schedule (one check per walked prefix), so the
-//! verdict cannot depend on the thread count either.
+//! already rests on, DESIGN.md §5), and the parallel verification pre-splits
+//! the steps into deterministic grain boundaries with no cross-grain abort —
+//! stealing moves a grain between workers, never changes its outcome. The
+//! *budget* is charged by the sequential-equivalent schedule (one check per
+//! walked prefix), so the verdict cannot depend on the thread count either.
 
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 
@@ -55,7 +56,7 @@ use crate::options::{Granularity, SynthesisOptions};
 use crate::parallel::{self, WorkerContext};
 use crate::problem::UpdateProblem;
 use crate::search::{
-    finish_sequence, updated_switches, SynthStats, SynthesisError, UpdateSequence,
+    finish_sequence, updated_switches, SearchMode, SynthStats, SynthesisError, UpdateSequence,
 };
 use crate::units::UpdateUnit;
 
@@ -182,6 +183,7 @@ pub(crate) fn solve(
                 );
                 stats.model_checker_calls += verification.checks_per_worker.iter().sum::<usize>();
                 stats.states_relabeled += verification.states_relabeled;
+                stats.tasks_stolen += verification.tasks_stolen;
                 for (worker, checks) in verification.checks_per_worker.iter().enumerate() {
                     checks_per_worker[worker] += checks;
                 }
@@ -222,6 +224,15 @@ pub(crate) fn solve(
                 stats.sat_clauses = solver.clauses;
                 stats.sat_learnt = solver.learnt;
                 stats.checks_per_worker = checks_per_worker;
+                // The sequential-equivalent schedule cost: every failing pass
+                // charged `failing + 1 - start` as it was learnt, plus the
+                // `n - start` checks of this verifying pass.
+                stats.charged_calls = budget_calls + (n - start);
+                stats.search_mode = if parallel {
+                    SearchMode::ParallelVerify
+                } else {
+                    SearchMode::Sequential
+                };
                 return Ok(finish_sequence(problem, options, units, &order, stats));
             }
             Some((failing, cex_switches)) => {
@@ -284,8 +295,9 @@ fn lead_context<'a>(
 }
 
 /// Builds the candidate's step sequence: one table-install per unit, derived
-/// by walking a single running configuration.
-fn materialize(
+/// by walking a single running configuration. Shared with the portfolio's
+/// SAT lane.
+pub(crate) fn materialize(
     problem: &UpdateProblem,
     units: &[UpdateUnit],
     order: &[usize],
@@ -305,8 +317,8 @@ fn materialize(
 }
 
 /// Unit indices per switch, for translating counterexample switch sets into
-/// unit-level precedence clauses.
-fn index_units_by_switch(units: &[UpdateUnit]) -> BTreeMap<SwitchId, Vec<usize>> {
+/// unit-level precedence clauses. Shared with the portfolio's SAT lane.
+pub(crate) fn index_units_by_switch(units: &[UpdateUnit]) -> BTreeMap<SwitchId, Vec<usize>> {
     let mut map: BTreeMap<SwitchId, Vec<usize>> = BTreeMap::new();
     for (index, unit) in units.iter().enumerate() {
         map.entry(unit.switch()).or_default().push(index);

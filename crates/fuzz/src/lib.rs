@@ -3,7 +3,7 @@
 //! The harness generates random update-synthesis cases — topologies,
 //! configuration changes, enriched LTL specifications, and failure-injected
 //! churn streams — and runs every case through the full behavior matrix
-//! (4 model-checking backends × 2 search strategies × 2 thread counts, both
+//! (4 model-checking backends × 3 search strategies × 2 thread counts, both
 //! fresh per request and through a reused [`UpdateEngine`]), cross-checking
 //! all results against each other and against two implementation-independent
 //! oracles: the finite-trace LTL semantics and the probe simulator.

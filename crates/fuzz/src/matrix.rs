@@ -1,4 +1,4 @@
-//! The behavior matrix: every case runs through 4 backends × 2 search
+//! The behavior matrix: every case runs through 4 backends × 3 search
 //! strategies × 2 thread counts, each both as a fresh synthesis per request
 //! and through a long-lived [`UpdateEngine`] reused across the stream.
 //!
@@ -301,9 +301,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn the_matrix_has_sixteen_cells_with_adjacent_thread_pairs() {
+    fn the_matrix_has_twenty_four_cells_with_adjacent_thread_pairs() {
         let cells = Cell::all();
-        assert_eq!(cells.len(), 16);
+        assert_eq!(cells.len(), 24);
         for pair in cells.chunks(2) {
             assert_eq!(pair[0].backend, pair[1].backend);
             assert_eq!(pair[0].strategy, pair[1].strategy);
@@ -312,6 +312,6 @@ mod tests {
         }
         // Labels are unique.
         let labels: std::collections::BTreeSet<String> = cells.iter().map(Cell::label).collect();
-        assert_eq!(labels.len(), 16);
+        assert_eq!(labels.len(), 24);
     }
 }

@@ -179,9 +179,40 @@ fn sat_guided_engine_matches_fresh_at_rule_granularity() {
     }
 }
 
-/// Both strategies agree on the verdict for every step of every stream, and
-/// every SatGuided-produced sequence passes an independent full-sequence
-/// check through the trace semantics.
+#[test]
+fn portfolio_engine_matches_fresh_for_all_backends() {
+    force_speculation();
+    let problems = churn_problems(PropertyKind::Reachability, 4, 101);
+    for backend in Backend::ALL {
+        for threads in [1, 4] {
+            assert_engine_matches_fresh(
+                &problems,
+                SynthesisOptions::with_backend(backend)
+                    .strategy(SearchStrategy::Portfolio)
+                    .threads(threads),
+            );
+        }
+    }
+}
+
+#[test]
+fn portfolio_engine_matches_fresh_at_rule_granularity() {
+    force_speculation();
+    let problems = churn_problems(PropertyKind::Reachability, 3, 29);
+    for threads in [1, 4] {
+        assert_engine_matches_fresh(
+            &problems,
+            SynthesisOptions::default()
+                .strategy(SearchStrategy::Portfolio)
+                .granularity(Granularity::Rule)
+                .threads(threads),
+        );
+    }
+}
+
+/// All three strategies agree on the verdict for every step of every stream,
+/// and every SatGuided- or portfolio-produced sequence passes an independent
+/// full-sequence check through the trace semantics.
 #[test]
 fn strategies_agree_on_churn_stream_verdicts() {
     force_speculation();
@@ -195,11 +226,15 @@ fn strategies_agree_on_churn_stream_verdicts() {
             let dfs_options = SynthesisOptions::with_backend(backend);
             let sat_options =
                 SynthesisOptions::with_backend(backend).strategy(SearchStrategy::SatGuided);
+            let portfolio_options =
+                SynthesisOptions::with_backend(backend).strategy(SearchStrategy::Portfolio);
             let mut dfs_engine = UpdateEngine::for_problem(&problems[0], dfs_options);
             let mut sat_engine = UpdateEngine::for_problem(&problems[0], sat_options);
+            let mut portfolio_engine = UpdateEngine::for_problem(&problems[0], portfolio_options);
             for (step, problem) in problems.iter().enumerate() {
                 let dfs = dfs_engine.solve(problem);
                 let sat = sat_engine.solve(problem);
+                let portfolio = portfolio_engine.solve(problem);
                 match (&dfs, &sat) {
                     (Ok(_), Ok(sat_result)) => {
                         assert_sequence_correct(problem, &sat_result.commands);
@@ -210,6 +245,18 @@ fn strategies_agree_on_churn_stream_verdicts() {
                     ) => {}
                     (d, s) => panic!(
                         "{backend} step {step}: strategies disagree: dfs {d:?}, sat-guided {s:?}"
+                    ),
+                }
+                match (&dfs, &portfolio) {
+                    (Ok(_), Ok(portfolio_result)) => {
+                        assert_sequence_correct(problem, &portfolio_result.commands);
+                    }
+                    (
+                        Err(SynthesisError::NoOrderingExists { .. }),
+                        Err(SynthesisError::NoOrderingExists { .. }),
+                    ) => {}
+                    (d, p) => panic!(
+                        "{backend} step {step}: strategies disagree: dfs {d:?}, portfolio {p:?}"
                     ),
                 }
             }

@@ -16,9 +16,9 @@ const SMOKE_SEED: u64 = 0x5eed_cafe;
 #[test]
 fn the_behavior_matrix_is_fully_populated() {
     // The differential claim below is only as strong as the matrix is wide:
-    // 4 backends × 2 strategies × 2 thread counts.
+    // 4 backends × 3 strategies × 2 thread counts.
     let cells = Cell::all();
-    assert_eq!(cells.len(), 16);
+    assert_eq!(cells.len(), 24);
     let backends: std::collections::BTreeSet<String> =
         cells.iter().map(|c| format!("{}", c.backend)).collect();
     assert_eq!(backends.len(), 4, "expected 4 distinct backends");

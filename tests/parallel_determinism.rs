@@ -20,7 +20,8 @@ use netupd::ltl::{builders, Ltl, Prop};
 use netupd::mc::Backend;
 use netupd::model::Priority;
 use netupd::synth::{
-    Granularity, SynthesisError, SynthesisOptions, Synthesizer, UpdateProblem, UpdateSequence,
+    Granularity, SearchStrategy, SynthesisError, SynthesisOptions, Synthesizer, UpdateProblem,
+    UpdateSequence,
 };
 use netupd::topo::scenario::{
     diamond_scenario, double_diamond_scenario, multi_diamond_scenario, PropertyKind,
@@ -62,22 +63,21 @@ fn assert_deterministic(problem: &UpdateProblem, options: SynthesisOptions, thre
     }
 }
 
-/// The schedule counters are deterministic in both modes and must agree.
+/// The schedule-determined counters are deterministic in both modes and must
+/// agree; `schedule_view` strips the execution-dependent fields (per-worker
+/// attribution, steal/speculation/prune tallies, real call totals) and keeps
+/// everything the deterministic schedule pins down, including the charged
+/// sequential-equivalent budget.
 fn assert_schedule_counters_match(s: &UpdateSequence, p: &UpdateSequence) {
-    assert_eq!(s.stats.backtracks, p.stats.backtracks);
     assert_eq!(
-        s.stats.counterexamples_learnt,
-        p.stats.counterexamples_learnt
+        s.stats.schedule_view(),
+        p.stats.schedule_view(),
+        "schedule-determined counters diverged"
     );
-    assert_eq!(s.stats.sat_constraints, p.stats.sat_constraints);
-    // The SAT-effort counters are deterministic too: both modes feed the
-    // ordering solver the identical clause stream.
-    assert_eq!(s.stats.sat_conflicts, p.stats.sat_conflicts);
-    assert_eq!(s.stats.sat_clauses, p.stats.sat_clauses);
-    assert_eq!(s.stats.sat_learnt, p.stats.sat_learnt);
-    assert_eq!(s.stats.cegis_iterations, p.stats.cegis_iterations);
-    assert_eq!(s.stats.waits_before_removal, p.stats.waits_before_removal);
-    assert_eq!(s.stats.waits_after_removal, p.stats.waits_after_removal);
+    assert_eq!(
+        s.stats.charged_calls, p.stats.charged_calls,
+        "charged budget diverged"
+    );
     assert_eq!(
         p.stats.checks_per_worker.iter().sum::<usize>(),
         p.stats.model_checker_calls,
@@ -217,6 +217,144 @@ fn disabled_optimizations_stay_deterministic() {
         .early_termination(false)
         .wait_removal(false);
     assert_deterministic(&problem, options, 4);
+}
+
+// ---- thread invariance across strategies ------------------------------------
+
+/// Runs `options` at threads 1, 2, and 4 and asserts the committed sequence
+/// (or the verdict) and every schedule-determined counter are identical at
+/// each thread count.
+fn assert_thread_invariant(problem: &UpdateProblem, options: SynthesisOptions) {
+    let base = Synthesizer::new(problem.clone())
+        .with_options(options.clone().threads(1))
+        .synthesize();
+    for threads in [2usize, 4] {
+        let other = Synthesizer::new(problem.clone())
+            .with_options(options.clone().threads(threads))
+            .synthesize();
+        match (&base, &other) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.commands, b.commands, "commands diverged at t{threads}");
+                assert_eq!(a.order, b.order, "unit order diverged at t{threads}");
+                assert_eq!(
+                    a.stats.schedule_view(),
+                    b.stats.schedule_view(),
+                    "schedule counters diverged at t{threads}"
+                );
+            }
+            (Err(a), Err(b)) => match (a, b) {
+                (
+                    SynthesisError::NoOrderingExists { .. },
+                    SynthesisError::NoOrderingExists { .. },
+                ) => {}
+                _ => assert_eq!(a, b, "error verdicts diverged at t{threads}"),
+            },
+            (a, b) => panic!("verdicts diverged at t{threads}: t1 {a:?}, t{threads} {b:?}"),
+        }
+    }
+}
+
+#[test]
+fn every_strategy_is_thread_invariant_on_the_examples() {
+    force_speculation();
+    for problem in [
+        quickstart_problem(),
+        waypoint_problem(),
+        firewall_chain_problem(),
+    ] {
+        for strategy in SearchStrategy::ALL {
+            assert_thread_invariant(&problem, SynthesisOptions::default().strategy(strategy));
+        }
+    }
+}
+
+#[test]
+fn every_strategy_is_thread_invariant_on_the_infeasible_double_diamond() {
+    force_speculation();
+    let problem = double_diamond_problem();
+    for strategy in SearchStrategy::ALL {
+        // Infeasible at switch granularity, solvable at rule granularity:
+        // both verdicts must be thread-invariant.
+        assert_thread_invariant(&problem, SynthesisOptions::default().strategy(strategy));
+        assert_thread_invariant(
+            &problem,
+            SynthesisOptions::default()
+                .strategy(strategy)
+                .granularity(Granularity::Rule),
+        );
+    }
+}
+
+// ---- the portfolio ----------------------------------------------------------
+
+/// The portfolio races both lanes in lockstep on the calling thread and never
+/// consults the thread count, so its *entire* stats block — not just the
+/// schedule view — is byte-identical at every thread count.
+#[test]
+fn portfolio_stats_are_byte_identical_across_thread_counts() {
+    force_speculation();
+    let problem = firewall_chain_problem();
+    for backend in Backend::ALL {
+        let options = SynthesisOptions::with_backend(backend).strategy(SearchStrategy::Portfolio);
+        let base = Synthesizer::new(problem.clone())
+            .with_options(options.clone().threads(1))
+            .synthesize()
+            .expect("the firewall chain is feasible");
+        for threads in [2usize, 4] {
+            let other = Synthesizer::new(problem.clone())
+                .with_options(options.clone().threads(threads))
+                .synthesize()
+                .expect("the firewall chain is feasible");
+            assert_eq!(
+                base.commands, other.commands,
+                "{backend}: commands diverged"
+            );
+            assert_eq!(
+                base.stats, other.stats,
+                "{backend}: portfolio stats must be byte-identical at t{threads}"
+            );
+        }
+    }
+}
+
+/// The budget-ordered winner rule guarantees the portfolio's charged budget
+/// never exceeds the cheaper of its two lanes run standalone.
+#[test]
+fn portfolio_charged_budget_never_exceeds_either_lane() {
+    force_speculation();
+    for (name, problem) in [
+        ("quickstart", quickstart_problem()),
+        ("waypoint", waypoint_problem()),
+        ("firewall chain", firewall_chain_problem()),
+    ] {
+        let solve = |strategy| {
+            Synthesizer::new(problem.clone())
+                .with_options(SynthesisOptions::default().strategy(strategy))
+                .synthesize()
+                .expect("these example scenarios are feasible")
+        };
+        let dfs = solve(SearchStrategy::Dfs);
+        let sat = solve(SearchStrategy::SatGuided);
+        let portfolio = solve(SearchStrategy::Portfolio);
+        assert!(
+            portfolio.stats.charged_calls <= dfs.stats.charged_calls
+                && portfolio.stats.charged_calls <= sat.stats.charged_calls,
+            "{name}: portfolio charged {} but dfs charged {} and sat-guided charged {}",
+            portfolio.stats.charged_calls,
+            dfs.stats.charged_calls,
+            sat.stats.charged_calls,
+        );
+        // The loser's partial budget is recorded too; both lanes ran.
+        assert!(portfolio.stats.portfolio_dfs_budget > 0);
+        assert_eq!(
+            portfolio.stats.charged_calls,
+            portfolio
+                .stats
+                .portfolio_dfs_budget
+                .min(portfolio.stats.portfolio_sat_budget.max(1)),
+            "{name}: the winner is the cheaper charged lane",
+        );
+    }
 }
 
 // ---- randomized problems ----------------------------------------------------

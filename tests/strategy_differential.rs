@@ -1,13 +1,16 @@
 //! Differential tests for the pluggable search strategies.
 //!
-//! `SearchStrategy::SatGuided` must, on every example scenario shipped with
-//! the repository, for every backend and thread count:
+//! `SearchStrategy::SatGuided` and `SearchStrategy::Portfolio` must, on
+//! every example scenario shipped with the repository, for every backend and
+//! thread count:
 //!
 //! * produce a *verified* update sequence — independently re-checked here by
 //!   replaying every prefix through the trace semantics, with no model
 //!   checker involved;
 //! * be *deterministic* — a second run returns byte-identical commands,
-//!   order, verdict, and statistics (including the SAT-effort counters);
+//!   order, verdict, and the schedule-determined statistics (the portfolio's
+//!   full stats block, per-worker attribution included, since its lockstep
+//!   race runs entirely on the calling thread);
 //! * *agree with DFS on the verdict* — both find an order or both report
 //!   that none exists (the orders themselves may differ: each is verified
 //!   independently);
@@ -99,7 +102,20 @@ fn assert_sat_guided_verified(
                 "{context}: commands not deterministic"
             );
             assert_eq!(a.order, b.order, "{context}: order not deterministic");
-            assert_eq!(a.stats, b.stats, "{context}: stats not deterministic");
+            // The schedule-determined counters are byte-identical between
+            // runs; the execution-dependent ones (per-worker attribution,
+            // steal tallies) may differ under work stealing, but the real
+            // call total is pinned by the grain split's no-cross-grain-abort
+            // rule.
+            assert_eq!(
+                a.stats.schedule_view(),
+                b.stats.schedule_view(),
+                "{context}: schedule counters not deterministic"
+            );
+            assert_eq!(
+                a.stats.model_checker_calls, b.stats.model_checker_calls,
+                "{context}: real call total not deterministic"
+            );
             assert!(
                 a.stats.cegis_iterations >= 1,
                 "{context}: no CEGIS iteration"
@@ -155,6 +171,92 @@ fn assert_strategies_agree_everywhere(problem: &UpdateProblem, base: SynthesisOp
                     "{backend}: threads changed the commands"
                 );
                 assert_eq!(a.order, b.order, "{backend}: threads changed the order");
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b, "{backend}: threads changed the verdict"),
+            other => panic!("{backend}: threads changed the verdict: {other:?}"),
+        }
+    }
+}
+
+/// Runs the portfolio at the given thread count twice (byte-identical
+/// including the *full* stats block — the lockstep race runs on the calling
+/// thread and never consults the thread count), verifies the sequence
+/// independently, and checks verdict agreement with DFS.
+fn assert_portfolio_verified(
+    problem: &UpdateProblem,
+    options: SynthesisOptions,
+    threads: usize,
+    context: &str,
+) -> Result<UpdateSequence, SynthesisError> {
+    let portfolio_options = options
+        .clone()
+        .strategy(SearchStrategy::Portfolio)
+        .threads(threads);
+    let first = synthesize(problem, &portfolio_options);
+    let second = synthesize(problem, &portfolio_options);
+    match (&first, &second) {
+        (Ok(a), Ok(b)) => {
+            assert_eq!(
+                a.commands, b.commands,
+                "{context}: commands not deterministic"
+            );
+            assert_eq!(a.order, b.order, "{context}: order not deterministic");
+            assert_eq!(a.stats, b.stats, "{context}: stats not deterministic");
+            assert_sequence_correct(problem, &a.commands);
+        }
+        (Err(a), Err(b)) => assert_eq!(a, b, "{context}: error verdict not deterministic"),
+        other => panic!("{context}: verdicts diverged between identical runs: {other:?}"),
+    }
+    // Verdict agreement with DFS at the same thread count.
+    let dfs = synthesize(
+        problem,
+        &options.strategy(SearchStrategy::Dfs).threads(threads),
+    );
+    match (&dfs, &first) {
+        (Ok(_), Ok(_)) => {}
+        (
+            Err(SynthesisError::NoOrderingExists { .. }),
+            Err(SynthesisError::NoOrderingExists { .. }),
+        ) => {}
+        (Err(a), Err(b)) => {
+            assert_eq!(a, b, "{context}: DFS and portfolio error verdicts diverged")
+        }
+        other => panic!("{context}: DFS and portfolio verdicts diverged: {other:?}"),
+    }
+    first
+}
+
+/// The portfolio matrix for one problem: all backends × threads {1, 4}, with
+/// the stronger cross-thread guarantee that the *entire* result (stats
+/// included) is byte-identical.
+fn assert_portfolio_agrees_everywhere(problem: &UpdateProblem, base: SynthesisOptions) {
+    force_speculation();
+    for backend in Backend::ALL {
+        let options = SynthesisOptions {
+            backend,
+            ..base.clone()
+        };
+        let mut results = Vec::new();
+        for threads in [1, 4] {
+            let context = format!("portfolio {backend} t{threads}");
+            results.push(assert_portfolio_verified(
+                problem,
+                options.clone(),
+                threads,
+                &context,
+            ));
+        }
+        match (&results[0], &results[1]) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(
+                    a.commands, b.commands,
+                    "{backend}: threads changed the portfolio commands"
+                );
+                assert_eq!(a.order, b.order, "{backend}: threads changed the order");
+                assert_eq!(
+                    a.stats, b.stats,
+                    "{backend}: the portfolio never consults the thread count"
+                );
             }
             (Err(a), Err(b)) => assert_eq!(a, b, "{backend}: threads changed the verdict"),
             other => panic!("{backend}: threads changed the verdict: {other:?}"),
@@ -258,6 +360,83 @@ fn double_diamond_sat_guided_verdicts() {
         &problem,
         SynthesisOptions::default().granularity(Granularity::Rule),
     );
+}
+
+#[test]
+fn quickstart_scenario_portfolio() {
+    assert_portfolio_agrees_everywhere(&quickstart_problem(), SynthesisOptions::default());
+}
+
+#[test]
+fn waypoint_scenario_portfolio() {
+    assert_portfolio_agrees_everywhere(&waypoint_problem(), SynthesisOptions::default());
+}
+
+#[test]
+fn firewall_chain_scenario_portfolio() {
+    assert_portfolio_agrees_everywhere(&firewall_chain_problem(), SynthesisOptions::default());
+}
+
+#[test]
+fn double_diamond_portfolio_verdicts() {
+    let problem = double_diamond_problem();
+    assert_portfolio_agrees_everywhere(&problem, SynthesisOptions::default());
+    assert_portfolio_agrees_everywhere(
+        &problem,
+        SynthesisOptions::default().granularity(Granularity::Rule),
+    );
+}
+
+#[test]
+fn portfolio_rejects_violating_configurations() {
+    force_speculation();
+    let options = SynthesisOptions::default().strategy(SearchStrategy::Portfolio);
+    for threads in [1, 4] {
+        let mut problem = quickstart_problem();
+        problem.initial = Configuration::new();
+        assert_eq!(
+            synthesize(&problem, &options.clone().threads(threads)).unwrap_err(),
+            SynthesisError::InitialConfigurationViolates,
+            "t{threads}"
+        );
+        let mut problem = quickstart_problem();
+        problem.final_config = Configuration::new();
+        assert!(!problem.switches_to_update().is_empty());
+        assert_eq!(
+            synthesize(&problem, &options.clone().threads(threads)).unwrap_err(),
+            SynthesisError::FinalConfigurationViolates,
+            "t{threads}"
+        );
+    }
+}
+
+#[test]
+fn portfolio_stats_are_coherent() {
+    force_speculation();
+    let problem = firewall_chain_problem();
+    let result = synthesize(
+        &problem,
+        &SynthesisOptions::default().strategy(SearchStrategy::Portfolio),
+    )
+    .expect("solvable");
+    // Both lanes' real checker work is attributed: slot 0 is the DFS lane,
+    // slot 1 the SAT lane, and they cover every check performed.
+    assert_eq!(result.stats.checks_per_worker.len(), 2);
+    assert_eq!(
+        result.stats.checks_per_worker.iter().sum::<usize>(),
+        result.stats.model_checker_calls,
+    );
+    // Both charged budgets are recorded, and the winner's is the charge.
+    assert!(result.stats.portfolio_dfs_budget > 0);
+    assert!(result.stats.portfolio_sat_budget > 0);
+    assert_eq!(
+        result.stats.charged_calls,
+        result
+            .stats
+            .portfolio_dfs_budget
+            .min(result.stats.portfolio_sat_budget),
+    );
+    assert_eq!(result.stats.search_mode.name(), "portfolio");
 }
 
 #[test]
