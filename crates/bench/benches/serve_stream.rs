@@ -1,0 +1,238 @@
+//! Multi-tenant serving throughput and latency: seeded many-tenant churn
+//! driven through the `netupd-serve` worker fleet.
+//!
+//! Two sweeps land in `BENCH_serve.json`:
+//!
+//! * **matrix** — every backend × search strategy at a fixed small tenant
+//!   count, isolating how the synthesis configuration moves serving
+//!   throughput;
+//! * **scale** — the tenant axis (10 / 100 / 1000 tenants) per strategy on
+//!   the default backend, showing how req/s and p50/p99 behave as the pool
+//!   saturates and (at 1000 tenants, with the bench's small per-shard cap)
+//!   LRU eviction kicks in.
+//!
+//! Per record the report carries req/s plus nearest-rank p50/p99 for the
+//! end-to-end latency (queue wait + service time) and its two components,
+//! and the engine hit/miss/eviction counters. The series `[min mean max]`
+//! is the per-request mean end-to-end latency of each run.
+//!
+//! Like `churn_stream`, this target drives its own timing loop (the unit of
+//! measurement is a whole workload), so `harness = false`.
+
+use std::time::Duration;
+
+use netupd_bench::{
+    fast_mode, fmt_min_mean_max, print_header, print_row, report_samples, run_serve_stream,
+    serve_workload, BenchReport, ServeRun, TopologyFamily,
+};
+use netupd_mc::Backend;
+use netupd_serve::{LatencySummary, ServeConfig};
+use netupd_synth::{SearchStrategy, SynthesisOptions};
+use netupd_topo::scenario::PropertyKind;
+
+/// The tenant-count axis of the scale sweep.
+const TENANT_AXIS: [usize; 3] = [10, 100, 1000];
+
+/// Tenant count of the backend × strategy matrix sweep.
+const MATRIX_TENANTS: usize = 10;
+
+/// Samples (full workload runs) per series for the report.
+const REPORT_SAMPLES: usize = 5;
+
+/// Churn steps per tenant (shrunk in fast mode so CI stays quick).
+fn stream_steps() -> usize {
+    if fast_mode() {
+        2
+    } else {
+        3
+    }
+}
+
+/// Worker threads for the fleet (`NETUPD_SERVE_WORKERS` override).
+fn worker_threads() -> usize {
+    std::env::var("NETUPD_SERVE_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(4)
+}
+
+/// The serving config under test: a small per-shard cap (8 shards × 16
+/// engines = 128 resident) so the 1000-tenant sweep actually exercises LRU
+/// eviction; queue limits are raised per-workload by `run_serve_stream`.
+fn serve_config(options: SynthesisOptions, workers: usize) -> ServeConfig {
+    ServeConfig::default()
+        .options(options)
+        .worker_threads(workers)
+        .shards(8)
+        .engines_per_shard(16)
+}
+
+/// Runs one configuration `samples` times and aggregates: per-run mean-e2e
+/// series, pooled latency summaries, mean req/s, and summed engine counters.
+struct SeriesResult {
+    mean_e2e_per_run: Vec<Duration>,
+    rps: f64,
+    e2e: LatencySummary,
+    wait: LatencySummary,
+    service: LatencySummary,
+    hits: usize,
+    misses: usize,
+    evicted: usize,
+}
+
+fn run_series(
+    workload: &netupd_bench::ServeWorkload,
+    options: &SynthesisOptions,
+    workers: usize,
+    samples: usize,
+) -> SeriesResult {
+    let runs: Vec<ServeRun> = (0..samples.max(1))
+        .map(|_| run_serve_stream(workload, serve_config(options.clone(), workers)))
+        .collect();
+    let mut e2e = Vec::new();
+    let mut waits = Vec::new();
+    let mut services = Vec::new();
+    let (mut hits, mut misses, mut evicted) = (0, 0, 0);
+    for run in &runs {
+        e2e.extend_from_slice(&run.e2e);
+        waits.extend_from_slice(&run.queue_waits);
+        services.extend_from_slice(&run.service_times);
+        hits += run.snapshot.engine_hits;
+        misses += run.snapshot.engine_misses;
+        evicted += run.snapshot.engines_evicted;
+    }
+    SeriesResult {
+        mean_e2e_per_run: runs.iter().map(ServeRun::mean_e2e).collect(),
+        rps: runs.iter().map(ServeRun::requests_per_sec).sum::<f64>() / runs.len() as f64,
+        e2e: LatencySummary::from_samples(&e2e),
+        wait: LatencySummary::from_samples(&waits),
+        service: LatencySummary::from_samples(&services),
+        hits,
+        misses,
+        evicted,
+    }
+}
+
+fn ms(duration: Duration) -> String {
+    format!("{:.4}", duration.as_secs_f64() * 1e3)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn record(
+    report: &mut BenchReport,
+    id: String,
+    tenants: usize,
+    steps: usize,
+    workers: usize,
+    backend: Backend,
+    strategy: SearchStrategy,
+    series: &SeriesResult,
+) {
+    print_row(&[
+        id.clone(),
+        tenants.to_string(),
+        backend.to_string(),
+        strategy.to_string(),
+        format!("{:.0}", series.rps),
+        ms(series.e2e.p50),
+        ms(series.e2e.p99),
+        fmt_min_mean_max(&series.mean_e2e_per_run),
+    ]);
+    report.record(
+        id,
+        &[
+            ("tenants", &tenants.to_string()),
+            ("backend", &backend.to_string()),
+            ("strategy", strategy.name()),
+            ("workers", &workers.to_string()),
+            ("steps", &steps.to_string()),
+            ("requests", &(tenants * steps).to_string()),
+            ("rps", &format!("{:.4}", series.rps)),
+            ("latency_p50_ms", &ms(series.e2e.p50)),
+            ("latency_p99_ms", &ms(series.e2e.p99)),
+            ("wait_p50_ms", &ms(series.wait.p50)),
+            ("wait_p99_ms", &ms(series.wait.p99)),
+            ("service_p50_ms", &ms(series.service.p50)),
+            ("service_p99_ms", &ms(series.service.p99)),
+            ("engine_hits", &series.hits.to_string()),
+            ("engine_misses", &series.misses.to_string()),
+            ("engines_evicted", &series.evicted.to_string()),
+        ],
+        &series.mean_e2e_per_run,
+    );
+}
+
+fn main() {
+    let steps = stream_steps();
+    let workers = worker_threads();
+    let samples = report_samples(REPORT_SAMPLES);
+    let mut report = BenchReport::new("serve");
+    print_header(
+        "Multi-tenant serving: req/s and end-to-end latency",
+        &[
+            "id",
+            "tenants",
+            "backend",
+            "strategy",
+            "req/s",
+            "p50 ms",
+            "p99 ms",
+            "mean-e2e [min mean max]",
+        ],
+    );
+
+    // Matrix sweep: every backend × strategy at a fixed tenant count.
+    let matrix_workload = serve_workload(
+        TopologyFamily::FatTree,
+        20,
+        PropertyKind::Reachability,
+        MATRIX_TENANTS,
+        steps,
+        42,
+    );
+    for backend in Backend::ALL {
+        for strategy in SearchStrategy::ALL {
+            let options = SynthesisOptions::with_backend(backend).strategy(strategy);
+            let series = run_series(&matrix_workload, &options, workers, samples);
+            record(
+                &mut report,
+                format!("serve/matrix/{backend}/{strategy}"),
+                MATRIX_TENANTS,
+                steps,
+                workers,
+                backend,
+                strategy,
+                &series,
+            );
+        }
+    }
+
+    // Scale sweep: the tenant axis per strategy on the default backend.
+    for tenants in TENANT_AXIS {
+        let workload = serve_workload(
+            TopologyFamily::FatTree,
+            20,
+            PropertyKind::Reachability,
+            tenants,
+            steps,
+            42,
+        );
+        for strategy in SearchStrategy::ALL {
+            let options = SynthesisOptions::default().strategy(strategy);
+            let series = run_series(&workload, &options, workers, samples);
+            record(
+                &mut report,
+                format!("serve/scale/{tenants}/{strategy}"),
+                tenants,
+                steps,
+                workers,
+                Backend::Incremental,
+                strategy,
+                &series,
+            );
+        }
+    }
+
+    report.write().expect("write BENCH_serve.json");
+}

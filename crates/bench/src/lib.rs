@@ -26,13 +26,14 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use netupd_mc::Backend;
+use netupd_serve::{MetricsSnapshot, ServeConfig, TenantId, UpdateServer};
 use netupd_synth::{
     Granularity, SynthStats, SynthesisError, SynthesisOptions, Synthesizer, UpdateEngine,
     UpdateProblem,
 };
 use netupd_topo::scenario::{
     churn_scenarios, diamond_scenario, double_diamond_scenario, multi_diamond_scenario,
-    PropertyKind,
+    multi_tenant_churn_streams, PropertyKind,
 };
 use netupd_topo::{generators, NetworkGraph, UpdateScenario};
 
@@ -320,6 +321,138 @@ pub fn sample_churn_stream(
         .collect()
 }
 
+/// A generated multi-tenant serving workload: `tenants` independent churn
+/// streams over one shared topology, flattened into a submission order that
+/// interleaves the tenants round-robin by step (so concurrent tenants
+/// genuinely contend for the worker fleet, instead of arriving one full
+/// stream at a time).
+#[derive(Debug, Clone)]
+pub struct ServeWorkload {
+    /// The requests in submission order; each tenant's sub-sequence is its
+    /// chained churn stream.
+    pub requests: Vec<(TenantId, UpdateProblem)>,
+    /// Number of tenants.
+    pub tenants: usize,
+    /// Churn steps per tenant.
+    pub steps: usize,
+    /// Number of switches in the shared topology.
+    pub switches: usize,
+}
+
+/// Generates a seeded multi-tenant serving workload on a topology of roughly
+/// `size` switches (see [`multi_tenant_churn_streams`]).
+pub fn serve_workload(
+    family: TopologyFamily,
+    size: usize,
+    kind: PropertyKind,
+    tenants: usize,
+    steps: usize,
+    seed: u64,
+) -> ServeWorkload {
+    let graph = family.generate(size, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x2545_f491);
+    let streams = multi_tenant_churn_streams(&graph, kind, tenants, steps, &mut rng)
+        .or_else(|| {
+            let mut retry = StdRng::seed_from_u64(seed.wrapping_add(1));
+            multi_tenant_churn_streams(&graph, kind, tenants, steps, &mut retry)
+        })
+        .expect("generated topologies admit multi-tenant churn streams");
+    let topology = Arc::new(graph.topology().clone());
+    let mut requests = Vec::with_capacity(tenants * steps);
+    for step in 0..steps {
+        for (t, stream) in streams.iter().enumerate() {
+            requests.push((
+                TenantId(t as u64),
+                UpdateProblem::from_scenario_shared(&stream[step], Arc::clone(&topology)),
+            ));
+        }
+    }
+    ServeWorkload {
+        requests,
+        tenants,
+        steps,
+        switches: graph.num_switches(),
+    }
+}
+
+/// The measurements of serving one [`ServeWorkload`] once through an
+/// [`UpdateServer`].
+#[derive(Debug, Clone)]
+pub struct ServeRun {
+    /// Wall-clock time from first submit to last response.
+    pub wall: Duration,
+    /// Per-request end-to-end latency (queue wait + service time), in
+    /// submission order.
+    pub e2e: Vec<Duration>,
+    /// Per-request queue wait, in submission order.
+    pub queue_waits: Vec<Duration>,
+    /// Per-request synthesis time, in submission order.
+    pub service_times: Vec<Duration>,
+    /// The server's final metrics snapshot.
+    pub snapshot: MetricsSnapshot,
+}
+
+impl ServeRun {
+    /// Requests served per wall-clock second.
+    pub fn requests_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.e2e.len() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean end-to-end latency per request.
+    pub fn mean_e2e(&self) -> Duration {
+        if self.e2e.is_empty() {
+            Duration::ZERO
+        } else {
+            self.e2e.iter().sum::<Duration>() / self.e2e.len() as u32
+        }
+    }
+}
+
+/// Submits the whole workload to a fresh [`UpdateServer`] (started with
+/// `config`), waits for every response, and returns the run's measurements.
+/// The config's queue limits are raised to admit the whole workload — this
+/// harness measures throughput and latency, not shedding. Panics if any
+/// request fails: churn streams are solvable by construction.
+pub fn run_serve_stream(workload: &ServeWorkload, config: ServeConfig) -> ServeRun {
+    let config = config
+        .tenant_queue_limit(workload.steps.max(1))
+        .global_queue_limit(workload.requests.len().max(1));
+    let server = UpdateServer::start(config);
+    let start = Instant::now();
+    let handles: Vec<_> = workload
+        .requests
+        .iter()
+        .map(|(tenant, problem)| {
+            server
+                .submit(*tenant, problem.clone())
+                .expect("bench limits admit the whole workload")
+        })
+        .collect();
+    let mut e2e = Vec::with_capacity(handles.len());
+    let mut queue_waits = Vec::with_capacity(handles.len());
+    let mut service_times = Vec::with_capacity(handles.len());
+    for handle in handles {
+        let outcome = handle.wait();
+        outcome.result.expect("churn steps are solvable");
+        e2e.push(outcome.metrics.queue_wait + outcome.metrics.service_time);
+        queue_waits.push(outcome.metrics.queue_wait);
+        service_times.push(outcome.metrics.service_time);
+    }
+    let wall = start.elapsed();
+    ServeRun {
+        wall,
+        e2e,
+        queue_waits,
+        service_times,
+        snapshot: server.shutdown(),
+    }
+}
+
 /// The result of one timed synthesis run.
 #[derive(Debug, Clone)]
 pub struct SynthesisMeasurement {
@@ -483,6 +616,30 @@ mod tests {
             let elapsed = time_churn_stream(&workload, &options, mode);
             assert!(elapsed > Duration::ZERO, "{} mode ran", mode.name());
         }
+    }
+
+    #[test]
+    fn serve_workload_interleaves_and_the_server_drains_it() {
+        let workload = serve_workload(
+            TopologyFamily::FatTree,
+            20,
+            PropertyKind::Reachability,
+            3,
+            2,
+            11,
+        );
+        assert_eq!(workload.requests.len(), 6);
+        // Round-robin interleave: the first `tenants` requests are step 0 of
+        // each tenant, in tenant order.
+        let first_round: Vec<u64> = workload.requests[..3].iter().map(|(t, _)| t.0).collect();
+        assert_eq!(first_round, vec![0, 1, 2]);
+
+        let run = run_serve_stream(&workload, ServeConfig::default().worker_threads(2));
+        assert_eq!(run.e2e.len(), 6);
+        assert_eq!(run.snapshot.completed, 6);
+        assert_eq!(run.snapshot.shed_tenant + run.snapshot.shed_global, 0);
+        assert!(run.requests_per_sec() > 0.0);
+        assert!(run.mean_e2e() > Duration::ZERO);
     }
 
     #[test]

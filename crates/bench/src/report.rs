@@ -89,7 +89,7 @@ impl BenchReport {
             for (key, value) in &rec.params {
                 out.push_str(&format!(", {}: ", json_string(key)));
                 // Numeric-looking parameters stay numbers in the JSON.
-                if value.parse::<i64>().is_ok() {
+                if is_json_number(value) {
                     out.push_str(value);
                 } else {
                     out.push_str(&json_string(value));
@@ -143,6 +143,26 @@ pub fn fmt_min_mean_max(samples: &[Duration]) -> String {
     format!("[{min:.2} {mean:.2} {max:.2}] ms")
 }
 
+/// Whether a parameter value is also a valid JSON number literal: an `i64`,
+/// or a plain decimal like `123.4567` (optionally negative) — the subset the
+/// rate/latency parameters of the serving bench use. Exotic float renderings
+/// (`1e5`, `inf`, `1.`) stay quoted strings.
+fn is_json_number(value: &str) -> bool {
+    if value.parse::<i64>().is_ok() {
+        return true;
+    }
+    let digits = value.strip_prefix('-').unwrap_or(value);
+    match digits.split_once('.') {
+        Some((int, frac)) => {
+            !int.is_empty()
+                && !frac.is_empty()
+                && int.bytes().all(|b| b.is_ascii_digit())
+                && frac.bytes().all(|b| b.is_ascii_digit())
+        }
+        None => false,
+    }
+}
+
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
@@ -185,6 +205,30 @@ mod tests {
     #[test]
     fn json_strings_are_escaped() {
         assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+
+    #[test]
+    fn float_parameters_are_emitted_as_numbers() {
+        assert!(is_json_number("21"));
+        assert!(is_json_number("-3"));
+        assert!(is_json_number("123.4567"));
+        assert!(is_json_number("-0.25"));
+        assert!(!is_json_number("1e5"));
+        assert!(!is_json_number("1."));
+        assert!(!is_json_number(".5"));
+        assert!(!is_json_number("inf"));
+        assert!(!is_json_number("NaN"));
+        assert!(!is_json_number("fat-tree"));
+
+        let mut report = BenchReport::new("floats");
+        report.record(
+            "serve/x",
+            &[("rps", "812.5000"), ("mode", "reuse")],
+            &[Duration::from_millis(1)],
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"rps\": 812.5000"));
+        assert!(json.contains("\"mode\": \"reuse\""));
     }
 
     #[test]

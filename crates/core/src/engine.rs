@@ -175,6 +175,33 @@ impl UpdateEngine {
         self.rebuilds
     }
 
+    /// Re-pins the engine to a (possibly different) problem triple without
+    /// serving a request: if the problem is incompatible with the engine's
+    /// current `(topology, classes, ingress)`, the encoder is rebuilt and the
+    /// contexts reset exactly as an incompatible [`solve`](Self::solve) would
+    /// do; a compatible problem is a no-op.
+    ///
+    /// This is the recycling hook for serving-layer pools: an engine evicted
+    /// for tenant A can be re-pinned to tenant B's stream, keeping the warm
+    /// contexts' checker storage instead of reallocating it. Results are
+    /// unaffected either way — a re-pinned engine answers like a fresh one.
+    pub fn repin(&mut self, problem: &UpdateProblem) {
+        if !self.compatible(problem) {
+            self.rebuild(problem);
+        }
+    }
+
+    /// Number of resident persistent contexts (sequential, per-worker, and
+    /// portfolio lanes currently warm). A proxy for the engine's retained
+    /// memory beyond the encoder skeleton, used by serving-layer pools to
+    /// weigh eviction decisions.
+    pub fn resident_contexts(&self) -> usize {
+        usize::from(self.seq_ctx.is_some())
+            + self.worker_ctxs.iter().filter(|c| c.is_some()).count()
+            + usize::from(self.portfolio_dfs_ctx.is_some())
+            + usize::from(self.portfolio_sat_ctx.is_some())
+    }
+
     /// Solves one request of the stream.
     ///
     /// The committed commands, unit order, and verdict are identical to what
@@ -476,6 +503,42 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn repin_rebuilds_only_on_incompatible_problems() {
+        let problems = churn_problems(PropertyKind::Reachability, 2, 17);
+        let mut engine = UpdateEngine::for_problem(&problems[0], SynthesisOptions::default());
+        assert_eq!(
+            engine.resident_contexts(),
+            0,
+            "cold engine holds no contexts"
+        );
+        engine.solve(&problems[0]).expect("warm-up solve");
+        assert!(engine.resident_contexts() >= 1, "solve warms a context");
+
+        // Compatible repin is a no-op: no rebuild, contexts stay warm.
+        engine.repin(&problems[1]);
+        assert_eq!(engine.rebuilds(), 0);
+        assert!(engine.resident_contexts() >= 1);
+
+        // Incompatible repin rebuilds, and the re-pinned engine answers like
+        // a fresh one on the new stream.
+        let mut rng = StdRng::seed_from_u64(29);
+        let other_graph = generators::small_world(16, 4, 0.1, &mut rng);
+        let other = diamond_scenario(&other_graph, PropertyKind::Reachability, &mut rng)
+            .expect("diamond on the other graph");
+        let other_problem = UpdateProblem::from_scenario(&other);
+        engine.repin(&other_problem);
+        assert_eq!(engine.rebuilds(), 1);
+        let fresh = Synthesizer::new(other_problem.clone())
+            .synthesize()
+            .expect("fresh solves");
+        let reused = engine
+            .solve(&other_problem)
+            .expect("re-pinned engine solves");
+        assert_eq!(fresh.commands, reused.commands);
+        assert_eq!(fresh.order, reused.order);
     }
 
     #[test]

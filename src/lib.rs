@@ -23,6 +23,7 @@
 //! | [`mc`] | `netupd-mc` | incremental model checking + header-space baseline backend |
 //! | [`sat`] | `netupd-sat` | incremental CDCL SAT solver with assumptions |
 //! | [`synth`] | `netupd-synth` | counterexample-guided synthesis core |
+//! | [`serve`] | `netupd-serve` | multi-tenant serving layer: engine pool, worker fleet, admission control |
 //! | [`mod@bench`] | `netupd-bench` | paper-figure workloads and timing helpers |
 //!
 //! # Quickstart
@@ -56,5 +57,6 @@ pub use netupd_ltl as ltl;
 pub use netupd_mc as mc;
 pub use netupd_model as model;
 pub use netupd_sat as sat;
+pub use netupd_serve as serve;
 pub use netupd_synth as synth;
 pub use netupd_topo as topo;
