@@ -9,7 +9,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use netupd_bench::{
-    diamond_workload, double_diamond_workload, fmt_ms, print_header, print_row,
+    diamond_workload, double_diamond_workload, fmt_ms, infeasible_stats, print_header, print_row,
     time_synthesis_with, TopologyFamily,
 };
 use netupd_mc::Backend;
@@ -61,7 +61,10 @@ fn bench_ablation(c: &mut Criterion) {
             "stolen",
             "spec issued/hit/wasted",
             "prune pub/consult",
-            "sat conflicts/clauses/learnt",
+            "sat conflicts/clauses/learnt/deleted",
+            "sat restarts/decisions",
+            "unsat core",
+            "carried/retired",
             "cegis iters",
             "dfs/sat budget",
         ],
@@ -84,44 +87,75 @@ fn bench_ablation(c: &mut Criterion) {
                 continue;
             }
             let single = time_synthesis_with(&workload.problem, options.clone());
-            let (mode, calls, charged, relabeled, stolen, spec, prune, sat, iters, budgets) =
-                match &single.outcome {
-                    Ok(stats) => (
-                        stats.search_mode.name().to_string(),
-                        stats.model_checker_calls.to_string(),
-                        stats.charged_calls.to_string(),
-                        stats.states_relabeled.to_string(),
-                        stats.tasks_stolen.to_string(),
-                        format!(
-                            "{}/{}/{}",
-                            stats.speculative_issued,
-                            stats.speculative_hits,
-                            stats.speculative_wasted
-                        ),
-                        format!("{}/{}", stats.prune_publishes, stats.prune_consults),
-                        format!(
-                            "{}/{}/{}",
-                            stats.sat_conflicts, stats.sat_clauses, stats.sat_learnt
-                        ),
-                        stats.cegis_iterations.to_string(),
-                        format!(
-                            "{}/{}",
-                            stats.portfolio_dfs_budget, stats.portfolio_sat_budget
-                        ),
+            // Infeasible runs return no stats through the `Result`; recover
+            // them from the engine's explanation side channel so the counter
+            // columns stay populated on the double-diamond rows (where the
+            // unsat-core size is actually meaningful).
+            let row_stats = match &single.outcome {
+                Ok(stats) => Some(stats.clone()),
+                Err(_) => infeasible_stats(&workload.problem, &options),
+            };
+            let (
+                mode,
+                calls,
+                charged,
+                relabeled,
+                stolen,
+                spec,
+                prune,
+                sat,
+                restarts,
+                core,
+                carry,
+                iters,
+                budgets,
+            ) = match &row_stats {
+                Some(stats) => (
+                    stats.search_mode.name().to_string(),
+                    stats.model_checker_calls.to_string(),
+                    stats.charged_calls.to_string(),
+                    stats.states_relabeled.to_string(),
+                    stats.tasks_stolen.to_string(),
+                    format!(
+                        "{}/{}/{}",
+                        stats.speculative_issued, stats.speculative_hits, stats.speculative_wasted
                     ),
-                    Err(_) => (
-                        "-".to_string(),
-                        "0".to_string(),
-                        "0".to_string(),
-                        "0".to_string(),
-                        "0".to_string(),
-                        "-".to_string(),
-                        "-".to_string(),
-                        "-".to_string(),
-                        "0".to_string(),
-                        "-".to_string(),
+                    format!("{}/{}", stats.prune_publishes, stats.prune_consults),
+                    format!(
+                        "{}/{}/{}/{}",
+                        stats.sat_conflicts,
+                        stats.sat_clauses,
+                        stats.sat_learnt,
+                        stats.sat_learnt_deleted
                     ),
-                };
+                    format!("{}/{}", stats.sat_restarts, stats.sat_decisions),
+                    stats.unsat_core_size.to_string(),
+                    format!(
+                        "{}/{}",
+                        stats.constraints_carried, stats.constraints_retired
+                    ),
+                    stats.cegis_iterations.to_string(),
+                    format!(
+                        "{}/{}",
+                        stats.portfolio_dfs_budget, stats.portfolio_sat_budget
+                    ),
+                ),
+                None => (
+                    "-".to_string(),
+                    "0".to_string(),
+                    "0".to_string(),
+                    "0".to_string(),
+                    "0".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "0".to_string(),
+                    "-".to_string(),
+                ),
+            };
             print_row(&[
                 workload_name.to_string(),
                 name.to_string(),
@@ -134,6 +168,9 @@ fn bench_ablation(c: &mut Criterion) {
                 spec,
                 prune,
                 sat,
+                restarts,
+                core,
+                carry,
                 iters,
                 budgets,
             ]);

@@ -14,8 +14,9 @@
 //! the Criterion harness; `harness = false` hands it `main` directly.
 
 use netupd_bench::{
-    churn_workload, fast_mode, fmt_min_mean_max, print_header, print_row, probe_search_mode,
-    report_samples, sample_churn_stream, strategy_threads, BenchReport, StreamMode, TopologyFamily,
+    churn_stream_counters, churn_workload, fast_mode, fmt_min_mean_max, print_header, print_row,
+    probe_search_mode, report_samples, sample_churn_stream, strategy_threads, BenchReport,
+    StreamMode, TopologyFamily,
 };
 use netupd_mc::Backend;
 use netupd_synth::{SearchStrategy, SynthesisOptions};
@@ -55,6 +56,9 @@ fn main() {
             "strategy",
             "threads",
             "mode",
+            "carry",
+            "cegis",
+            "mc calls",
             "[min mean max]",
             "req/s",
         ],
@@ -77,54 +81,99 @@ fn main() {
                         .threads(threads);
                     let search_mode = probe_search_mode(&workload.problems[0], &options);
                     for mode in StreamMode::ALL {
-                        let samples =
-                            sample_churn_stream(&workload, &options, mode, samples_per_series);
-                        let mean_s = samples.iter().map(|d| d.as_secs_f64()).sum::<f64>()
-                            / samples.len() as f64;
-                        let req_per_sec = if mean_s > 0.0 { 1.0 / mean_s } else { 0.0 };
-                        print_row(&[
-                            family.name().to_string(),
-                            workload.switches.to_string(),
-                            backend.to_string(),
-                            strategy.to_string(),
-                            threads.to_string(),
-                            mode.name().to_string(),
-                            fmt_min_mean_max(&samples),
-                            format!("{req_per_sec:.0}"),
-                        ]);
-                        // DFS keeps the pre-axis record ids so perf
-                        // trajectories across PRs stay diffable.
-                        let id = match strategy {
-                            SearchStrategy::Dfs => format!(
-                                "churn/{}/{}/{}/t{}",
-                                family.name(),
-                                backend,
-                                mode.name(),
-                                threads
-                            ),
-                            _ => format!(
-                                "churn/{}/{}/{}/{}/t{}",
-                                family.name(),
-                                backend,
-                                strategy,
-                                mode.name(),
-                                threads
-                            ),
-                        };
-                        report.record(
-                            id,
-                            &[
-                                ("family", family.name()),
-                                ("backend", &backend.to_string()),
-                                ("strategy", strategy.name()),
-                                ("mode", mode.name()),
-                                ("switches", &workload.switches.to_string()),
-                                ("steps", &steps.to_string()),
-                                ("threads", &threads.to_string()),
-                                ("search_mode", search_mode),
-                            ],
-                            &samples,
-                        );
+                        // Cross-request constraint carrying only exists for
+                        // the SAT-guided strategy under engine reuse; that
+                        // cell sweeps the carry axis (on = engine default)
+                        // so the amortization it buys stays measured. Every
+                        // other cell is carry-off by construction.
+                        let carry_axis: &[&str] =
+                            if strategy == SearchStrategy::SatGuided && mode == StreamMode::Reuse {
+                                &["on", "off"]
+                            } else {
+                                &["off"]
+                            };
+                        for &carry in carry_axis {
+                            let run_options = options.clone().carry_forward(carry == "on");
+                            let counters = churn_stream_counters(&workload, &run_options, mode);
+                            let samples = sample_churn_stream(
+                                &workload,
+                                &run_options,
+                                mode,
+                                samples_per_series,
+                            );
+                            let mean_s = samples.iter().map(|d| d.as_secs_f64()).sum::<f64>()
+                                / samples.len() as f64;
+                            let req_per_sec = if mean_s > 0.0 { 1.0 / mean_s } else { 0.0 };
+                            print_row(&[
+                                family.name().to_string(),
+                                workload.switches.to_string(),
+                                backend.to_string(),
+                                strategy.to_string(),
+                                threads.to_string(),
+                                mode.name().to_string(),
+                                carry.to_string(),
+                                counters.cegis_iterations.to_string(),
+                                counters.checker_calls.to_string(),
+                                fmt_min_mean_max(&samples),
+                                format!("{req_per_sec:.0}"),
+                            ]);
+                            // DFS keeps the pre-axis record ids so perf
+                            // trajectories across PRs stay diffable, and the
+                            // default configuration (carry on under reuse)
+                            // keeps the pre-carry-axis ids for the same
+                            // reason; only the carry-off contrast cell gets
+                            // a new id segment.
+                            let id = match strategy {
+                                SearchStrategy::Dfs => format!(
+                                    "churn/{}/{}/{}/t{}",
+                                    family.name(),
+                                    backend,
+                                    mode.name(),
+                                    threads
+                                ),
+                                SearchStrategy::SatGuided
+                                    if mode == StreamMode::Reuse && carry == "off" =>
+                                {
+                                    format!(
+                                        "churn/{}/{}/{}/{}/carry-off/t{}",
+                                        family.name(),
+                                        backend,
+                                        strategy,
+                                        mode.name(),
+                                        threads
+                                    )
+                                }
+                                _ => format!(
+                                    "churn/{}/{}/{}/{}/t{}",
+                                    family.name(),
+                                    backend,
+                                    strategy,
+                                    mode.name(),
+                                    threads
+                                ),
+                            };
+                            report.record(
+                                id,
+                                &[
+                                    ("family", family.name()),
+                                    ("backend", &backend.to_string()),
+                                    ("strategy", strategy.name()),
+                                    ("mode", mode.name()),
+                                    ("carry", carry),
+                                    ("switches", &workload.switches.to_string()),
+                                    ("steps", &steps.to_string()),
+                                    ("threads", &threads.to_string()),
+                                    ("search_mode", search_mode),
+                                    ("cegis_iterations", &counters.cegis_iterations.to_string()),
+                                    ("checker_calls", &counters.checker_calls.to_string()),
+                                    (
+                                        "constraints_carried",
+                                        &counters.constraints_carried.to_string(),
+                                    ),
+                                ],
+                                &samples,
+                            );
+                        }
                     }
                 }
             }

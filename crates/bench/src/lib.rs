@@ -321,6 +321,67 @@ pub fn sample_churn_stream(
         .collect()
 }
 
+/// Deterministic work counters of serving a whole churn stream once —
+/// attached to the churn bench records so synthesis *effort* (not just
+/// wall-clock) stays diffable across PRs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChurnCounters {
+    /// Total CEGIS propose→verify→learn iterations across the stream
+    /// (SAT-guided rows; 0 for the DFS).
+    pub cegis_iterations: usize,
+    /// Total model-checker calls issued across the stream.
+    pub checker_calls: usize,
+    /// Constraints carried across requests (engine reuse under the
+    /// SAT-guided strategy with carry enabled; 0 everywhere else).
+    pub constraints_carried: usize,
+}
+
+/// Serves the stream once in the given mode and sums the per-request work
+/// counters. Deterministic for fixed options — no timing involved. Panics if
+/// any request fails: churn streams are solvable by construction.
+pub fn churn_stream_counters(
+    workload: &ChurnWorkload,
+    options: &SynthesisOptions,
+    mode: StreamMode,
+) -> ChurnCounters {
+    let mut counters = ChurnCounters::default();
+    let mut absorb = |stats: &SynthStats| {
+        counters.cegis_iterations += stats.cegis_iterations;
+        counters.checker_calls += stats.model_checker_calls;
+        counters.constraints_carried += stats.constraints_carried;
+    };
+    match mode {
+        StreamMode::Fresh => {
+            for problem in &workload.problems {
+                let update = Synthesizer::new(problem.clone())
+                    .with_options(options.clone())
+                    .synthesize()
+                    .expect("churn steps are solvable");
+                absorb(&update.stats);
+            }
+        }
+        StreamMode::Reuse => {
+            let mut engine = UpdateEngine::for_problem(&workload.problems[0], options.clone());
+            for problem in &workload.problems {
+                let update = engine.solve(problem).expect("churn steps are solvable");
+                absorb(&update.stats);
+            }
+        }
+    }
+    counters
+}
+
+/// Statistics of a constraint-proven infeasible run, recovered from the
+/// engine's explanation side channel — the error path returns no
+/// `UpdateSequence`, so [`UpdateEngine::last_explanation`] is the only place
+/// an infeasible run's counters surface. `None` when the run succeeds, or
+/// fails without an explanation (exhaustion, parallel DFS, portfolio).
+pub fn infeasible_stats(problem: &UpdateProblem, options: &SynthesisOptions) -> Option<SynthStats> {
+    let mut engine = UpdateEngine::for_problem(problem, options.clone());
+    engine.solve(problem).err()?;
+    engine.last_explanation().map(|e| e.stats.clone())
+}
+
 /// A generated multi-tenant serving workload: `tenants` independent churn
 /// streams over one shared topology, flattened into a submission order that
 /// interleaves the tenants round-robin by step (so concurrent tenants

@@ -129,6 +129,31 @@ impl WrongSet {
     }
 }
 
+/// Deletion-minimizes the unsat core left in `solver` by the immediately
+/// preceding unsatisfiable `solve_with_assumptions` call: literals are
+/// dropped one at a time (in core order) and kept out whenever the remainder
+/// still refutes. Each successful deletion re-reads the solver's refined
+/// core, so the result is a *minimal* core — removing any single literal
+/// makes it satisfiable. Deterministic: the scan order is the assumption
+/// install order.
+fn minimize_selector_core(solver: &mut Solver) -> Vec<Lit> {
+    let mut core: Vec<Lit> = solver.unsat_core().to_vec();
+    let mut i = 0;
+    while i < core.len() {
+        let mut trial = core.clone();
+        trial.remove(i);
+        if solver.solve_with_assumptions(&trial) == SolveResult::Unsat {
+            // The refined core is a subset of `trial`, so it strictly
+            // shrinks; restarting the scan terminates.
+            core = solver.unsat_core().to_vec();
+            i = 0;
+        } else {
+            i += 1;
+        }
+    }
+    core
+}
+
 /// Accumulated ordering constraints over switch updates (§4.2 B).
 ///
 /// Every counterexample observed at a configuration with updated switches `A`
@@ -139,6 +164,15 @@ impl WrongSet {
 /// with totality, antisymmetry, and transitivity axioms; when the clause set
 /// becomes unsatisfiable, no simple switch-granularity order exists and the
 /// DFS strategy stops immediately.
+///
+/// Every counterexample clause is guarded by a fresh *selector* variable
+/// (the order axioms stay hard), and [`satisfiable`] solves under the
+/// selector assumptions. On unsatisfiability the solver's assumption core,
+/// deletion-minimized, names the minimal conflicting counterexample set —
+/// readable through [`infeasibility_core`] as [`WrongFormula`]s.
+///
+/// [`satisfiable`]: OrderingConstraints::satisfiable
+/// [`infeasibility_core`]: OrderingConstraints::infeasibility_core
 #[derive(Debug, Default)]
 pub struct OrderingConstraints {
     solver: Solver,
@@ -150,6 +184,12 @@ pub struct OrderingConstraints {
     /// `(updated, not_updated)` switch-set pair: repeat observations of the
     /// same pair would re-add an identical clause to the solver.
     seen: HashSet<(BTreeSet<SwitchId>, BTreeSet<SwitchId>)>,
+    /// Selector variable and provenance per counterexample clause, in learn
+    /// order.
+    selectors: Vec<(Var, WrongFormula)>,
+    /// Minimal conflicting counterexample set, populated by the first
+    /// unsatisfiable [`OrderingConstraints::satisfiable`] call.
+    core: Option<Vec<WrongFormula>>,
     constraints: usize,
 }
 
@@ -250,39 +290,127 @@ impl OrderingConstraints {
             }
         }
         if !clause.is_empty() {
+            let selector = self.solver.new_var();
+            clause.push(Lit::neg(selector));
             self.solver.add_clause(clause);
+            self.selectors.push((
+                selector,
+                WrongFormula {
+                    updated: updated.clone(),
+                    not_updated: not_updated.clone(),
+                },
+            ));
             self.seen.insert((updated.clone(), not_updated.clone()));
             self.constraints += 1;
         }
     }
 
     /// Returns `true` if some total order of switch updates is still
-    /// consistent with every constraint added so far.
+    /// consistent with every constraint added so far. The first `false`
+    /// answer also extracts and minimizes the conflicting constraint core
+    /// (see [`OrderingConstraints::infeasibility_core`]).
     pub fn satisfiable(&mut self) -> bool {
-        self.solver.solve() == SolveResult::Sat
+        let assumptions: Vec<Lit> = self.selectors.iter().map(|(v, _)| Lit::pos(*v)).collect();
+        match self.solver.solve_with_assumptions(&assumptions) {
+            SolveResult::Sat => true,
+            SolveResult::Unsat => {
+                if self.core.is_none() {
+                    let core = minimize_selector_core(&mut self.solver);
+                    let by_var: HashMap<u32, &WrongFormula> =
+                        self.selectors.iter().map(|(v, f)| (v.0, f)).collect();
+                    self.core = Some(
+                        core.iter()
+                            .filter_map(|l| by_var.get(&l.var().0).map(|&f| f.clone()))
+                            .collect(),
+                    );
+                }
+                false
+            }
+        }
+    }
+
+    /// The minimal conflicting set of counterexample constraints, available
+    /// after [`OrderingConstraints::satisfiable`] has answered `false`:
+    /// dropping any single member makes the remainder satisfiable, so this
+    /// is an *explanation* of why no simple order exists.
+    pub fn infeasibility_core(&self) -> Option<&[WrongFormula]> {
+        self.core.as_deref()
     }
 }
 
+/// Provenance of one learnt [`UnitOrdering`] clause, in unit indices.
+///
+/// Kept alongside the selector variable guarding the clause, so that (a) an
+/// infeasibility verdict can be explained as the minimal conflicting set of
+/// counterexample-level facts, and (b) the engine's cross-request carry can
+/// re-derive whether a clause is still entailed after a churn step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LearntConstraint {
+    /// Some unit of `before` must be applied before some unit of `after`
+    /// (the §4.2 B counterexample constraint).
+    SomeBefore {
+        /// Units not yet applied when the counterexample was observed.
+        before: Vec<usize>,
+        /// Units already applied when the counterexample was observed.
+        after: Vec<usize>,
+    },
+    /// The units of `applied` must not be exactly the units of a prefix of
+    /// the order.
+    PrefixSet {
+        /// The violating prefix set.
+        applied: BTreeSet<usize>,
+    },
+    /// This exact total order is excluded.
+    Order {
+        /// The excluded order.
+        order: Vec<usize>,
+    },
+}
+
 /// The CEGIS constraint store of the SAT-guided strategy: precedence
-/// constraints over *update units*, with a model decoder.
+/// constraints over *update units*, with a canonical order extractor.
 ///
 /// Where [`OrderingConstraints`] only asks "is some order still possible?",
 /// this store completes the loop the paper's §4.2 B machinery was already
 /// paying for: `before(i, j)` variables are allocated for every unit pair up
 /// front (one variable per unordered pair — `before(j, i)` is its negation,
 /// so antisymmetry and totality are free), transitivity axioms are added
-/// eagerly, and [`propose`](UnitOrdering::propose) decodes the solver's
-/// model into a concrete total order for the model checker to verify.
-/// Failed verifications come back through
-/// [`block_prefix_set`](UnitOrdering::block_prefix_set) (sound for any
-/// granularity and backend: applying a set of units yields the same
+/// eagerly, and [`propose`](UnitOrdering::propose) extracts a concrete total
+/// order for the model checker to verify. Failed verifications come back
+/// through [`block_prefix_set`](UnitOrdering::block_prefix_set) (sound for
+/// any granularity and backend: applying a set of units yields the same
 /// configuration in any order, so a violating prefix *set* refutes every
 /// order that realizes it) or the stronger
 /// [`require_some_before`](UnitOrdering::require_some_before)
 /// (the §4.2 B switch-set constraint, available when the backend produced a
 /// counterexample at switch granularity). Both clause forms exclude the
-/// model they were learnt from, so the loop never re-proposes an order and
+/// order they were learnt from, so the loop never re-proposes an order and
 /// terminates; unsatisfiability proves no simple order exists.
+///
+/// ## The lex-min proposal rule
+///
+/// [`propose`](UnitOrdering::propose) does not return an arbitrary model:
+/// it returns the **lexicographically minimal** total order consistent with
+/// every learnt clause, built greedily (fix the smallest unit that can still
+/// go first, then the smallest that can go second, ...; each fixing question
+/// is one assumption-based solve, with a model-witness shortcut that skips
+/// the solve when the previous model already places the candidate next).
+/// Because every clause the CEGIS loop learns is *entailed* — it never
+/// excludes a correct order — the order the loop finally commits is the
+/// lex-min **correct** order, independent of which entailed clauses happen
+/// to be in the store. That invariance is what makes cross-request clause
+/// carry-forward result-preserving: pre-loading entailed clauses from a
+/// previous request changes how much work the loop does, never what it
+/// returns.
+///
+/// ## Selectors and unsat cores
+///
+/// Every learnt clause is guarded by a fresh selector variable (the order
+/// axioms stay hard) and proposals assume all selectors. When the clause
+/// set goes unsatisfiable, the solver's assumption core — deletion-minimized
+/// — names the minimal conflicting constraint set, readable through
+/// [`infeasibility_core`](UnitOrdering::infeasibility_core) with full
+/// [`LearntConstraint`] provenance.
 #[derive(Debug)]
 pub struct UnitOrdering {
     solver: Solver,
@@ -292,6 +420,11 @@ pub struct UnitOrdering {
     pair_vars: Vec<Var>,
     /// Canonicalized learnt clauses, for deduplication.
     seen: HashSet<Vec<Lit>>,
+    /// Selector variable and provenance per learnt clause, in learn order.
+    selectors: Vec<(Var, LearntConstraint)>,
+    /// Minimal conflicting constraint set, populated when
+    /// [`UnitOrdering::propose`] proves infeasibility.
+    core: Option<Vec<LearntConstraint>>,
     constraints: usize,
     proposals: usize,
 }
@@ -311,6 +444,8 @@ impl UnitOrdering {
             n,
             pair_vars,
             seen: HashSet::new(),
+            selectors: Vec::new(),
+            core: None,
             constraints: 0,
             proposals: 0,
         };
@@ -369,17 +504,136 @@ impl UnitOrdering {
         }
     }
 
-    /// Asks the solver for a total order consistent with every constraint
-    /// learnt so far, decoded from the model over the `before` variables.
-    /// Returns `None` when the constraints are unsatisfiable — no simple
-    /// order of the units exists.
+    /// Asks the solver for the *lexicographically minimal* total order
+    /// consistent with every constraint learnt so far (see the type-level
+    /// docs for why lex-min). Returns `None` when the constraints are
+    /// unsatisfiable — no simple order of the units exists — in which case
+    /// [`UnitOrdering::infeasibility_core`] holds the minimal conflicting
+    /// constraint set.
     pub fn propose(&mut self) -> Option<Vec<usize>> {
         self.proposals += 1;
-        if self.solver.solve() != SolveResult::Sat {
-            return None;
+        let selectors: Vec<Lit> = self.selectors.iter().map(|(v, _)| Lit::pos(*v)).collect();
+        let mut assumptions = selectors.clone();
+        let mut remaining: BTreeSet<usize> = (0..self.n).collect();
+        let mut order = Vec::with_capacity(self.n);
+        let mut witness: Option<Model> = None;
+        while remaining.len() > 1 {
+            // The previous model already realizes the fixed prefix; its
+            // earliest remaining unit is feasible without a solve. Smaller
+            // candidates still have to be ruled out by solving.
+            let witness_first = witness
+                .as_ref()
+                .map(|m| self.first_of_remaining(m, &remaining));
+            let mut chosen = None;
+            for &candidate in &remaining {
+                if witness_first == Some(candidate) {
+                    chosen = Some(candidate);
+                    break;
+                }
+                let mut trial = assumptions.clone();
+                trial.extend(
+                    remaining
+                        .iter()
+                        .filter(|&&r| r != candidate)
+                        .map(|&r| self.before_lit(candidate, r)),
+                );
+                if self.solver.solve_with_assumptions(&trial) == SolveResult::Sat {
+                    witness = Some(self.solver.model_snapshot());
+                    chosen = Some(candidate);
+                    break;
+                }
+            }
+            let Some(candidate) = chosen else {
+                // No unit can go first: the clause set is unsatisfiable
+                // (reachable only before any position is fixed — a realized
+                // prefix always has a feasible next unit, witnessed by the
+                // model that realized it). Re-solve over the selectors alone
+                // so the unsat core ranges over whole constraints.
+                return match self.solver.solve_with_assumptions(&selectors) {
+                    SolveResult::Sat => {
+                        // Defensive fallback; greedy fixing cannot fail while
+                        // the constraints are satisfiable.
+                        let model = self.solver.model_snapshot();
+                        Some(self.decode(&model))
+                    }
+                    SolveResult::Unsat => {
+                        self.extract_core();
+                        None
+                    }
+                };
+            };
+            remaining.remove(&candidate);
+            assumptions.extend(remaining.iter().map(|&r| self.before_lit(candidate, r)));
+            order.push(candidate);
         }
-        let model = self.solver.model_snapshot();
-        Some(self.decode(&model))
+        order.extend(remaining);
+        Some(order)
+    }
+
+    /// The unit the model places first among `remaining`.
+    fn first_of_remaining(&self, model: &Model, remaining: &BTreeSet<usize>) -> usize {
+        'outer: for &u in remaining {
+            for &v in remaining {
+                if v == u {
+                    continue;
+                }
+                let u_first = match self.before_lit(u, v) {
+                    lit if lit.is_positive() => model.value(lit.var()) == Some(true),
+                    lit => model.value(lit.var()) == Some(false),
+                };
+                if !u_first {
+                    continue 'outer;
+                }
+            }
+            return u;
+        }
+        unreachable!("a total-order model has a minimum among any unit subset")
+    }
+
+    /// Extracts and deletion-minimizes the selector core after an
+    /// unsatisfiable solve, storing it as provenance.
+    fn extract_core(&mut self) {
+        let core = minimize_selector_core(&mut self.solver);
+        let by_var: HashMap<u32, &LearntConstraint> =
+            self.selectors.iter().map(|(v, c)| (v.0, c)).collect();
+        self.core = Some(
+            core.iter()
+                .filter_map(|l| by_var.get(&l.var().0).map(|&c| c.clone()))
+                .collect(),
+        );
+    }
+
+    /// The minimal conflicting set of learnt constraints, available after
+    /// [`UnitOrdering::propose`] has returned `None`: dropping any single
+    /// member makes the remainder satisfiable.
+    pub fn infeasibility_core(&self) -> Option<&[LearntConstraint]> {
+        self.core.as_deref()
+    }
+
+    /// The provenance of every learnt constraint, in learn order.
+    pub fn learnt_constraints(&self) -> impl Iterator<Item = &LearntConstraint> + '_ {
+        self.selectors.iter().map(|(_, c)| c)
+    }
+
+    /// Seeds solver phases from a previously accepted order: the next model
+    /// search tries the old relative polarities first. A pure warm start —
+    /// assumption-driven lex-min extraction is phase-independent in its
+    /// *results*, so this only shifts solver effort.
+    pub fn warm_start_from_order(&mut self, order: &[usize]) {
+        let mut position = vec![usize::MAX; self.n];
+        for (p, &u) in order.iter().enumerate() {
+            if u < self.n {
+                position[u] = p;
+            }
+        }
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                if position[i] != usize::MAX && position[j] != usize::MAX {
+                    let var = self.pair_vars[self.pair_index(i, j)];
+                    self.solver.set_phase(var, position[i] < position[j]);
+                }
+            }
+        }
     }
 
     /// Decodes a model into the total order it describes: unit `i`'s rank is
@@ -420,7 +674,12 @@ impl UnitOrdering {
                 clause.push(self.before_lit(outside, inside));
             }
         }
-        self.learn(clause)
+        self.learn(
+            clause,
+            LearntConstraint::PrefixSet {
+                applied: applied.clone(),
+            },
+        )
     }
 
     /// Learns the §4.2 B constraint: some unit of `before_units` must precede
@@ -436,7 +695,13 @@ impl UnitOrdering {
                 clause.push(self.before_lit(c, a));
             }
         }
-        self.learn(clause)
+        self.learn(
+            clause,
+            LearntConstraint::SomeBefore {
+                before: before_units.to_vec(),
+                after: after_units.to_vec(),
+            },
+        )
     }
 
     /// Learns that exactly this total order must never be proposed again:
@@ -449,20 +714,29 @@ impl UnitOrdering {
             .windows(2)
             .map(|pair| self.before_lit(pair[1], pair[0]))
             .collect();
-        self.learn(clause)
+        self.learn(
+            clause,
+            LearntConstraint::Order {
+                order: order.to_vec(),
+            },
+        )
     }
 
-    /// Adds a learnt clause after canonicalization and deduplication.
+    /// Adds a learnt clause after canonicalization and deduplication,
+    /// guarded by a fresh selector variable carrying its provenance.
     /// An *empty* clause is rejected up front by callers' soundness
     /// arguments; if one slips through it correctly makes the store
-    /// unsatisfiable.
-    fn learn(&mut self, mut clause: Vec<Lit>) -> bool {
+    /// unsatisfiable (the guarded clause reduces to the negated selector).
+    fn learn(&mut self, mut clause: Vec<Lit>, provenance: LearntConstraint) -> bool {
         clause.sort_unstable();
         clause.dedup();
         if !self.seen.insert(clause.clone()) {
             return false;
         }
+        let selector = self.solver.new_var();
+        clause.push(Lit::neg(selector));
         self.solver.add_clause(clause);
+        self.selectors.push((selector, provenance));
         self.constraints += 1;
         true
     }
@@ -569,6 +843,30 @@ mod tests {
     }
 
     #[test]
+    fn infeasibility_core_names_only_the_conflicting_counterexamples() {
+        let mut constraints = OrderingConstraints::new();
+        // An irrelevant constraint over disjoint switches...
+        constraints.add_counterexample(&set(&[5]), &set(&[6]));
+        // ...and a genuine contradiction.
+        constraints.add_counterexample(&set(&[1]), &set(&[2]));
+        constraints.add_counterexample(&set(&[2]), &set(&[1]));
+        assert!(!constraints.satisfiable());
+        let core = constraints.infeasibility_core().expect("core after unsat");
+        assert_eq!(core.len(), 2, "minimal core is exactly the contradiction");
+        for formula in core {
+            let mentioned: BTreeSet<SwitchId> = formula
+                .updated
+                .union(&formula.not_updated)
+                .copied()
+                .collect();
+            assert_eq!(mentioned, set(&[1, 2]), "core mentions only the conflict");
+        }
+        // The core is cached: asking again does not disturb it.
+        assert!(!constraints.satisfiable());
+        assert_eq!(constraints.infeasibility_core().unwrap().len(), 2);
+    }
+
+    #[test]
     fn identical_counterexample_pairs_are_deduplicated() {
         let mut constraints = OrderingConstraints::new();
         constraints.add_counterexample(&set(&[1, 4]), &set(&[2, 3]));
@@ -654,6 +952,87 @@ mod tests {
         assert!(store.require_some_before(&[0], &[1, 2]));
         assert!(!store.require_some_before(&[0], &[1, 2]));
         assert_eq!(store.num_constraints(), 1);
+    }
+
+    #[test]
+    fn proposals_are_lexicographically_minimal() {
+        let mut store = UnitOrdering::new(3);
+        // Only constraint: unit 2 before unit 0. The lex-min consistent
+        // order is [1, 2, 0] (0 cannot lead; 1 can; then 0 still cannot
+        // precede 2).
+        assert!(store.require_some_before(&[2], &[0]));
+        assert_eq!(store.propose(), Some(vec![1, 2, 0]));
+    }
+
+    #[test]
+    fn entailed_clauses_do_not_change_the_proposal() {
+        // Pre-loading clauses entailed by the existing ones (the carry-forward
+        // situation) must leave the lex-min proposal untouched.
+        let mut plain = UnitOrdering::new(4);
+        assert!(plain.require_some_before(&[3], &[0]));
+        let mut preloaded = UnitOrdering::new(4);
+        assert!(preloaded.require_some_before(&[3], &[0]));
+        // Entailed: weaker disjunction of the same constraint, and a prefix
+        // block already excluded by `before(3, 0)`.
+        assert!(preloaded.require_some_before(&[3], &[0, 1]));
+        assert!(preloaded.block_prefix_set(&[0].into_iter().collect()));
+        assert_eq!(plain.propose(), preloaded.propose());
+        assert_eq!(plain.propose(), Some(vec![1, 2, 3, 0]));
+    }
+
+    #[test]
+    fn warm_start_does_not_change_proposals() {
+        let mut cold = UnitOrdering::new(4);
+        assert!(cold.require_some_before(&[3], &[0]));
+        let mut warm = UnitOrdering::new(4);
+        assert!(warm.require_some_before(&[3], &[0]));
+        // Seed phases from an order that *disagrees* with the lex-min answer;
+        // the committed proposal must not move.
+        warm.warm_start_from_order(&[0, 3, 2, 1]);
+        assert_eq!(cold.propose(), warm.propose());
+    }
+
+    #[test]
+    fn unit_infeasibility_core_names_only_the_conflict() {
+        let mut store = UnitOrdering::new(4);
+        // Irrelevant constraint over units 2 and 3...
+        assert!(store.require_some_before(&[2], &[3]));
+        // ...and a contradiction over units 0 and 1.
+        assert!(store.require_some_before(&[0], &[1]));
+        assert!(store.require_some_before(&[1], &[0]));
+        assert!(store.propose().is_none());
+        let core = store.infeasibility_core().expect("core after unsat");
+        assert_eq!(core.len(), 2);
+        for constraint in core {
+            match constraint {
+                LearntConstraint::SomeBefore { before, after } => {
+                    let mentioned: BTreeSet<usize> =
+                        before.iter().chain(after.iter()).copied().collect();
+                    assert_eq!(mentioned, [0, 1].into_iter().collect::<BTreeSet<_>>());
+                }
+                other => panic!("unexpected core member {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn learnt_constraints_expose_provenance_in_learn_order() {
+        let mut store = UnitOrdering::new(3);
+        assert!(store.require_some_before(&[2], &[0]));
+        assert!(store.block_prefix_set(&[1].into_iter().collect()));
+        let learnt: Vec<&LearntConstraint> = store.learnt_constraints().collect();
+        assert_eq!(
+            learnt,
+            vec![
+                &LearntConstraint::SomeBefore {
+                    before: vec![2],
+                    after: vec![0],
+                },
+                &LearntConstraint::PrefixSet {
+                    applied: [1].into_iter().collect(),
+                },
+            ]
+        );
     }
 
     #[test]

@@ -59,17 +59,21 @@
 //! assert_eq!(engine.requests_served(), 3);
 //! ```
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use netupd_kripke::NetworkKripke;
-use netupd_model::{CommandSeq, HostId, Topology, TrafficClass};
+use netupd_ltl::semantics;
+use netupd_model::{CommandSeq, Configuration, HostId, Network, SwitchId, Topology, TrafficClass};
 
-use crate::options::{SearchStrategy, SynthesisOptions};
+use crate::constraints::LearntConstraint;
+use crate::explain::{ConflictConstraint, InfeasibilityExplanation};
+use crate::options::{Granularity, SearchStrategy, SynthesisOptions};
 use crate::parallel::{self, WorkerContext};
 use crate::problem::UpdateProblem;
 use crate::search::{finish_sequence, SynthStats, SynthesisError, UpdateSequence};
 use crate::strategy::{dfs::DfsSearch, portfolio, sat_guided};
-use crate::units::plan_units;
+use crate::units::{plan_units, UpdateUnit};
 
 /// A long-lived synthesis engine serving a stream of [`UpdateProblem`]s over
 /// a fixed `(topology, classes, ingress)` triple, amortizing everything that
@@ -96,8 +100,33 @@ pub struct UpdateEngine {
     portfolio_dfs_ctx: Option<WorkerContext>,
     /// Persistent context of the portfolio's SAT lane.
     portfolio_sat_ctx: Option<WorkerContext>,
+    /// The SAT-guided strategy's cross-request harvest (switch-level
+    /// constraints and the accepted order of the previous successful
+    /// request), revalidated against each new request before pre-loading.
+    sat_carry: Option<SatCarry>,
+    /// The most recent request's infeasibility explanation, if any.
+    last_explanation: Option<InfeasibilityExplanation>,
     requests_served: usize,
     rebuilds: usize,
+}
+
+/// The switch-level harvest of a successful SAT-guided request, kept for the
+/// next request of the stream. Everything here is in *switch* terms — unit
+/// indices are request-local, so the harvest is translated back into the next
+/// request's indices after revalidation.
+struct SatCarry {
+    /// §4.2 B constraints, as `(before, after)` switch sets.
+    some_before: Vec<(BTreeSet<SwitchId>, BTreeSet<SwitchId>)>,
+    /// Violating prefix sets.
+    prefix_sets: Vec<BTreeSet<SwitchId>>,
+    /// Prefix sets verified to satisfy the specification.
+    verified: Vec<BTreeSet<SwitchId>>,
+    /// The accepted order, for warm-starting solver phases.
+    last_order: Vec<SwitchId>,
+    /// Exact-order blocking clauses learnt by the previous request. They are
+    /// never carried (an order over the old unit set has no sound reading
+    /// over the new one), only counted as retired.
+    orders_learnt: usize,
 }
 
 impl std::fmt::Debug for UpdateEngine {
@@ -137,6 +166,8 @@ impl UpdateEngine {
             worker_ctxs: Vec::new(),
             portfolio_dfs_ctx: None,
             portfolio_sat_ctx: None,
+            sat_carry: None,
+            last_explanation: None,
             requests_served: 0,
             rebuilds: 0,
         }
@@ -216,16 +247,40 @@ impl UpdateEngine {
             self.rebuild(problem);
         }
         self.requests_served += 1;
+        self.last_explanation = None;
         let units = plan_units(problem, self.options.granularity);
         match self.options.strategy {
-            SearchStrategy::SatGuided => sat_guided::solve(
-                problem,
-                &self.options,
-                &units,
-                &self.encoder,
-                &mut self.seq_ctx,
-                &mut self.worker_ctxs,
-            ),
+            SearchStrategy::SatGuided => {
+                // Carry is scoped to switch granularity: there one unit is
+                // one switch, so the switch-level harvest translates
+                // one-to-one into the next request's unit indices.
+                let carry_enabled =
+                    self.options.carry_forward && self.options.granularity == Granularity::Switch;
+                let carry_in = if carry_enabled {
+                    self.sat_carry
+                        .take()
+                        .map(|carry| revalidate_carry(&carry, problem, &units))
+                } else {
+                    self.sat_carry = None;
+                    None
+                };
+                let mut artifacts = sat_guided::Artifacts::default();
+                let result = sat_guided::solve(
+                    problem,
+                    &self.options,
+                    &units,
+                    &self.encoder,
+                    &mut self.seq_ctx,
+                    &mut self.worker_ctxs,
+                    carry_in,
+                    Some(&mut artifacts),
+                );
+                self.last_explanation = artifacts.explanation.take();
+                if carry_enabled && result.is_ok() {
+                    self.sat_carry = harvest_carry(&artifacts, &units);
+                }
+                result
+            }
             SearchStrategy::Dfs if self.options.threads > 1 && !units.is_empty() => {
                 parallel::synthesize_with_contexts(
                     problem,
@@ -275,7 +330,20 @@ impl UpdateEngine {
         {
             ctx.begin_new_series();
         }
+        self.sat_carry = None;
+        self.last_explanation = None;
         self.rebuilds += 1;
+    }
+
+    /// The infeasibility explanation of the most recent
+    /// [`solve`](Self::solve), when that request failed with
+    /// [`SynthesisError::NoOrderingExists`] `{ proven_by_constraints: true }`
+    /// under a strategy that produces one (SAT-guided, or the
+    /// single-threaded DFS). Cleared at the start of every request; `None`
+    /// after successes, other failures, or strategies whose constraint
+    /// stores are not surfaced (parallel DFS, portfolio).
+    pub fn last_explanation(&self) -> Option<&InfeasibilityExplanation> {
+        self.last_explanation.as_ref()
     }
 
     /// The sequential `OrderUpdate` run over the persistent sequential
@@ -338,33 +406,241 @@ impl UpdateEngine {
         let outcome = search.dfs();
         let sat_constraints = search.ordering.num_constraints();
         let solver = search.ordering.solver_stats();
-        let stats = std::mem::take(&mut search.stats);
+        // When the DFS aborted because the constraints went unsatisfiable,
+        // the store has the minimal core cached — capture it before the
+        // search (and the store inside it) is dropped.
+        let core = search.ordering.infeasibility_core().map(<[_]>::to_vec);
+        let mut stats = std::mem::take(&mut search.stats);
         let end_config = std::mem::take(&mut search.config);
         drop(search);
         ctx.set_config(end_config);
 
-        match outcome? {
-            Some(order_indices) => {
-                let mut stats = stats;
-                stats.sat_constraints = sat_constraints;
-                stats.sat_conflicts = solver.conflicts;
-                stats.sat_clauses = solver.clauses;
-                stats.sat_learnt = solver.learnt;
-                // Sequentially, the schedule cost *is* the real cost.
-                stats.charged_calls = stats.model_checker_calls;
-                Ok(finish_sequence(
-                    problem,
-                    &self.options,
-                    units,
-                    &order_indices,
-                    stats,
-                ))
-            }
-            None => Err(SynthesisError::NoOrderingExists {
+        stats.sat_constraints = sat_constraints;
+        stats.sat_conflicts = solver.conflicts;
+        stats.sat_clauses = solver.clauses;
+        stats.sat_learnt = solver.learnt;
+        stats.sat_restarts = solver.restarts;
+        stats.sat_decisions = solver.decisions;
+        stats.sat_learnt_deleted = solver.learnt_deleted;
+        // Sequentially, the schedule cost *is* the real cost.
+        stats.charged_calls = stats.model_checker_calls;
+
+        match outcome {
+            Ok(Some(order_indices)) => Ok(finish_sequence(
+                problem,
+                &self.options,
+                units,
+                &order_indices,
+                stats,
+            )),
+            Ok(None) => Err(SynthesisError::NoOrderingExists {
                 proven_by_constraints: false,
             }),
+            Err(error) => {
+                if error
+                    == (SynthesisError::NoOrderingExists {
+                        proven_by_constraints: true,
+                    })
+                {
+                    if let Some(core) = core {
+                        stats.unsat_core_size = core.len();
+                        self.last_explanation = Some(InfeasibilityExplanation {
+                            constraints: core.iter().map(ConflictConstraint::from_wrong).collect(),
+                            stats,
+                        });
+                    }
+                }
+                Err(error)
+            }
         }
     }
+}
+
+/// Harvests the switch-level carry of a successful SAT-guided run. `None`
+/// when nothing was committed (trivial request with no units) — the carry is
+/// dropped rather than left stale.
+fn harvest_carry(artifacts: &sat_guided::Artifacts, units: &[UpdateUnit]) -> Option<SatCarry> {
+    let accepted = artifacts.accepted_order.as_ref()?;
+    let switches = |indices: &[usize]| -> BTreeSet<SwitchId> {
+        indices.iter().map(|&i| units[i].switch()).collect()
+    };
+    let mut carry = SatCarry {
+        some_before: Vec::new(),
+        prefix_sets: Vec::new(),
+        verified: artifacts
+            .verified
+            .iter()
+            .map(|set| set.iter().map(|&i| units[i].switch()).collect())
+            .collect(),
+        last_order: accepted.iter().map(|&i| units[i].switch()).collect(),
+        orders_learnt: 0,
+    };
+    for constraint in &artifacts.learnt {
+        match constraint {
+            LearntConstraint::SomeBefore { before, after } => {
+                carry.some_before.push((switches(before), switches(after)));
+            }
+            LearntConstraint::PrefixSet { applied } => {
+                carry
+                    .prefix_sets
+                    .push(applied.iter().map(|&i| units[i].switch()).collect());
+            }
+            LearntConstraint::Order { .. } => carry.orders_learnt += 1,
+        }
+    }
+    Some(carry)
+}
+
+/// Revalidates a previous request's harvest against a new request by direct
+/// trace replay — no model-checker calls — and translates the survivors into
+/// the new request's unit indices.
+///
+/// Each clause form has an exact survival condition re-establishing, on the
+/// *new* request, the premise it was originally learnt from:
+///
+/// * **SomeBefore(B, A)** survives iff `A ⊆ U` (where `U` is the new update
+///   set), `B' = B ∩ U` is non-empty, and the configuration with exactly `A`
+///   updated has a violating trace whose support inside `U` stays within
+///   `A ∪ B'`. Then in any intermediate configuration where all of `A` is
+///   updated and none of `B'` is, that trace reproduces verbatim: switches
+///   of `A` hold final tables, switches of `B'` hold initial tables, and
+///   every other support switch is outside `U`, so its table never changes.
+///   Hence some unit of `B'` must precede some unit of `A` — exactly the
+///   clause pre-loaded.
+/// * **PrefixSet(P)** survives iff `P ⊆ U`, `P ≠ U` (blocking the full set
+///   would yield the empty clause — and a violating full set is the final
+///   probe's job), and the configuration with exactly `P` updated violates
+///   the specification. That *is* the clause's premise, re-derived.
+/// * **Order** clauses never survive: an exact order over the old unit set
+///   has no sound reading over the new one. They count as retired.
+/// * A **verified** set `S` pre-seeds the prefix-skip iff `S ⊆ U` and the
+///   configuration with exactly `S` updated satisfies the specification on
+///   every replayed trace — the same verdict the checker would return (the
+///   differential fuzzer's trace oracle enforces that equivalence), so the
+///   skipped check could only ever have said "holds".
+///
+/// Because every surviving clause is entailed by the new request and the
+/// store's proposal rule is lexicographically minimal among consistent
+/// orders, pre-loading changes how much work the CEGIS loop performs, never
+/// which order it commits.
+fn revalidate_carry(
+    carry: &SatCarry,
+    problem: &UpdateProblem,
+    units: &[UpdateUnit],
+) -> sat_guided::CarryIn {
+    let unit_of: BTreeMap<SwitchId, usize> = units
+        .iter()
+        .enumerate()
+        .map(|(i, u)| (u.switch(), i))
+        .collect();
+    let update_set: BTreeSet<SwitchId> = problem.switches_to_update().into_iter().collect();
+    let to_units = |set: &BTreeSet<SwitchId>| -> Vec<usize> {
+        set.iter()
+            .filter_map(|sw| unit_of.get(sw).copied())
+            .collect()
+    };
+
+    let mut carry_in = sat_guided::CarryIn {
+        retired: carry.orders_learnt,
+        ..sat_guided::CarryIn::default()
+    };
+
+    for (before, after) in &carry.some_before {
+        let surviving_before: BTreeSet<SwitchId> =
+            before.intersection(&update_set).copied().collect();
+        let survives =
+            !after.is_empty() && after.is_subset(&update_set) && !surviving_before.is_empty() && {
+                let config = config_with_final(problem, after);
+                violating_trace_supports(problem, &config)
+                    .iter()
+                    .any(|support| {
+                        support
+                            .intersection(&update_set)
+                            .all(|sw| after.contains(sw) || surviving_before.contains(sw))
+                    })
+            };
+        if survives {
+            carry_in
+                .some_before
+                .push((to_units(&surviving_before), to_units(after)));
+            carry_in.carried += 1;
+        } else {
+            carry_in.retired += 1;
+        }
+    }
+
+    for prefix in &carry.prefix_sets {
+        let survives =
+            !prefix.is_empty() && prefix.is_subset(&update_set) && *prefix != update_set && {
+                let config = config_with_final(problem, prefix);
+                !violating_trace_supports(problem, &config).is_empty()
+            };
+        if survives {
+            carry_in
+                .prefix_sets
+                .push(to_units(prefix).into_iter().collect());
+            carry_in.carried += 1;
+        } else {
+            carry_in.retired += 1;
+        }
+    }
+
+    for set in &carry.verified {
+        if !set.is_empty() && set.is_subset(&update_set) {
+            let config = config_with_final(problem, set);
+            if violating_trace_supports(problem, &config).is_empty() {
+                carry_in.verified.push(to_units(set).into_iter().collect());
+            }
+        }
+    }
+
+    carry_in.warm_order = carry
+        .last_order
+        .iter()
+        .filter_map(|sw| unit_of.get(sw).copied())
+        .collect();
+    carry_in
+}
+
+/// The initial configuration with exactly `switches` moved to their final
+/// tables — the configuration a carried clause's premise talks about.
+fn config_with_final(problem: &UpdateProblem, switches: &BTreeSet<SwitchId>) -> Configuration {
+    let mut config = problem.initial.clone();
+    for &sw in switches {
+        config.set_table(sw, problem.final_config.table(sw));
+    }
+    config
+}
+
+/// Switch supports of every spec-violating trace of `config`, by direct
+/// operational-semantics replay from each ingress.
+fn violating_trace_supports(
+    problem: &UpdateProblem,
+    config: &Configuration,
+) -> Vec<BTreeSet<SwitchId>> {
+    let network = Network::new(Arc::clone(&problem.topology), config.clone());
+    // Empty `ingress_hosts` means *every* host is an ingress (the
+    // `UpdateProblem` convention); replaying only the empty list would
+    // vacuously validate everything, which is exactly the unsound direction.
+    let hosts: &[HostId] = if problem.ingress_hosts.is_empty() {
+        problem.topology.hosts()
+    } else {
+        &problem.ingress_hosts
+    };
+    let mut supports = Vec::new();
+    for class in &problem.classes {
+        for &host in hosts {
+            let Some((sw, pt)) = problem.topology.switch_of_host(host) else {
+                continue;
+            };
+            for trace in network.traces_from(sw, pt, class) {
+                if !semantics::satisfies(&trace, &problem.spec) {
+                    supports.push(trace.switch_path().into_iter().collect());
+                }
+            }
+        }
+    }
+    supports
 }
 
 /// Builds the encoder for a `(topology, classes, ingress)` triple.

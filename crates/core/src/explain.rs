@@ -1,0 +1,189 @@
+//! Infeasibility explanations.
+//!
+//! When synthesis fails with
+//! [`SynthesisError::NoOrderingExists`](crate::SynthesisError) and
+//! `proven_by_constraints` is `true`, the verdict came from the ordering
+//! solver: the accumulated precedence constraints admit no total order. The
+//! solver's assumption-based unsat core, deletion-minimized, pins that
+//! verdict on a *minimal conflicting set* of learnt facts — dropping any one
+//! member would make the remainder satisfiable — and this module renders
+//! that set in switch-level terms an operator can act on.
+//!
+//! Explanations are a side channel: [`SynthesisError`](crate::SynthesisError)
+//! stays a small comparable enum, and the engine records the most recent
+//! explanation behind
+//! [`UpdateEngine::last_explanation`](crate::UpdateEngine::last_explanation).
+//! They are produced by the SAT-guided strategy and the sequential DFS; the
+//! parallel DFS scheduler and the portfolio report the verdict without one
+//! (their constraint stores live inside the scheduler/lanes and the verdict
+//! may come from either lane).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use netupd_model::SwitchId;
+
+use crate::constraints::{LearntConstraint, WrongFormula};
+use crate::search::SynthStats;
+use crate::units::UpdateUnit;
+
+/// One member of the minimal conflicting constraint set, in switch terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConflictConstraint {
+    /// The §4.2 B counterexample constraint: some switch of `before` must be
+    /// updated before some switch of `after`.
+    SomeBefore {
+        /// Switches not yet updated when the counterexample was observed.
+        before: BTreeSet<SwitchId>,
+        /// Switches already updated when the counterexample was observed.
+        after: BTreeSet<SwitchId>,
+    },
+    /// Updating exactly the switches of `applied` (and nothing else) violates
+    /// the specification, so no order may realize this set as a prefix.
+    PrefixSet {
+        /// The violating prefix set.
+        applied: BTreeSet<SwitchId>,
+    },
+    /// This exact switch order fails (the weakest clause form, learnt only
+    /// when the stronger forms were already known).
+    Order {
+        /// The excluded order.
+        order: Vec<SwitchId>,
+    },
+}
+
+impl ConflictConstraint {
+    /// Renders a unit-level constraint of the SAT-guided store in switch
+    /// terms. At switch granularity the mapping is one-to-one; at rule
+    /// granularity several units collapse onto their switch.
+    pub(crate) fn from_learnt(constraint: &LearntConstraint, units: &[UpdateUnit]) -> Self {
+        let switches = |indices: &[usize]| indices.iter().map(|&i| units[i].switch()).collect();
+        match constraint {
+            LearntConstraint::SomeBefore { before, after } => ConflictConstraint::SomeBefore {
+                before: switches(before),
+                after: switches(after),
+            },
+            LearntConstraint::PrefixSet { applied } => ConflictConstraint::PrefixSet {
+                applied: applied.iter().map(|&i| units[i].switch()).collect(),
+            },
+            LearntConstraint::Order { order } => ConflictConstraint::Order {
+                order: order.iter().map(|&i| units[i].switch()).collect(),
+            },
+        }
+    }
+
+    /// Renders a counterexample formula of the DFS ordering store: the
+    /// not-yet-updated switches of the trace must (some of them) precede the
+    /// updated ones.
+    pub(crate) fn from_wrong(formula: &WrongFormula) -> Self {
+        ConflictConstraint::SomeBefore {
+            before: formula.not_updated.clone(),
+            after: formula.updated.clone(),
+        }
+    }
+}
+
+fn write_switch_set(f: &mut fmt::Formatter<'_>, set: &BTreeSet<SwitchId>) -> fmt::Result {
+    write!(f, "{{")?;
+    for (i, sw) in set.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{sw}")?;
+    }
+    write!(f, "}}")
+}
+
+impl fmt::Display for ConflictConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConflictConstraint::SomeBefore { before, after } => {
+                write!(f, "some of ")?;
+                write_switch_set(f, before)?;
+                write!(f, " must be updated before some of ")?;
+                write_switch_set(f, after)
+            }
+            ConflictConstraint::PrefixSet { applied } => {
+                write!(f, "updating exactly ")?;
+                write_switch_set(f, applied)?;
+                write!(f, " violates the specification")
+            }
+            ConflictConstraint::Order { order } => {
+                let names: Vec<String> = order.iter().map(|sw| sw.to_string()).collect();
+                write!(f, "the order {} fails", names.join(" -> "))
+            }
+        }
+    }
+}
+
+/// Why no simple order exists: the minimal conflicting set of learnt
+/// constraints behind a `NoOrderingExists { proven_by_constraints: true }`
+/// verdict, plus the statistics of the run that proved it (including
+/// [`SynthStats::unsat_core_size`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InfeasibilityExplanation {
+    /// The minimal conflicting constraints: every member is a fact derived
+    /// from a concrete counterexample or failing prefix, and dropping any
+    /// single one makes the remainder satisfiable.
+    pub constraints: Vec<ConflictConstraint>,
+    /// Work counters of the run that proved infeasibility. The error path
+    /// returns no [`UpdateSequence`](crate::UpdateSequence), so this is where
+    /// an infeasible run's statistics surface.
+    pub stats: SynthStats,
+}
+
+impl fmt::Display for InfeasibilityExplanation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "no simple order exists; {} constraint(s) conflict:",
+            self.constraints.len()
+        )?;
+        for constraint in &self.constraints {
+            writeln!(f, "  - {constraint}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> BTreeSet<SwitchId> {
+        ids.iter().map(|&n| SwitchId(n)).collect()
+    }
+
+    #[test]
+    fn wrong_formulas_render_as_some_before() {
+        let formula = WrongFormula {
+            updated: set(&[1]),
+            not_updated: set(&[2, 3]),
+        };
+        assert_eq!(
+            ConflictConstraint::from_wrong(&formula),
+            ConflictConstraint::SomeBefore {
+                before: set(&[2, 3]),
+                after: set(&[1]),
+            }
+        );
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let explanation = InfeasibilityExplanation {
+            constraints: vec![
+                ConflictConstraint::SomeBefore {
+                    before: set(&[2]),
+                    after: set(&[1]),
+                },
+                ConflictConstraint::PrefixSet { applied: set(&[2]) },
+            ],
+            stats: SynthStats::default(),
+        };
+        let text = explanation.to_string();
+        assert!(text.contains("2 constraint(s) conflict"));
+        assert!(text.contains("some of {s2} must be updated before some of {s1}"));
+        assert!(text.contains("updating exactly {s2} violates"));
+    }
+}

@@ -70,6 +70,7 @@ pub mod baselines;
 pub mod constraints;
 pub mod engine;
 pub mod exec;
+pub mod explain;
 pub mod options;
 pub mod parallel;
 pub mod problem;
@@ -79,6 +80,7 @@ pub mod units;
 pub mod wait_removal;
 
 pub use engine::UpdateEngine;
+pub use explain::{ConflictConstraint, InfeasibilityExplanation};
 pub use options::{Granularity, SearchStrategy, SynthesisOptions};
 pub use problem::UpdateProblem;
 pub use search::{SearchMode, SynthStats, SynthesisError, Synthesizer, UpdateSequence};

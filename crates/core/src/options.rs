@@ -98,6 +98,14 @@ pub struct SynthesisOptions {
     /// same [`UpdateSequence`](crate::UpdateSequence) the sequential search
     /// would return.
     pub threads: usize,
+    /// Carry still-valid ordering constraints forward across the requests of
+    /// an [`UpdateEngine`](crate::UpdateEngine) stream (SAT-guided strategy at
+    /// switch granularity only). Sound by construction — carried clauses are
+    /// revalidated against the new request by trace replay, and the lex-min
+    /// proposal rule makes entailed pre-loaded clauses result-invariant — so
+    /// disabling this is only useful for ablation studies. Single-request
+    /// entry points are unaffected.
+    pub carry_forward: bool,
 }
 
 impl Default for SynthesisOptions {
@@ -111,6 +119,7 @@ impl Default for SynthesisOptions {
             remove_waits: true,
             max_checks: 1_000_000,
             threads: 1,
+            carry_forward: true,
         }
     }
 }
@@ -170,6 +179,13 @@ impl SynthesisOptions {
         self.threads = threads.max(1);
         self
     }
+
+    /// Builder-style setter for cross-request constraint carry-forward.
+    #[must_use]
+    pub fn carry_forward(mut self, enabled: bool) -> Self {
+        self.carry_forward = enabled;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -186,6 +202,7 @@ mod tests {
         assert!(options.early_termination);
         assert!(options.remove_waits);
         assert_eq!(options.threads, 1);
+        assert!(options.carry_forward);
     }
 
     #[test]
@@ -196,7 +213,8 @@ mod tests {
             .counterexamples(false)
             .early_termination(false)
             .wait_removal(false)
-            .threads(4);
+            .threads(4)
+            .carry_forward(false);
         assert_eq!(options.backend, Backend::Batch);
         assert_eq!(options.strategy, SearchStrategy::SatGuided);
         assert_eq!(options.granularity, Granularity::Rule);
@@ -204,6 +222,7 @@ mod tests {
         assert!(!options.early_termination);
         assert!(!options.remove_waits);
         assert_eq!(options.threads, 4);
+        assert!(!options.carry_forward);
     }
 
     #[test]

@@ -941,6 +941,9 @@ fn commit(
             stats.sat_conflicts = solver.conflicts;
             stats.sat_clauses = solver.clauses;
             stats.sat_learnt = solver.learnt;
+            stats.sat_restarts = solver.restarts;
+            stats.sat_decisions = solver.decisions;
+            stats.sat_learnt_deleted = solver.learnt_deleted;
             stats.model_checker_calls = checks_per_worker.iter().sum();
             stats.states_relabeled = states_relabeled;
             stats.checks_per_worker = checks_per_worker;

@@ -105,10 +105,29 @@ pub struct SynthStats {
     /// iterations of the SAT-guided strategy.
     pub sat_conflicts: u64,
     /// Clauses in the ordering solver: order axioms, learnt constraints, and
-    /// CDCL-learnt clauses.
+    /// CDCL-learnt clauses (live, after learnt-database reduction).
     pub sat_clauses: usize,
-    /// CDCL-learnt clauses in the ordering solver.
+    /// CDCL-learnt clauses live in the ordering solver.
     pub sat_learnt: usize,
+    /// Restarts the ordering solver performed (Luby schedule, deterministic
+    /// in the conflict count).
+    pub sat_restarts: u64,
+    /// Branching decisions the ordering solver made.
+    pub sat_decisions: u64,
+    /// CDCL-learnt clauses deleted by the solver's learnt-database reduction.
+    pub sat_learnt_deleted: u64,
+    /// Size of the minimal conflicting constraint set when infeasibility was
+    /// proven by constraint unsatisfiability (see
+    /// [`UpdateEngine::last_explanation`](crate::UpdateEngine::last_explanation)).
+    /// Zero when the run did not end in a constraint-proven infeasibility.
+    pub unsat_core_size: usize,
+    /// Ordering constraints carried over from the previous request of an
+    /// engine stream and revalidated against this one. Zero for fresh runs
+    /// and with carry-forward disabled.
+    pub constraints_carried: usize,
+    /// Ordering constraints from the previous request that revalidation
+    /// retired instead of carrying.
+    pub constraints_retired: usize,
     /// Propose→verify→learn iterations of the SAT-guided strategy's CEGIS
     /// loop. Zero for the DFS strategy.
     pub cegis_iterations: usize,

@@ -153,6 +153,9 @@ pub(crate) fn solve(
         stats.sat_conflicts = solver.conflicts;
         stats.sat_clauses = solver.clauses;
         stats.sat_learnt = solver.learnt;
+        stats.sat_restarts = solver.restarts;
+        stats.sat_decisions = solver.decisions;
+        stats.sat_learnt_deleted = solver.learnt_deleted;
     } else {
         stats.backtracks = sat.backtracks;
         stats.counterexamples_learnt = sat.counterexamples_learnt;
@@ -162,6 +165,9 @@ pub(crate) fn solve(
         stats.sat_conflicts = solver.conflicts;
         stats.sat_clauses = solver.clauses;
         stats.sat_learnt = solver.learnt;
+        stats.sat_restarts = solver.restarts;
+        stats.sat_decisions = solver.decisions;
+        stats.sat_learnt_deleted = solver.learnt_deleted;
     }
     let dfs_real = dfs.explorer.calls();
     stats.model_checker_calls = dfs_real + sat.real;
@@ -617,7 +623,11 @@ impl<'a> SatLane<'a> {
                 }
             }
         }
-        if !learnt && !self.store.block_prefix_set(&applied) {
+        // Dual-clause learning, mirroring the standalone SAT-guided loop
+        // exactly — the lanes must issue identical schedules for the
+        // budget-ordered race to stay comparable with the standalone runs.
+        let blocked = self.store.block_prefix_set(&applied);
+        if !learnt && !blocked {
             self.store.block_order(&self.order);
         }
         self.phase = Phase::Propose;

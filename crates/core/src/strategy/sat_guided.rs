@@ -51,7 +51,8 @@ use netupd_kripke::NetworkKripke;
 use netupd_mc::SequenceStep;
 use netupd_model::{CommandSeq, SwitchId};
 
-use crate::constraints::UnitOrdering;
+use crate::constraints::{LearntConstraint, UnitOrdering};
+use crate::explain::{ConflictConstraint, InfeasibilityExplanation};
 use crate::options::{Granularity, SynthesisOptions};
 use crate::parallel::{self, WorkerContext};
 use crate::problem::UpdateProblem;
@@ -60,10 +61,54 @@ use crate::search::{
 };
 use crate::units::UpdateUnit;
 
+/// Cross-request constraints revalidated by the engine, translated into this
+/// request's unit indices and ready to pre-load into the store. Every entry
+/// is *entailed* by the new request (the engine's trace-replay revalidation
+/// establishes the premise the clause was originally learnt from), so
+/// pre-loading changes how much work the CEGIS loop performs, never which
+/// order it commits — see the lex-min proposal rule in
+/// [`UnitOrdering`](crate::constraints::UnitOrdering).
+#[derive(Debug, Default)]
+pub(crate) struct CarryIn {
+    /// Revalidated §4.2 B constraints, as `(before, after)` unit-index sets.
+    pub some_before: Vec<(Vec<usize>, Vec<usize>)>,
+    /// Revalidated violating prefix sets.
+    pub prefix_sets: Vec<BTreeSet<usize>>,
+    /// Prefix sets re-proven to satisfy the specification, pre-seeding the
+    /// verified-prefix skip.
+    pub verified: Vec<BTreeSet<usize>>,
+    /// The previous request's accepted order (restricted to surviving
+    /// units), used to warm-start solver phases.
+    pub warm_order: Vec<usize>,
+    /// Constraints carried (reported as
+    /// [`SynthStats::constraints_carried`](crate::SynthStats)).
+    pub carried: usize,
+    /// Constraints retired by revalidation (reported as
+    /// [`SynthStats::constraints_retired`](crate::SynthStats)).
+    pub retired: usize,
+}
+
+/// Run artifacts that outlive the call: the harvest the engine carries to the
+/// next request, and the infeasibility explanation. Orders and sets are in
+/// this request's unit indices; the engine maps them to switches.
+#[derive(Debug, Default)]
+pub(crate) struct Artifacts {
+    /// Provenance of every constraint in the store at exit (carried ones
+    /// included), in learn order.
+    pub learnt: Vec<LearntConstraint>,
+    /// Prefix sets verified to hold, sorted for determinism.
+    pub verified: Vec<BTreeSet<usize>>,
+    /// The committed order on success.
+    pub accepted_order: Option<Vec<usize>>,
+    /// The minimal-core explanation when the constraints went unsatisfiable.
+    pub explanation: Option<InfeasibilityExplanation>,
+}
+
 /// Runs the SAT-guided strategy over the engine's persistent contexts:
 /// the sequential context for `threads == 1`, the per-worker context slots
 /// otherwise (slot 0 doubles as the initial/final-probe context, exactly as
 /// worker 0 does in the parallel DFS).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn solve(
     problem: &UpdateProblem,
     options: &SynthesisOptions,
@@ -71,6 +116,8 @@ pub(crate) fn solve(
     encoder: &NetworkKripke,
     seq_ctx: &mut Option<WorkerContext>,
     worker_ctxs: &mut Vec<Option<WorkerContext>>,
+    carry: Option<CarryIn>,
+    mut artifacts: Option<&mut Artifacts>,
 ) -> Result<UpdateSequence, SynthesisError> {
     let parallel = options.threads > 1 && !units.is_empty();
     let mut stats = SynthStats::default();
@@ -127,12 +174,45 @@ pub(crate) fn solve(
     // successive proposals share long prefixes, because each learnt clause
     // only perturbs the tail it refuted.
     let mut verified: HashSet<BTreeSet<usize>> = HashSet::new();
+    // Pre-load the revalidated cross-request carry: entailed clauses, proven
+    // prefix sets, and saved phases from the previous accepted order.
+    if let Some(carry) = &carry {
+        for (before, after) in &carry.some_before {
+            store.require_some_before(before, after);
+        }
+        for prefix in &carry.prefix_sets {
+            store.block_prefix_set(prefix);
+        }
+        for set in &carry.verified {
+            verified.insert(set.clone());
+        }
+        if !carry.warm_order.is_empty() {
+            store.warm_start_from_order(&carry.warm_order);
+        }
+        stats.constraints_carried = carry.carried;
+        stats.constraints_retired = carry.retired;
+    }
     // The deterministic, thread-count-independent budget mirror: the checks
     // the sequential walk would issue (initial check + final probe so far).
     let mut budget_calls = 2usize;
 
     loop {
         let Some(order) = store.propose() else {
+            fill_solver_stats(&mut stats, &store, parallel);
+            stats.checks_per_worker = checks_per_worker;
+            stats.charged_calls = budget_calls;
+            let core = store.infeasibility_core().unwrap_or(&[]).to_vec();
+            stats.unsat_core_size = core.len();
+            if let Some(artifacts) = artifacts.as_deref_mut() {
+                harvest(artifacts, &store, &verified);
+                artifacts.explanation = Some(InfeasibilityExplanation {
+                    constraints: core
+                        .iter()
+                        .map(|c| ConflictConstraint::from_learnt(c, units))
+                        .collect(),
+                    stats,
+                });
+            }
             return Err(SynthesisError::NoOrderingExists {
                 proven_by_constraints: true,
             });
@@ -217,22 +297,16 @@ pub(crate) fn solve(
 
         match first_failure {
             None => {
-                stats.cegis_iterations = store.proposals();
-                stats.sat_constraints = store.num_constraints();
-                let solver = store.solver_stats();
-                stats.sat_conflicts = solver.conflicts;
-                stats.sat_clauses = solver.clauses;
-                stats.sat_learnt = solver.learnt;
+                fill_solver_stats(&mut stats, &store, parallel);
                 stats.checks_per_worker = checks_per_worker;
                 // The sequential-equivalent schedule cost: every failing pass
                 // charged `failing + 1 - start` as it was learnt, plus the
                 // `n - start` checks of this verifying pass.
                 stats.charged_calls = budget_calls + (n - start);
-                stats.search_mode = if parallel {
-                    SearchMode::ParallelVerify
-                } else {
-                    SearchMode::Sequential
-                };
+                if let Some(artifacts) = artifacts.as_deref_mut() {
+                    harvest(artifacts, &store, &verified);
+                    artifacts.accepted_order = Some(order.clone());
+                }
                 return Ok(finish_sequence(problem, options, units, &order, stats));
             }
             Some((failing, cex_switches)) => {
@@ -263,15 +337,50 @@ pub(crate) fn solve(
                         }
                     }
                 }
-                // The generic fallback (and the safety net keeping the loop
-                // strictly progressing: each of these clause forms excludes
-                // the model it was learnt from, so at least one is new).
-                if !learnt && !store.block_prefix_set(&applied) {
+                // Dual-clause learning: the prefix-set block is learnt
+                // alongside the counterexample clause — both are entailed,
+                // each prunes differently (the §4.2 B clause generalizes
+                // across prefix sets, the block pins this exact set), and
+                // carrying both forward costs nothing under the lex-min rule.
+                // `block_order` stays the safety net keeping the loop
+                // strictly progressing: each clause form excludes the model
+                // it was learnt from, so at least one of the three is new.
+                let blocked = store.block_prefix_set(&applied);
+                if !learnt && !blocked {
                     store.block_order(&order);
                 }
             }
         }
     }
+}
+
+/// Copies the solver's effort counters and the CEGIS progress counters into
+/// the run's statistics. Shared by the success and infeasibility exits.
+fn fill_solver_stats(stats: &mut SynthStats, store: &UnitOrdering, parallel: bool) {
+    stats.cegis_iterations = store.proposals();
+    stats.sat_constraints = store.num_constraints();
+    let solver = store.solver_stats();
+    stats.sat_conflicts = solver.conflicts;
+    stats.sat_clauses = solver.clauses;
+    stats.sat_learnt = solver.learnt;
+    stats.sat_restarts = solver.restarts;
+    stats.sat_decisions = solver.decisions;
+    stats.sat_learnt_deleted = solver.learnt_deleted;
+    stats.search_mode = if parallel {
+        SearchMode::ParallelVerify
+    } else {
+        SearchMode::Sequential
+    };
+}
+
+/// Records the store's constraint provenance and the verified prefix sets
+/// into the artifacts. The verified sets are sorted: the `HashSet` iteration
+/// order must not leak into anything the engine later iterates over.
+fn harvest(artifacts: &mut Artifacts, store: &UnitOrdering, verified: &HashSet<BTreeSet<usize>>) {
+    artifacts.learnt = store.learnt_constraints().cloned().collect();
+    let mut sets: Vec<BTreeSet<usize>> = verified.iter().cloned().collect();
+    sets.sort();
+    artifacts.verified = sets;
 }
 
 /// The context that performs the initial check and the final probe:

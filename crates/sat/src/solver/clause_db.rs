@@ -1,0 +1,151 @@
+//! Clause storage with LBD (glue) tracking and learnt-database reduction.
+//!
+//! Clauses live in a flat arena and are addressed by index — watch lists and
+//! implication reasons store indices, so deletion *tombstones* a clause
+//! (detaching its watches) instead of compacting the arena. The reduction
+//! policy is the classic glucose split: learnt clauses with low LBD ("glue"
+//! clauses), binary clauses, and clauses currently acting as an implication
+//! reason are kept; of the rest, the worse half (highest LBD first, longest
+//! first on ties) is deleted. Everything is ordered by `(lbd, len, index)`,
+//! so reduction is deterministic.
+
+use super::Lit;
+
+#[derive(Debug, Clone)]
+pub(crate) struct Clause {
+    pub literals: Vec<Lit>,
+    pub learnt: bool,
+    /// Literal-block distance at learn time: the number of distinct decision
+    /// levels in the clause. Lower glue predicts higher reuse.
+    pub lbd: u32,
+    pub deleted: bool,
+}
+
+/// LBD at or below this value marks a "glue" clause, exempt from reduction.
+const GLUE_LBD: u32 = 2;
+
+#[derive(Debug, Default)]
+pub(crate) struct ClauseDb {
+    clauses: Vec<Clause>,
+    /// Live learnt clauses (excludes tombstones).
+    learnt_live: usize,
+    /// Total learnt clauses deleted by reduction.
+    deleted_total: u64,
+}
+
+impl ClauseDb {
+    pub(crate) fn push(&mut self, literals: Vec<Lit>, learnt: bool, lbd: u32) -> usize {
+        let idx = self.clauses.len();
+        if learnt {
+            self.learnt_live += 1;
+        }
+        self.clauses.push(Clause {
+            literals,
+            learnt,
+            lbd,
+            deleted: false,
+        });
+        idx
+    }
+
+    pub(crate) fn get(&self, idx: usize) -> &Clause {
+        &self.clauses[idx]
+    }
+
+    pub(crate) fn get_mut(&mut self, idx: usize) -> &mut Clause {
+        &mut self.clauses[idx]
+    }
+
+    /// Live clauses (problem + learnt), excluding tombstones.
+    pub(crate) fn num_live(&self) -> usize {
+        self.clauses.len() - self.deleted_total as usize
+    }
+
+    pub(crate) fn num_learnt_live(&self) -> usize {
+        self.learnt_live
+    }
+
+    pub(crate) fn num_deleted(&self) -> u64 {
+        self.deleted_total
+    }
+
+    /// Selects the learnt clauses to delete, worst half first. `locked`
+    /// reports whether a clause is currently an implication reason and must
+    /// survive. Returns the indices to delete; the caller detaches the
+    /// watches, then calls [`ClauseDb::delete`].
+    pub(crate) fn reduction_victims<F: Fn(usize, &Clause) -> bool>(&self, locked: F) -> Vec<usize> {
+        let mut candidates: Vec<(u32, usize, usize)> = self
+            .clauses
+            .iter()
+            .enumerate()
+            .filter(|(idx, c)| {
+                c.learnt
+                    && !c.deleted
+                    && c.lbd > GLUE_LBD
+                    && c.literals.len() > 2
+                    && !locked(*idx, c)
+            })
+            .map(|(idx, c)| (c.lbd, c.literals.len(), idx))
+            .collect();
+        // Worst first: highest glue, then longest, then newest.
+        candidates.sort_unstable_by(|a, b| b.cmp(a));
+        candidates.truncate(candidates.len() / 2);
+        candidates.into_iter().map(|(_, _, idx)| idx).collect()
+    }
+
+    /// Tombstones a learnt clause. The caller must already have detached its
+    /// watches.
+    pub(crate) fn delete(&mut self, idx: usize) {
+        let clause = &mut self.clauses[idx];
+        debug_assert!(clause.learnt && !clause.deleted);
+        clause.deleted = true;
+        clause.literals.clear();
+        clause.literals.shrink_to_fit();
+        self.learnt_live -= 1;
+        self.deleted_total += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::Var;
+
+    fn lits(n: usize) -> Vec<Lit> {
+        (0..n as u32).map(|i| Lit::pos(Var(i))).collect()
+    }
+
+    #[test]
+    fn counters_track_push_and_delete() {
+        let mut db = ClauseDb::default();
+        db.push(lits(3), false, 0);
+        let a = db.push(lits(3), true, 5);
+        db.push(lits(3), true, 5);
+        assert_eq!(db.num_live(), 3);
+        assert_eq!(db.num_learnt_live(), 2);
+        db.delete(a);
+        assert_eq!(db.num_live(), 2);
+        assert_eq!(db.num_learnt_live(), 1);
+        assert_eq!(db.num_deleted(), 1);
+        assert!(db.get(a).deleted);
+    }
+
+    #[test]
+    fn reduction_spares_glue_binary_and_locked_clauses() {
+        let mut db = ClauseDb::default();
+        let _problem = db.push(lits(4), false, 0);
+        let glue = db.push(lits(4), true, 2);
+        let binary = db.push(lits(2), true, 7);
+        let locked = db.push(lits(4), true, 9);
+        let high_a = db.push(lits(4), true, 8);
+        let high_b = db.push(lits(5), true, 8);
+        let low = db.push(lits(3), true, 3);
+        let victims = db.reduction_victims(|idx, _| idx == locked);
+        // Candidates are {high_a, high_b, low}; the worse half (1 of 3, by
+        // (lbd, len) descending) is high_b.
+        assert_eq!(victims, vec![high_b]);
+        for kept in [glue, binary, locked, high_a, low] {
+            assert!(!victims.contains(&kept));
+        }
+    }
+}

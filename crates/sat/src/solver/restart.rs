@@ -1,0 +1,90 @@
+//! Luby restart scheduling.
+//!
+//! Restarts backtrack to decision level 0 every `32 * luby(i)` conflicts.
+//! Phase saving makes them warm (the next descent re-assigns the saved
+//! polarities without search), and the schedule depends only on the conflict
+//! count — never on wall-clock — so restart points are deterministic.
+
+/// Conflicts before the first restart; later intervals scale by the Luby
+/// sequence.
+const RESTART_BASE: u64 = 32;
+
+/// The Luby sequence (1, 1, 2, 1, 1, 2, 4, ...), used for restart scheduling.
+/// `i` is 1-based.
+pub(crate) fn luby(i: u64) -> u64 {
+    let mut x = i - 1;
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) / 2;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+/// Tracks conflicts since the last restart and decides when the next one is
+/// due. One policy instance lives per `solve` call: the schedule starts fresh
+/// each time, which keeps incremental solving independent of earlier calls'
+/// conflict counts.
+#[derive(Debug)]
+pub(crate) struct RestartPolicy {
+    /// 1-based index into the Luby sequence.
+    sequence_idx: u64,
+    /// Conflicts allowed before the next restart.
+    interval: u64,
+    /// Conflicts seen since the last restart.
+    conflicts: u64,
+}
+
+impl RestartPolicy {
+    pub(crate) fn new() -> Self {
+        RestartPolicy {
+            sequence_idx: 1,
+            interval: RESTART_BASE * luby(1),
+            conflicts: 0,
+        }
+    }
+
+    /// Records one conflict; returns `true` when a restart is due (and
+    /// advances the schedule).
+    pub(crate) fn on_conflict(&mut self) -> bool {
+        self.conflicts += 1;
+        if self.conflicts < self.interval {
+            return false;
+        }
+        self.conflicts = 0;
+        self.sequence_idx += 1;
+        self.interval = RESTART_BASE * luby(self.sequence_idx);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let actual: Vec<u64> = (1..=15).map(luby).collect();
+        assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn policy_fires_on_the_luby_boundaries() {
+        let mut policy = RestartPolicy::new();
+        let mut restart_points = Vec::new();
+        for conflict in 1..=200u64 {
+            if policy.on_conflict() {
+                restart_points.push(conflict);
+            }
+        }
+        // Cumulative sums of 32 * [1, 1, 2, 1, ...].
+        assert_eq!(restart_points, vec![32, 64, 128, 160, 192]);
+    }
+}

@@ -12,10 +12,21 @@ fn arb_clause(num_vars: usize) -> impl Strategy<Value = Vec<(usize, bool)>> {
 }
 
 fn arb_instance() -> impl Strategy<Value = (usize, Vec<Vec<(usize, bool)>>)> {
-    (3usize..8).prop_flat_map(|num_vars| {
-        proptest::collection::vec(arb_clause(num_vars), 1..12)
+    (3usize..13).prop_flat_map(|num_vars| {
+        proptest::collection::vec(arb_clause(num_vars), 1..24)
             .prop_map(move |clauses| (num_vars, clauses))
     })
+}
+
+/// Brute-force satisfiability check under forced assumption literals.
+fn brute_force_with_units(
+    num_vars: usize,
+    clauses: &[Vec<(usize, bool)>],
+    units: &[(usize, bool)],
+) -> bool {
+    let mut all: Vec<Vec<(usize, bool)>> = clauses.to_vec();
+    all.extend(units.iter().map(|u| vec![*u]));
+    brute_force(num_vars, &all)
 }
 
 /// Brute-force satisfiability check.
@@ -93,5 +104,43 @@ proptest! {
         // Assumptions are temporary: the original instance's verdict is unchanged.
         let expected = brute_force(num_vars, &clauses);
         prop_assert_eq!(incremental.solve().is_sat(), expected);
+    }
+
+    /// Solving under a random assumption set agrees with brute force, and on
+    /// unsat the extracted core is a subset of the assumptions that is
+    /// *itself* sufficient: re-asserting the core alone is still unsat.
+    #[test]
+    fn unsat_cores_are_sound(
+        (num_vars, clauses) in arb_instance(),
+        polarities in proptest::collection::vec(any::<bool>(), 4..5),
+    ) {
+        let (mut solver, vars) = build_solver(num_vars, &clauses);
+        let assumed: Vec<(usize, bool)> = polarities
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i % num_vars, *p))
+            .collect();
+        let assumptions: Vec<Lit> = assumed
+            .iter()
+            .map(|(v, p)| if *p { Lit::pos(vars[*v]) } else { Lit::neg(vars[*v]) })
+            .collect();
+        let verdict = solver.solve_with_assumptions(&assumptions).is_sat();
+        prop_assert_eq!(verdict, brute_force_with_units(num_vars, &clauses, &assumed));
+        if !verdict {
+            let core = solver.unsat_core().to_vec();
+            let mut core_units = Vec::new();
+            for lit in &core {
+                prop_assert!(
+                    assumptions.contains(lit),
+                    "core literal {} is not among the assumptions", lit
+                );
+                let var = vars.iter().position(|v| *v == lit.var()).unwrap();
+                core_units.push((var, lit.is_positive()));
+            }
+            prop_assert!(
+                !brute_force_with_units(num_vars, &clauses, &core_units),
+                "re-asserting the core alone must stay unsat"
+            );
+        }
     }
 }

@@ -264,6 +264,69 @@ fn strategies_agree_on_churn_stream_verdicts() {
     }
 }
 
+/// Cross-request constraint carry (on by default for the SAT-guided strategy
+/// at switch granularity) must never change results: an engine with carry
+/// disabled commits byte-identical commands, orders, and verdicts on every
+/// step. Carry may only reduce effort — per request, the carrying engine's
+/// CEGIS iteration count is bounded by the bare engine's, because carried
+/// clauses are entailed and the lex-min proposal rule makes the carrying
+/// run's proposal sequence a subsequence of the bare run's. Across the
+/// streams the carry must also demonstrably *engage* (constraints carried)
+/// and survive revalidation churn (constraints retired when a step
+/// invalidates them).
+#[test]
+fn sat_guided_carry_forward_is_result_preserving_and_engages() {
+    force_speculation();
+    let mut carried_total = 0usize;
+    let mut retired_total = 0usize;
+    for (kind, steps, seed) in [
+        (PropertyKind::Reachability, 4, 101),
+        (PropertyKind::Waypoint, 4, 7),
+        (PropertyKind::ServiceChain { length: 2 }, 4, 13),
+    ] {
+        let problems = churn_problems(kind, steps, seed);
+        for backend in Backend::ALL {
+            for threads in [1, 4] {
+                let base = SynthesisOptions::with_backend(backend)
+                    .strategy(SearchStrategy::SatGuided)
+                    .threads(threads);
+                let mut carry_engine = UpdateEngine::for_problem(&problems[0], base.clone());
+                let mut bare_engine =
+                    UpdateEngine::for_problem(&problems[0], base.carry_forward(false));
+                for (step, problem) in problems.iter().enumerate() {
+                    let label = format!("{kind:?} {backend} t{threads} step {step}");
+                    match (carry_engine.solve(problem), bare_engine.solve(problem)) {
+                        (Ok(carried), Ok(bare)) => {
+                            assert_eq!(carried.commands, bare.commands, "{label}: commands");
+                            assert_eq!(carried.order, bare.order, "{label}: unit order");
+                            assert!(
+                                carried.stats.cegis_iterations <= bare.stats.cegis_iterations,
+                                "{label}: carry must not add iterations: {} vs {}",
+                                carried.stats.cegis_iterations,
+                                bare.stats.cegis_iterations
+                            );
+                            carried_total += carried.stats.constraints_carried;
+                            retired_total += carried.stats.constraints_retired;
+                        }
+                        (Err(carried), Err(bare)) => {
+                            assert_eq!(carried, bare, "{label}: error verdicts diverged");
+                        }
+                        (c, b) => panic!("{label}: verdicts diverged: carry {c:?}, bare {b:?}"),
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        carried_total > 0,
+        "the carry never engaged across any stream"
+    );
+    assert!(
+        retired_total > 0,
+        "revalidation never retired a constraint across any stream"
+    );
+}
+
 #[test]
 fn engine_amortization_shows_in_the_work_counters() {
     force_speculation();

@@ -13,6 +13,13 @@
 //! behavior changed for that case — investigate before updating the
 //! expectation. Any future discrepancy found by the fuzzer should land here
 //! as a new pinned entry once minimized and fixed.
+//!
+//! The `verified` counts were re-pinned when the SAT-guided strategy gained
+//! its lexicographically-minimal proposal rule: `verified` counts *distinct*
+//! committed sequences across cells, and since DFS explores units in index
+//! order, its committed sequence is the lex-min feasible one too — so the
+//! strategies now agree on these cases and the distinct count dropped. The
+//! DFS verdicts and every solved/infeasible/endpoint count are unchanged.
 
 use netupd_fuzz::{check_case, generate_case};
 
@@ -24,7 +31,7 @@ const CORPUS: &[(usize, &str)] = &[
     (
         0,
         "seed=0xf9684fd62e22e083 topo=waxman(n=11) kind=waypointing shape=churn[3] \
-         gran=switch enrich=response: ok solved=3 infeasible=0 endpoint=0 verified=6",
+         gran=switch enrich=response: ok solved=3 infeasible=0 endpoint=0 verified=3",
     ),
     (
         1,
@@ -40,7 +47,7 @@ const CORPUS: &[(usize, &str)] = &[
     (
         7,
         "seed=0x6aecea827bd4cd4f topo=fat_tree(4) kind=reachability shape=churn[3] \
-         gran=rule enrich=until-chain: ok solved=3 infeasible=0 endpoint=0 verified=6",
+         gran=rule enrich=until-chain: ok solved=3 infeasible=0 endpoint=0 verified=3",
     ),
     (
         9,
@@ -52,12 +59,12 @@ const CORPUS: &[(usize, &str)] = &[
         13,
         "seed=0xe2cd797a816eedc4 topo=waxman(n=9) kind=service-chaining \
          shape=failure-churn[reroute,link-failure,reroute] gran=switch enrich=response: \
-         ok solved=3 infeasible=0 endpoint=0 verified=7",
+         ok solved=3 infeasible=0 endpoint=0 verified=3",
     ),
     (
         15,
         "seed=0xc78239ed57b995bd topo=figure1 kind=reachability shape=partially-applied \
-         gran=switch enrich=no-drops: ok solved=1 infeasible=0 endpoint=1 verified=3",
+         gran=switch enrich=no-drops: ok solved=1 infeasible=0 endpoint=1 verified=1",
     ),
     (
         16,
@@ -68,12 +75,12 @@ const CORPUS: &[(usize, &str)] = &[
         21,
         "seed=0x86ef71a4740814da topo=fat_tree(4) kind=waypointing \
          shape=multi-diamond[2] gran=switch enrich=until-chain: ok solved=1 \
-         infeasible=0 endpoint=0 verified=3",
+         infeasible=0 endpoint=0 verified=1",
     ),
     (
         22,
         "seed=0x5245339c16fe769a topo=waxman(n=12) kind=service-chaining shape=diamond \
-         gran=rule enrich=none: ok solved=1 infeasible=0 endpoint=0 verified=2",
+         gran=rule enrich=none: ok solved=1 infeasible=0 endpoint=0 verified=1",
     ),
 ];
 

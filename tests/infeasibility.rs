@@ -90,6 +90,57 @@ fn strategies_agree_on_every_infeasibility_verdict() {
     }
 }
 
+/// The engine surfaces a minimal-core explanation for constraint-proven
+/// infeasibility under both strategies that produce one (SAT-guided and the
+/// sequential DFS), and clears it on the next request.
+#[test]
+fn engine_explains_constraint_proven_infeasibility() {
+    use netupd_synth::UpdateEngine;
+    let problem = double_diamond_problem(17);
+    for strategy in [SearchStrategy::SatGuided, SearchStrategy::Dfs] {
+        let mut engine =
+            UpdateEngine::for_problem(&problem, SynthesisOptions::default().strategy(strategy));
+        match engine.solve(&problem) {
+            Err(SynthesisError::NoOrderingExists {
+                proven_by_constraints: true,
+            }) => {}
+            other => panic!("{strategy}: expected constraint-proven infeasibility, got {other:?}"),
+        }
+        let explanation = engine
+            .last_explanation()
+            .unwrap_or_else(|| panic!("{strategy}: no explanation recorded"));
+        assert!(
+            !explanation.constraints.is_empty(),
+            "{strategy}: empty conflicting set"
+        );
+        assert_eq!(
+            explanation.stats.unsat_core_size,
+            explanation.constraints.len(),
+            "{strategy}: core size must match the explanation"
+        );
+        let text = explanation.to_string();
+        assert!(
+            text.contains("constraint(s) conflict"),
+            "{strategy}: unreadable rendering: {text}"
+        );
+
+        // A subsequent request clears the stale explanation.
+        let trivial = UpdateProblem::new(
+            std::sync::Arc::clone(&problem.topology),
+            problem.initial.clone(),
+            problem.initial.clone(),
+            problem.classes.clone(),
+            problem.ingress_hosts.clone(),
+            problem.spec.clone(),
+        );
+        engine.solve(&trivial).expect("no-op update");
+        assert!(
+            engine.last_explanation().is_none(),
+            "{strategy}: explanation must clear on the next request"
+        );
+    }
+}
+
 #[test]
 fn infeasibility_report_comes_with_learning_statistics() {
     let problem = double_diamond_problem(17);
