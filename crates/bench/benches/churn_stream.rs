@@ -170,6 +170,12 @@ fn main() {
                                         "constraints_carried",
                                         &counters.constraints_carried.to_string(),
                                     ),
+                                    ("checkpoint_hits", &counters.checkpoint.hits.to_string()),
+                                    (
+                                        "checkpoint_restores",
+                                        &counters.checkpoint.restores.to_string(),
+                                    ),
+                                    ("checkpoint_bytes", &counters.checkpoint.bytes.to_string()),
                                 ],
                                 &samples,
                             );

@@ -9,9 +9,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use netupd_bench::{
-    criterion_budget, diamond_workload, fmt_min_mean_max, print_header, print_row,
-    probe_search_mode, report_samples, sample_synthesis_with, strategy_threads, BenchReport,
-    TopologyFamily,
+    criterion_budget, diamond_workload, fmt_min_mean_max, print_header, print_row, probe_run,
+    report_samples, sample_synthesis_with, strategy_threads, BenchReport, TopologyFamily,
 };
 use netupd_mc::Backend;
 use netupd_synth::{SearchStrategy, SynthesisOptions};
@@ -57,7 +56,7 @@ fn bench_backends(c: &mut Criterion) {
                         let options = SynthesisOptions::with_backend(backend)
                             .strategy(strategy)
                             .threads(threads);
-                        let search_mode = probe_search_mode(&workload.problem, &options);
+                        let (search_mode, checkpoint) = probe_run(&workload.problem, &options);
                         let samples =
                             sample_synthesis_with(&workload.problem, &options, samples_per_series);
                         print_row(&[
@@ -92,6 +91,9 @@ fn bench_backends(c: &mut Criterion) {
                                 ("rules", &workload.rules.to_string()),
                                 ("threads", &threads.to_string()),
                                 ("search_mode", search_mode),
+                                ("checkpoint_hits", &checkpoint.hits.to_string()),
+                                ("checkpoint_restores", &checkpoint.restores.to_string()),
+                                ("checkpoint_bytes", &checkpoint.bytes.to_string()),
                             ],
                             &samples,
                         );

@@ -7,9 +7,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use netupd_bench::{
-    criterion_budget, fmt_min_mean_max, multi_diamond_workload, print_header, print_row,
-    probe_search_mode, report_samples, sample_synthesis_with, strategy_threads,
-    time_synthesis_with, BenchReport, TopologyFamily,
+    criterion_budget, fmt_min_mean_max, multi_diamond_workload, print_header, print_row, probe_run,
+    report_samples, sample_synthesis_with, strategy_threads, time_synthesis_with, BenchReport,
+    TopologyFamily,
 };
 use netupd_mc::Backend;
 use netupd_synth::{SearchStrategy, SynthesisOptions};
@@ -53,9 +53,17 @@ fn bench_scalability(c: &mut Criterion) {
                     let options = SynthesisOptions::with_backend(Backend::Incremental)
                         .strategy(strategy)
                         .threads(threads);
-                    let search_mode = probe_search_mode(&workload.problem, &options);
+                    let (search_mode, checkpoint) = probe_run(&workload.problem, &options);
+                    // The SAT-guided and portfolio rows are the figure's
+                    // single-measurement strategies (one thread, no axis to
+                    // average over), so even fast-mode runs keep at least 5
+                    // samples — 2 proved too noisy to judge their means.
+                    let strategy_samples = match strategy {
+                        SearchStrategy::Dfs => samples_per_series,
+                        _ => samples_per_series.max(5),
+                    };
                     let samples =
-                        sample_synthesis_with(&workload.problem, &options, samples_per_series);
+                        sample_synthesis_with(&workload.problem, &options, strategy_samples);
                     print_row(&[
                         property.name().to_string(),
                         workload.switches.to_string(),
@@ -86,6 +94,9 @@ fn bench_scalability(c: &mut Criterion) {
                             ),
                             ("threads", &threads.to_string()),
                             ("search_mode", search_mode),
+                            ("checkpoint_hits", &checkpoint.hits.to_string()),
+                            ("checkpoint_restores", &checkpoint.restores.to_string()),
+                            ("checkpoint_bytes", &checkpoint.bytes.to_string()),
                         ],
                         &samples,
                     );

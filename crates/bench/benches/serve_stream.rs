@@ -23,7 +23,7 @@ use std::time::Duration;
 
 use netupd_bench::{
     fast_mode, fmt_min_mean_max, print_header, print_row, report_samples, run_serve_stream,
-    serve_workload, BenchReport, ServeRun, TopologyFamily,
+    serve_workload, BenchReport, CheckpointCounters, ServeRun, TopologyFamily,
 };
 use netupd_mc::Backend;
 use netupd_serve::{LatencySummary, ServeConfig};
@@ -79,6 +79,7 @@ struct SeriesResult {
     hits: usize,
     misses: usize,
     evicted: usize,
+    checkpoint: CheckpointCounters,
 }
 
 fn run_series(
@@ -94,6 +95,7 @@ fn run_series(
     let mut waits = Vec::new();
     let mut services = Vec::new();
     let (mut hits, mut misses, mut evicted) = (0, 0, 0);
+    let mut checkpoint = CheckpointCounters::default();
     for run in &runs {
         e2e.extend_from_slice(&run.e2e);
         waits.extend_from_slice(&run.queue_waits);
@@ -101,6 +103,9 @@ fn run_series(
         hits += run.snapshot.engine_hits;
         misses += run.snapshot.engine_misses;
         evicted += run.snapshot.engines_evicted;
+        checkpoint.hits += run.checkpoint.hits;
+        checkpoint.restores += run.checkpoint.restores;
+        checkpoint.bytes = checkpoint.bytes.max(run.checkpoint.bytes);
     }
     SeriesResult {
         mean_e2e_per_run: runs.iter().map(ServeRun::mean_e2e).collect(),
@@ -111,6 +116,7 @@ fn run_series(
         hits,
         misses,
         evicted,
+        checkpoint,
     }
 }
 
@@ -158,6 +164,12 @@ fn record(
             ("engine_hits", &series.hits.to_string()),
             ("engine_misses", &series.misses.to_string()),
             ("engines_evicted", &series.evicted.to_string()),
+            ("checkpoint_hits", &series.checkpoint.hits.to_string()),
+            (
+                "checkpoint_restores",
+                &series.checkpoint.restores.to_string(),
+            ),
+            ("checkpoint_bytes", &series.checkpoint.bytes.to_string()),
         ],
         &series.mean_e2e_per_run,
     );

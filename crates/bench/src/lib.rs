@@ -321,6 +321,31 @@ pub fn sample_churn_stream(
         .collect()
 }
 
+/// Prefix-checkpoint cache counters of a run (or a stream of runs) —
+/// attached to every bench record so the cache's effect on synthesis work
+/// stays diffable across PRs alongside the wall-clock numbers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheckpointCounters {
+    /// Checkpoint-cache hits (verdicts reused without a checker call).
+    pub hits: usize,
+    /// Hits that also restored a checker snapshot instead of replaying the
+    /// configuration change set.
+    pub restores: usize,
+    /// Resident cache bytes; for a stream, the largest value any request
+    /// reported.
+    pub bytes: usize,
+}
+
+impl CheckpointCounters {
+    /// Folds one request's [`SynthStats`] into the aggregate: hits and
+    /// restores accumulate, bytes keeps the high-water mark.
+    pub fn absorb(&mut self, stats: &SynthStats) {
+        self.hits += stats.checkpoint_hits;
+        self.restores += stats.checkpoint_restores;
+        self.bytes = self.bytes.max(stats.checkpoint_bytes);
+    }
+}
+
 /// Deterministic work counters of serving a whole churn stream once —
 /// attached to the churn bench records so synthesis *effort* (not just
 /// wall-clock) stays diffable across PRs.
@@ -334,6 +359,8 @@ pub struct ChurnCounters {
     /// Constraints carried across requests (engine reuse under the
     /// SAT-guided strategy with carry enabled; 0 everywhere else).
     pub constraints_carried: usize,
+    /// Checkpoint-cache activity summed across the stream.
+    pub checkpoint: CheckpointCounters,
 }
 
 /// Serves the stream once in the given mode and sums the per-request work
@@ -349,6 +376,7 @@ pub fn churn_stream_counters(
         counters.cegis_iterations += stats.cegis_iterations;
         counters.checker_calls += stats.model_checker_calls;
         counters.constraints_carried += stats.constraints_carried;
+        counters.checkpoint.absorb(stats);
     };
     match mode {
         StreamMode::Fresh => {
@@ -449,6 +477,9 @@ pub struct ServeRun {
     pub queue_waits: Vec<Duration>,
     /// Per-request synthesis time, in submission order.
     pub service_times: Vec<Duration>,
+    /// Checkpoint-cache activity aggregated over every request's
+    /// [`SynthStats`] passthrough.
+    pub checkpoint: CheckpointCounters,
     /// The server's final metrics snapshot.
     pub snapshot: MetricsSnapshot,
 }
@@ -497,12 +528,16 @@ pub fn run_serve_stream(workload: &ServeWorkload, config: ServeConfig) -> ServeR
     let mut e2e = Vec::with_capacity(handles.len());
     let mut queue_waits = Vec::with_capacity(handles.len());
     let mut service_times = Vec::with_capacity(handles.len());
+    let mut checkpoint = CheckpointCounters::default();
     for handle in handles {
         let outcome = handle.wait();
         outcome.result.expect("churn steps are solvable");
         e2e.push(outcome.metrics.queue_wait + outcome.metrics.service_time);
         queue_waits.push(outcome.metrics.queue_wait);
         service_times.push(outcome.metrics.service_time);
+        if let Some(stats) = &outcome.metrics.stats {
+            checkpoint.absorb(stats);
+        }
     }
     let wall = start.elapsed();
     ServeRun {
@@ -510,6 +545,7 @@ pub fn run_serve_stream(workload: &ServeWorkload, config: ServeConfig) -> ServeR
         e2e,
         queue_waits,
         service_times,
+        checkpoint,
         snapshot: server.shutdown(),
     }
 }
@@ -566,9 +602,24 @@ pub fn time_synthesis_with(
 ///
 /// [`SearchMode`]: netupd_synth::SearchMode
 pub fn probe_search_mode(problem: &UpdateProblem, options: &SynthesisOptions) -> &'static str {
+    probe_run(problem, options).0
+}
+
+/// Runs one synthesis and returns both the effective search-mode name (see
+/// [`probe_search_mode`]) and the run's deterministic checkpoint-cache
+/// counters — the figure benches attach both to their JSON records from this
+/// single probe call.
+pub fn probe_run(
+    problem: &UpdateProblem,
+    options: &SynthesisOptions,
+) -> (&'static str, CheckpointCounters) {
     match time_synthesis_with(problem, options.clone()).outcome {
-        Ok(stats) => stats.search_mode.name(),
-        Err(_) => "failed",
+        Ok(stats) => {
+            let mut checkpoint = CheckpointCounters::default();
+            checkpoint.absorb(&stats);
+            (stats.search_mode.name(), checkpoint)
+        }
+        Err(_) => ("failed", CheckpointCounters::default()),
     }
 }
 

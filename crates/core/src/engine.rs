@@ -66,6 +66,7 @@ use netupd_kripke::NetworkKripke;
 use netupd_ltl::semantics;
 use netupd_model::{CommandSeq, Configuration, HostId, Network, SwitchId, Topology, TrafficClass};
 
+use crate::checkpoint::CheckpointCache;
 use crate::constraints::LearntConstraint;
 use crate::explain::{ConflictConstraint, InfeasibilityExplanation};
 use crate::options::{Granularity, SearchStrategy, SynthesisOptions};
@@ -104,6 +105,11 @@ pub struct UpdateEngine {
     /// constraints and the accepted order of the previous successful
     /// request), revalidated against each new request before pre-loading.
     sat_carry: Option<SatCarry>,
+    /// The prefix-checkpoint cache (see `checkpoint`): shared by the
+    /// sequential DFS, the parallel workers, both portfolio lanes, and the
+    /// SAT-guided verification walks, and persisted across churn requests
+    /// (invalidated down to the new request's mixture space per request).
+    cache: CheckpointCache,
     /// The most recent request's infeasibility explanation, if any.
     last_explanation: Option<InfeasibilityExplanation>,
     requests_served: usize,
@@ -156,6 +162,7 @@ impl UpdateEngine {
     ) -> Self {
         let topology = topology.into();
         let encoder = build_encoder(&topology, &classes, &ingress_hosts);
+        let cache = CheckpointCache::new(options.checkpoint_budget);
         UpdateEngine {
             topology,
             classes,
@@ -167,6 +174,7 @@ impl UpdateEngine {
             portfolio_dfs_ctx: None,
             portfolio_sat_ctx: None,
             sat_carry: None,
+            cache,
             last_explanation: None,
             requests_served: 0,
             rebuilds: 0,
@@ -248,8 +256,19 @@ impl UpdateEngine {
         }
         self.requests_served += 1;
         self.last_explanation = None;
+        // Keep only checkpoints inside the new request's `{initial, final}`
+        // mixture space — entries over unchanged switches survive and keep
+        // paying across the churn stream. Only the final configuration's
+        // checkpoint carries a checker snapshot: it is the next churn
+        // request's initial configuration, the one place a restore beats
+        // resyncing by diff.
+        self.cache
+            .retain_for(&problem.initial, &problem.final_config);
+        self.cache.set_snapshot_target(&problem.final_config);
+        let hits_before = self.cache.hits();
+        let restores_before = self.cache.restores();
         let units = plan_units(problem, self.options.granularity);
-        match self.options.strategy {
+        let result = match self.options.strategy {
             SearchStrategy::SatGuided => {
                 // Carry is scoped to switch granularity: there one unit is
                 // one switch, so the switch-level harvest translates
@@ -259,7 +278,7 @@ impl UpdateEngine {
                 let carry_in = if carry_enabled {
                     self.sat_carry
                         .take()
-                        .map(|carry| revalidate_carry(&carry, problem, &units))
+                        .map(|carry| revalidate_carry(&carry, problem, &units, &self.cache))
                 } else {
                     self.sat_carry = None;
                     None
@@ -270,6 +289,7 @@ impl UpdateEngine {
                     &self.options,
                     &units,
                     &self.encoder,
+                    &self.cache,
                     &mut self.seq_ctx,
                     &mut self.worker_ctxs,
                     carry_in,
@@ -287,6 +307,7 @@ impl UpdateEngine {
                     &self.options,
                     &units,
                     &self.encoder,
+                    &self.cache,
                     &mut self.worker_ctxs,
                 )
             }
@@ -296,10 +317,17 @@ impl UpdateEngine {
                 &self.options,
                 &units,
                 &self.encoder,
+                &self.cache,
                 &mut self.portfolio_dfs_ctx,
                 &mut self.portfolio_sat_ctx,
             ),
-        }
+        };
+        result.map(|mut update| {
+            update.stats.checkpoint_hits = self.cache.hits() - hits_before;
+            update.stats.checkpoint_restores = self.cache.restores() - restores_before;
+            update.stats.checkpoint_bytes = self.cache.resident_bytes();
+            update
+        })
     }
 
     /// Whether the problem matches the engine's fixed triple. The topology
@@ -331,6 +359,7 @@ impl UpdateEngine {
             ctx.begin_new_series();
         }
         self.sat_carry = None;
+        self.cache.clear();
         self.last_explanation = None;
         self.rebuilds += 1;
     }
@@ -362,10 +391,18 @@ impl UpdateEngine {
         let mut stats = SynthStats::default();
 
         // Check the initial configuration (line 7 of the paper's algorithm).
-        let initial_outcome = ctx.check_config(&self.encoder, &problem.initial, &problem.spec);
-        stats.model_checker_calls += 1;
-        stats.states_relabeled += initial_outcome.stats.states_labeled;
-        if !initial_outcome.holds {
+        // Across a churn stream the previous request's accepted final
+        // configuration — this request's initial — is usually checkpointed,
+        // so the physical check is often skipped; either way the charged
+        // schedule pays it.
+        let initial_outcome =
+            ctx.check_config_cached(&self.encoder, &problem.initial, &problem.spec, &self.cache);
+        stats.charged_calls += 1;
+        if let Some(outcome) = &initial_outcome {
+            stats.model_checker_calls += 1;
+            stats.states_relabeled += outcome.stats.states_labeled;
+        }
+        if !initial_outcome.as_ref().is_none_or(|o| o.holds) {
             return Err(SynthesisError::InitialConfigurationViolates);
         }
         if units.is_empty() {
@@ -384,6 +421,7 @@ impl UpdateEngine {
         {
             let outcome = ctx.probe_config(&self.encoder, &problem.final_config, &problem.spec);
             stats.model_checker_calls += 1;
+            stats.charged_calls += 1;
             stats.states_relabeled += outcome.stats.states_labeled;
             if !outcome.holds {
                 return Err(SynthesisError::FinalConfigurationViolates);
@@ -391,9 +429,10 @@ impl UpdateEngine {
         }
 
         // The DFS drives the persistent structure and checker directly; it
-        // leaves them consistent at whatever configuration it ends on, which
-        // the context records for the next request's diff-sync.
-        let (kripke, checker) = ctx.checking_parts_mut();
+        // leaves them consistent at whatever configuration it ends on (modulo
+        // the pending change set, which stays on the context), which the
+        // context records for the next request's diff-sync.
+        let (kripke, checker, pending) = ctx.checking_parts_mut();
         let mut search = DfsSearch::new(
             problem,
             &self.options,
@@ -401,6 +440,8 @@ impl UpdateEngine {
             &self.encoder,
             kripke,
             checker,
+            &self.cache,
+            pending,
             stats,
         );
         let outcome = search.dfs();
@@ -422,8 +463,7 @@ impl UpdateEngine {
         stats.sat_restarts = solver.restarts;
         stats.sat_decisions = solver.decisions;
         stats.sat_learnt_deleted = solver.learnt_deleted;
-        // Sequentially, the schedule cost *is* the real cost.
-        stats.charged_calls = stats.model_checker_calls;
+        stats.sat_clause_lits_removed = solver.clause_lits_removed;
 
         match outcome {
             Ok(Some(order_indices)) => Ok(finish_sequence(
@@ -523,10 +563,19 @@ fn harvest_carry(artifacts: &sat_guided::Artifacts, units: &[UpdateUnit]) -> Opt
 /// store's proposal rule is lexicographically minimal among consistent
 /// orders, pre-loading changes how much work the CEGIS loop performs, never
 /// which order it commits.
+///
+/// The checkpoint cache short-circuits the trace replay: a configuration
+/// checkpointed as passing has no violating trace by construction, so a
+/// cache hit settles the survival question — "verified" sets carry over and
+/// violation-premised clauses retire — without replaying a single trace.
+/// The cache verdict and the replay verdict agree (both equal the checker's,
+/// which the differential fuzzer's trace oracle enforces), so the surviving
+/// clause set is identical with the cache on or off.
 fn revalidate_carry(
     carry: &SatCarry,
     problem: &UpdateProblem,
     units: &[UpdateUnit],
+    cache: &CheckpointCache,
 ) -> sat_guided::CarryIn {
     let unit_of: BTreeMap<SwitchId, usize> = units
         .iter()
@@ -551,13 +600,16 @@ fn revalidate_carry(
         let survives =
             !after.is_empty() && after.is_subset(&update_set) && !surviving_before.is_empty() && {
                 let config = config_with_final(problem, after);
-                violating_trace_supports(problem, &config)
-                    .iter()
-                    .any(|support| {
-                        support
-                            .intersection(&update_set)
-                            .all(|sw| after.contains(sw) || surviving_before.contains(sw))
-                    })
+                // Checkpointed-as-passing configurations have no violating
+                // trace: the clause's premise is gone, no replay needed.
+                cache.lookup(&problem.spec, &config).is_none()
+                    && violating_trace_supports(problem, &config)
+                        .iter()
+                        .any(|support| {
+                            support
+                                .intersection(&update_set)
+                                .all(|sw| after.contains(sw) || surviving_before.contains(sw))
+                        })
             };
         if survives {
             carry_in
@@ -573,7 +625,8 @@ fn revalidate_carry(
         let survives =
             !prefix.is_empty() && prefix.is_subset(&update_set) && *prefix != update_set && {
                 let config = config_with_final(problem, prefix);
-                !violating_trace_supports(problem, &config).is_empty()
+                cache.lookup(&problem.spec, &config).is_none()
+                    && !violating_trace_supports(problem, &config).is_empty()
             };
         if survives {
             carry_in
@@ -588,7 +641,12 @@ fn revalidate_carry(
     for set in &carry.verified {
         if !set.is_empty() && set.is_subset(&update_set) {
             let config = config_with_final(problem, set);
-            if violating_trace_supports(problem, &config).is_empty() {
+            // A checkpoint hit *is* the "holds" verdict the replay would
+            // re-derive — the carried prefix set is revalidated without
+            // walking a single trace.
+            if cache.lookup(&problem.spec, &config).is_some()
+                || violating_trace_supports(problem, &config).is_empty()
+            {
                 carry_in.verified.push(to_units(set).into_iter().collect());
             }
         }

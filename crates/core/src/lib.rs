@@ -67,6 +67,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod baselines;
+pub(crate) mod checkpoint;
 pub mod constraints;
 pub mod engine;
 pub mod exec;

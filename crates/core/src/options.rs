@@ -98,6 +98,15 @@ pub struct SynthesisOptions {
     /// same [`UpdateSequence`](crate::UpdateSequence) the sequential search
     /// would return.
     pub threads: usize,
+    /// Byte budget of the prefix-checkpoint cache (see DESIGN.md §13): every
+    /// verified intermediate configuration is checkpointed (verdict plus a
+    /// restorable checker snapshot) and revisits — permuted DFS prefixes,
+    /// SAT proposals sharing a prefix set, portfolio lanes, worker threads,
+    /// churn requests — take the cached verdict instead of re-checking.
+    /// Results are byte-identical with the cache on or off; the budget only
+    /// bounds memory. `0` disables the cache (ablation / tight-memory
+    /// deployments).
+    pub checkpoint_budget: usize,
     /// Carry still-valid ordering constraints forward across the requests of
     /// an [`UpdateEngine`](crate::UpdateEngine) stream (SAT-guided strategy at
     /// switch granularity only). Sound by construction — carried clauses are
@@ -119,6 +128,7 @@ impl Default for SynthesisOptions {
             remove_waits: true,
             max_checks: 1_000_000,
             threads: 1,
+            checkpoint_budget: 32 << 20,
             carry_forward: true,
         }
     }
@@ -180,6 +190,15 @@ impl SynthesisOptions {
         self
     }
 
+    /// Builder-style setter for the prefix-checkpoint cache's byte budget
+    /// (`0` disables the cache). The committed result is identical at every
+    /// budget; only the checking work performed changes.
+    #[must_use]
+    pub fn checkpoint_budget(mut self, bytes: usize) -> Self {
+        self.checkpoint_budget = bytes;
+        self
+    }
+
     /// Builder-style setter for cross-request constraint carry-forward.
     #[must_use]
     pub fn carry_forward(mut self, enabled: bool) -> Self {
@@ -202,6 +221,10 @@ mod tests {
         assert!(options.early_termination);
         assert!(options.remove_waits);
         assert_eq!(options.threads, 1);
+        assert!(
+            options.checkpoint_budget > 0,
+            "checkpointing is on by default"
+        );
         assert!(options.carry_forward);
     }
 
@@ -214,6 +237,7 @@ mod tests {
             .early_termination(false)
             .wait_removal(false)
             .threads(4)
+            .checkpoint_budget(0)
             .carry_forward(false);
         assert_eq!(options.backend, Backend::Batch);
         assert_eq!(options.strategy, SearchStrategy::SatGuided);
@@ -222,6 +246,7 @@ mod tests {
         assert!(!options.early_termination);
         assert!(!options.remove_waits);
         assert_eq!(options.threads, 4);
+        assert_eq!(options.checkpoint_budget, 0);
         assert!(!options.carry_forward);
     }
 

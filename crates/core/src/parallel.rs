@@ -77,6 +77,7 @@ use netupd_ltl::Ltl;
 use netupd_mc::{Backend, CheckOutcome, ModelChecker, SequenceOutcome, SequenceStep};
 use netupd_model::{Configuration, SwitchId, Table};
 
+use crate::checkpoint::CheckpointCache;
 use crate::constraints::{OrderingConstraints, VisitedSet, WrongSet};
 use crate::options::{Granularity, SynthesisOptions};
 use crate::problem::UpdateProblem;
@@ -122,6 +123,12 @@ pub(crate) struct WorkerContext {
     /// checker's incremental labels — the same isolation the one-shot path's
     /// fresh probe instance provided).
     probe_checker: Box<dyn ModelChecker>,
+    /// States of the search structure rewired without an intervening recheck
+    /// — checkpoint verdict-hits and deferred undos leave the checker's
+    /// labels behind the structure by exactly this set, which is folded into
+    /// the next recheck's change set (the same recheck-from-diff discipline
+    /// the cross-request sync uses).
+    pending: Vec<StateId>,
 }
 
 impl WorkerContext {
@@ -134,6 +141,7 @@ impl WorkerContext {
             probe_kripke: None,
             probe_config: Configuration::new(),
             probe_checker: backend.instantiate(),
+            pending: Vec::new(),
         }
     }
 
@@ -163,9 +171,45 @@ impl WorkerContext {
         config: &Configuration,
         spec: &Ltl,
     ) -> CheckOutcome {
-        let changed = self.sync_main(encoder, config);
+        let mut changed = std::mem::take(&mut self.pending);
+        changed.extend(self.sync_main(encoder, config));
+        changed.sort_unstable();
+        changed.dedup();
         let kripke = self.kripke.as_ref().expect("synced above");
         self.checker.recheck(kripke, spec, &changed)
+    }
+
+    /// [`WorkerContext::check_config`] through the checkpoint cache: returns
+    /// `None` when the configuration is checkpointed as passing (no
+    /// model-checker call — the sync's rewired states either vanish under a
+    /// snapshot restore or stay pending for the next physical recheck), and
+    /// `Some(outcome)` when a physical check ran. A passing physical check is
+    /// published back to the cache.
+    pub(crate) fn check_config_cached(
+        &mut self,
+        encoder: &NetworkKripke,
+        config: &Configuration,
+        spec: &Ltl,
+        cache: &CheckpointCache,
+    ) -> Option<CheckOutcome> {
+        let mut changed = std::mem::take(&mut self.pending);
+        changed.extend(self.sync_main(encoder, config));
+        if let Some(snapshot) = cache.lookup(spec, config) {
+            if snapshot.as_ref().is_some_and(|s| self.checker.restore(s)) {
+                cache.note_restore();
+            } else {
+                self.pending = changed;
+            }
+            return None;
+        }
+        changed.sort_unstable();
+        changed.dedup();
+        let kripke = self.kripke.as_ref().expect("synced above");
+        let outcome = self.checker.recheck(kripke, spec, &changed);
+        if outcome.holds {
+            cache.publish(spec, config, || self.checker.snapshot());
+        }
+        Some(outcome)
     }
 
     /// The probe-side analogue of [`WorkerContext::check_config`].
@@ -187,19 +231,23 @@ impl WorkerContext {
         self.probe_checker.recheck(kripke, spec, &changed)
     }
 
-    /// The mutable search structure and checker, for callers (the sequential
-    /// DFS) that drive them directly. The caller must record the
-    /// configuration it leaves the structure at via
-    /// [`WorkerContext::set_config`].
+    /// The mutable search structure, checker, and pending change set, for
+    /// callers (the sequential DFS) that drive them directly. The caller must
+    /// record the configuration it leaves the structure at via
+    /// [`WorkerContext::set_config`], and leave any states it rewired without
+    /// rechecking in the pending set.
     ///
     /// # Panics
     ///
     /// Panics if nothing has been encoded yet (call
     /// [`WorkerContext::check_config`] first).
-    pub(crate) fn checking_parts_mut(&mut self) -> (&mut Kripke, &mut dyn ModelChecker) {
+    pub(crate) fn checking_parts_mut(
+        &mut self,
+    ) -> (&mut Kripke, &mut dyn ModelChecker, &mut Vec<StateId>) {
         (
             self.kripke.as_mut().expect("structure encoded"),
             self.checker.as_mut(),
+            &mut self.pending,
         )
     }
 
@@ -224,7 +272,8 @@ impl WorkerContext {
         spec: &Ltl,
         steps: &[SequenceStep],
     ) -> SequenceOutcome {
-        let carried = self.sync_main(encoder, base);
+        let mut carried = std::mem::take(&mut self.pending);
+        carried.extend(self.sync_main(encoder, base));
         let kripke = self.kripke.as_mut().expect("synced above");
         let outcome = self
             .checker
@@ -237,6 +286,71 @@ impl WorkerContext {
         outcome
     }
 
+    /// [`WorkerContext::verify_sequence`] through the checkpoint cache: each
+    /// step's configuration is looked up first, and a known-passing one is
+    /// skipped — its rewired states join the pending set consumed by the next
+    /// physical recheck (or are discharged entirely when the checkpoint's
+    /// snapshot restores). Verdicts are pure functions of `(config, spec)`,
+    /// so the outcome — first failure, counterexample, steps applied — is
+    /// byte-identical to the uncached walk; only `checks`/`states_labeled`
+    /// (work counters) shrink.
+    pub(crate) fn verify_sequence_cached(
+        &mut self,
+        encoder: &NetworkKripke,
+        base: &Configuration,
+        spec: &Ltl,
+        steps: &[SequenceStep],
+        cache: &CheckpointCache,
+    ) -> SequenceOutcome {
+        if !cache.enabled() {
+            return self.verify_sequence(encoder, base, spec, steps);
+        }
+        let mut carried = std::mem::take(&mut self.pending);
+        carried.extend(self.sync_main(encoder, base));
+        let kripke = self.kripke.as_mut().expect("synced above");
+        let mut checks = 0;
+        let mut states_labeled = 0;
+        for (index, step) in steps.iter().enumerate() {
+            let changed = encoder.apply_switch_update(kripke, step.switch, &step.table);
+            self.config.set_table(step.switch, step.table.clone());
+            if let Some(snapshot) = cache.lookup(spec, &self.config) {
+                if snapshot.as_ref().is_some_and(|s| self.checker.restore(s)) {
+                    cache.note_restore();
+                    carried.clear();
+                } else {
+                    carried.extend(changed);
+                }
+                continue;
+            }
+            let mut change_set = std::mem::take(&mut carried);
+            change_set.extend(changed);
+            change_set.sort_unstable();
+            change_set.dedup();
+            let outcome = self.checker.recheck(kripke, spec, &change_set);
+            checks += 1;
+            states_labeled += outcome.stats.states_labeled;
+            if !outcome.holds {
+                self.pending = carried;
+                return SequenceOutcome {
+                    first_failure: Some(index),
+                    counterexample: outcome.counterexample,
+                    steps_applied: index + 1,
+                    checks,
+                    states_labeled,
+                };
+            }
+            cache.publish(spec, &self.config, || self.checker.snapshot());
+        }
+        self.pending = carried;
+        SequenceOutcome {
+            first_failure: None,
+            counterexample: None,
+            steps_applied: steps.len(),
+            checks,
+            states_labeled,
+        }
+    }
+
     /// Resets the context for a new `(topology, classes)` series: the
     /// structures are dropped (their state space no longer applies) while the
     /// checkers are kept and told to forget their cached results
@@ -246,6 +360,7 @@ impl WorkerContext {
         self.probe_kripke = None;
         self.config = Configuration::new();
         self.probe_config = Configuration::new();
+        self.pending.clear();
         self.checker.begin_query();
         self.probe_checker.begin_query();
     }
@@ -285,6 +400,10 @@ pub(crate) struct PrefixExplorer<'a> {
     problem: &'a UpdateProblem,
     units: &'a [UpdateUnit],
     encoder: &'a NetworkKripke,
+    /// The shared checkpoint cache: known-passing prefix configurations are
+    /// taken from it without a model-checker call, and every passing recheck
+    /// is published back.
+    cache: &'a CheckpointCache,
     /// The persistent context. Its structure may still encode the *previous*
     /// request's configuration; [`PrefixExplorer::ensure_synced`] rewires it
     /// to this request's initial configuration on first use (lazily, so idle
@@ -312,12 +431,14 @@ impl<'a> PrefixExplorer<'a> {
         problem: &'a UpdateProblem,
         units: &'a [UpdateUnit],
         encoder: &'a NetworkKripke,
+        cache: &'a CheckpointCache,
         ctx: WorkerContext,
     ) -> Self {
         PrefixExplorer {
             problem,
             units,
             encoder,
+            cache,
             ctx,
             synced: false,
             carried: Vec::new(),
@@ -344,8 +465,11 @@ impl<'a> PrefixExplorer<'a> {
         &self.applied
     }
 
-    /// Hands the persistent context back (for return to the engine's slots).
-    pub(crate) fn into_context(self) -> WorkerContext {
+    /// Hands the persistent context back (for return to the engine's slots),
+    /// folding any still-unconsumed carried states into its pending set so
+    /// the next request's first recheck sees them.
+    pub(crate) fn into_context(mut self) -> WorkerContext {
+        self.ctx.pending.append(&mut self.carried);
         self.ctx
     }
 
@@ -358,14 +482,28 @@ impl<'a> PrefixExplorer<'a> {
             return;
         }
         self.synced = true;
-        self.carried = self.ctx.sync_main(self.encoder, &self.problem.initial);
+        self.carried = std::mem::take(&mut self.ctx.pending);
+        let synced = self.ctx.sync_main(self.encoder, &self.problem.initial);
+        self.carried.extend(synced);
     }
 
     /// The search's initial-configuration check, performed on the synced
     /// context. Returns whether the specification holds.
     pub(crate) fn startup_check(&mut self) -> bool {
         self.ensure_synced();
-        let changed = std::mem::take(&mut self.carried);
+        if let Some(snapshot) = self.cache.lookup(&self.problem.spec, &self.ctx.config) {
+            if snapshot
+                .as_ref()
+                .is_some_and(|s| self.ctx.checker.restore(s))
+            {
+                self.cache.note_restore();
+                self.carried.clear();
+            }
+            return true;
+        }
+        let mut changed = std::mem::take(&mut self.carried);
+        changed.sort_unstable();
+        changed.dedup();
         let kripke = self.ctx.kripke.as_ref().expect("synced above");
         let outcome = self
             .ctx
@@ -373,6 +511,12 @@ impl<'a> PrefixExplorer<'a> {
             .recheck(kripke, &self.problem.spec, &changed);
         self.calls += 1;
         self.relabeled += outcome.stats.states_labeled;
+        if outcome.holds {
+            self.cache
+                .publish(&self.problem.spec, &self.ctx.config, || {
+                    self.ctx.checker.snapshot()
+                });
+        }
         outcome.holds
     }
 
@@ -411,12 +555,35 @@ impl<'a> PrefixExplorer<'a> {
         changed.sort_unstable();
         changed.dedup();
 
+        if let Some(snapshot) = self.cache.lookup(&self.problem.spec, &self.ctx.config) {
+            // Known-passing configuration: no model-checker call. Either the
+            // snapshot restores the checker to full consistency, or the
+            // rewired states stay carried for the next physical recheck.
+            if snapshot
+                .as_ref()
+                .is_some_and(|s| self.ctx.checker.restore(s))
+            {
+                self.cache.note_restore();
+            } else {
+                self.carried = changed;
+            }
+            return CheckLite {
+                holds: true,
+                cex_switches: None,
+            };
+        }
         let outcome = self
             .ctx
             .checker
             .recheck(kripke, &self.problem.spec, &changed);
         self.calls += 1;
         self.relabeled += outcome.stats.states_labeled;
+        if outcome.holds {
+            self.cache
+                .publish(&self.problem.spec, &self.ctx.config, || {
+                    self.ctx.checker.snapshot()
+                });
+        }
         CheckLite {
             holds: outcome.holds,
             cex_switches: outcome.counterexample.map(|c| c.switches),
@@ -791,6 +958,7 @@ pub(crate) fn synthesize_with_contexts(
     options: &SynthesisOptions,
     units: &[UpdateUnit],
     encoder: &NetworkKripke,
+    cache: &CheckpointCache,
     contexts: &mut Vec<Option<WorkerContext>>,
 ) -> Result<UpdateSequence, SynthesisError> {
     let threads = options.threads;
@@ -804,7 +972,9 @@ pub(crate) fn synthesize_with_contexts(
             .take()
             .unwrap_or_else(|| WorkerContext::fresh(options.backend));
         let (_unused_tx, result_rx) = channel::<Msg>();
-        let worker = Worker::new(0, problem, options, units, encoder, &prune, &stop, ctx);
+        let worker = Worker::new(
+            0, problem, options, units, encoder, cache, &prune, &stop, ctx,
+        );
         let mut scheduler = Scheduler {
             options,
             units,
@@ -867,8 +1037,10 @@ pub(crate) fn synthesize_with_contexts(
                 // Poison the channel first, then re-raise so the scope still
                 // reports the original panic.
                 let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    Worker::new(index, problem, options, units, encoder, prune, stop, ctx)
-                        .run(pool, result_tx.clone());
+                    Worker::new(
+                        index, problem, options, units, encoder, cache, prune, stop, ctx,
+                    )
+                    .run(pool, result_tx.clone());
                 }));
                 if let Err(payload) = run {
                     let _ = result_tx.send(Msg::Panicked { worker: index });
@@ -944,6 +1116,7 @@ fn commit(
             stats.sat_restarts = solver.restarts;
             stats.sat_decisions = solver.decisions;
             stats.sat_learnt_deleted = solver.learnt_deleted;
+            stats.sat_clause_lits_removed = solver.clause_lits_removed;
             stats.model_checker_calls = checks_per_worker.iter().sum();
             stats.states_relabeled = states_relabeled;
             stats.checks_per_worker = checks_per_worker;
@@ -985,6 +1158,7 @@ impl<'a> Worker<'a> {
         options: &'a SynthesisOptions,
         units: &'a [UpdateUnit],
         encoder: &'a NetworkKripke,
+        cache: &'a CheckpointCache,
         prune: &'a SharedPruneSet,
         stop: &'a AtomicBool,
         ctx: WorkerContext,
@@ -995,7 +1169,7 @@ impl<'a> Worker<'a> {
             units,
             prune,
             stop,
-            explorer: PrefixExplorer::new(problem, units, encoder, ctx),
+            explorer: PrefixExplorer::new(problem, units, encoder, cache, ctx),
             cursor: PruneCursor::new(prune.shards.len()),
         }
     }
@@ -1766,6 +1940,7 @@ pub(crate) fn verify_order_with_contexts(
     options: &SynthesisOptions,
     spec: &Ltl,
     encoder: &NetworkKripke,
+    cache: &CheckpointCache,
     contexts: &mut Vec<Option<WorkerContext>>,
     base: &Configuration,
     steps: &[SequenceStep],
@@ -1779,7 +1954,7 @@ pub(crate) fn verify_order_with_contexts(
         let mut ctx = contexts[0]
             .take()
             .unwrap_or_else(|| WorkerContext::fresh(options.backend));
-        let outcome = ctx.verify_sequence(encoder, base, spec, steps);
+        let outcome = ctx.verify_sequence_cached(encoder, base, spec, steps, cache);
         contexts[0] = Some(ctx);
         return OrderVerification {
             first_failure: outcome
@@ -1842,11 +2017,12 @@ pub(crate) fn verify_order_with_contexts(
                     let mut relabeled = 0;
                     while let Some(grain_index) = pool.pop(w) {
                         let (lo, hi) = bounds[grain_index];
-                        let outcome = ctx.verify_sequence(
+                        let outcome = ctx.verify_sequence_cached(
                             encoder,
                             &grain_bases[grain_index],
                             spec,
                             &steps[lo..hi],
+                            cache,
                         );
                         checks += outcome.checks;
                         relabeled += outcome.states_labeled;
@@ -2021,7 +2197,7 @@ mod tests {
             );
             // The parallel run charges exactly the sequential schedule.
             assert_eq!(
-                parallel.stats.charged_calls, sequential.stats.model_checker_calls,
+                parallel.stats.charged_calls, sequential.stats.charged_calls,
                 "{backend}"
             );
             // Work attribution covers every check performed. (Inline

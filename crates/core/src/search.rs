@@ -152,6 +152,19 @@ pub struct SynthStats {
     /// Times a worker refreshed its prune-set cursor against newly published
     /// entries.
     pub prune_consults: usize,
+    /// Verdicts served from the prefix-checkpoint cache without a
+    /// model-checker call. A work counter: varies with thread count and with
+    /// what earlier requests left in the cache (zeroed in
+    /// [`schedule_view`](SynthStats::schedule_view)).
+    pub checkpoint_hits: usize,
+    /// Checker-state snapshot restores performed on checkpoint hits.
+    pub checkpoint_restores: usize,
+    /// Estimated resident bytes of the checkpoint cache at the end of the
+    /// run (bounded by [`SynthesisOptions::checkpoint_budget`]).
+    pub checkpoint_bytes: usize,
+    /// Literals removed from learnt clauses by the ordering solver's
+    /// self-subsumption minimization before install.
+    pub sat_clause_lits_removed: u64,
     /// Charged budget of the portfolio's DFS lane at the point the race was
     /// decided. Zero outside portfolio mode.
     pub portfolio_dfs_budget: usize,
@@ -180,6 +193,9 @@ impl SynthStats {
         view.speculative_wasted = 0;
         view.prune_publishes = 0;
         view.prune_consults = 0;
+        view.checkpoint_hits = 0;
+        view.checkpoint_restores = 0;
+        view.checkpoint_bytes = 0;
         view.search_mode = SearchMode::Sequential;
         view
     }

@@ -2,10 +2,11 @@
 
 use std::collections::BTreeSet;
 
-use netupd_kripke::{Kripke, NetworkKripke};
+use netupd_kripke::{Kripke, NetworkKripke, StateId};
 use netupd_mc::ModelChecker;
 use netupd_model::{Configuration, SwitchId};
 
+use crate::checkpoint::CheckpointCache;
 use crate::constraints::{OrderingConstraints, VisitedSet, WrongSet};
 use crate::options::{Granularity, SynthesisOptions};
 use crate::problem::UpdateProblem;
@@ -19,8 +20,19 @@ use crate::units::UpdateUnit;
 /// [`UpdateEngine`](crate::UpdateEngine) hands in its persistent sequential
 /// context (whose labels carry over from the previous request). The DFS
 /// leaves `kripke`/`checker`/`config` mutually consistent at whatever
-/// configuration the search ended on, which is what makes the context
-/// reusable for the next request's sync-by-diff.
+/// configuration the search ended on — modulo the `carried` change set,
+/// which the owning context folds into its next recheck — which is what
+/// makes the context reusable for the next request's sync-by-diff.
+///
+/// # Budget accounting
+///
+/// `stats.charged_calls` is the deterministic sequential schedule: +1 per
+/// applied-prefix check, +1 per undo — exactly the calls the pre-checkpoint
+/// search used to issue, and exactly what the parallel scheduler's replay
+/// charges. `stats.model_checker_calls` counts the checks physically issued,
+/// which the checkpoint cache and the deferred-undo discipline reduce; the
+/// search budget and every committed verdict depend only on the charged
+/// schedule, so results are byte-identical with the cache on or off.
 pub(crate) struct DfsSearch<'a> {
     pub(crate) problem: &'a UpdateProblem,
     pub(crate) options: &'a SynthesisOptions,
@@ -28,6 +40,11 @@ pub(crate) struct DfsSearch<'a> {
     pub(crate) encoder: &'a NetworkKripke,
     pub(crate) kripke: &'a mut Kripke,
     pub(crate) checker: &'a mut dyn ModelChecker,
+    pub(crate) cache: &'a CheckpointCache,
+    /// States rewired without an intervening recheck (deferred undos and
+    /// checkpoint verdict-hits), folded into the next recheck's change set.
+    /// Borrowed from the owning context so unconsumed states survive the run.
+    pub(crate) carried: &'a mut Vec<StateId>,
     pub(crate) config: Configuration,
     pub(crate) applied: BTreeSet<usize>,
     pub(crate) visited: VisitedSet,
@@ -39,6 +56,7 @@ pub(crate) struct DfsSearch<'a> {
 impl<'a> DfsSearch<'a> {
     /// Sets up a DFS run over borrowed checking state, starting from the
     /// problem's initial configuration with empty visited/wrong sets.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         problem: &'a UpdateProblem,
         options: &'a SynthesisOptions,
@@ -46,6 +64,8 @@ impl<'a> DfsSearch<'a> {
         encoder: &'a NetworkKripke,
         kripke: &'a mut Kripke,
         checker: &'a mut dyn ModelChecker,
+        cache: &'a CheckpointCache,
+        carried: &'a mut Vec<StateId>,
         stats: SynthStats,
     ) -> Self {
         DfsSearch {
@@ -55,6 +75,8 @@ impl<'a> DfsSearch<'a> {
             encoder,
             kripke,
             checker,
+            cache,
+            carried,
             config: problem.initial.clone(),
             applied: BTreeSet::new(),
             visited: VisitedSet::new(),
@@ -70,6 +92,44 @@ impl<'a> DfsSearch<'a> {
         updated_switches(self.units, &self.applied)
     }
 
+    /// Checks the current configuration after `changed` states were rewired:
+    /// through the checkpoint cache when it knows the verdict, physically
+    /// otherwise. Returns `(holds, counterexample)`.
+    fn check_current(
+        &mut self,
+        changed: Vec<StateId>,
+    ) -> (bool, Option<netupd_mc::Counterexample>) {
+        if let Some(snapshot) = self.cache.lookup(&self.problem.spec, &self.config) {
+            self.stats.checkpoint_hits += 1;
+            // The verdict is known; keep the checker usable for the next
+            // physical recheck either by restoring the checkpoint's snapshot
+            // (full consistency, nothing pending) or by deferring the change
+            // set into the carried pool (recheck-from-diff).
+            if snapshot.as_ref().is_some_and(|s| self.checker.restore(s)) {
+                self.cache.note_restore();
+                self.stats.checkpoint_restores += 1;
+                self.carried.clear();
+            } else {
+                self.carried.extend(changed);
+            }
+            return (true, None);
+        }
+        let mut change_set = std::mem::take(self.carried);
+        change_set.extend(changed);
+        change_set.sort_unstable();
+        change_set.dedup();
+        self.stats.model_checker_calls += 1;
+        let outcome = self
+            .checker
+            .recheck(self.kripke, &self.problem.spec, &change_set);
+        self.stats.states_relabeled += outcome.stats.states_labeled;
+        if outcome.holds {
+            self.cache
+                .publish(&self.problem.spec, &self.config, || self.checker.snapshot());
+        }
+        (outcome.holds, outcome.counterexample)
+    }
+
     pub(crate) fn dfs(&mut self) -> Result<Option<Vec<usize>>, SynthesisError> {
         if self.applied.len() == self.units.len() {
             return Ok(Some(Vec::new()));
@@ -78,7 +138,7 @@ impl<'a> DfsSearch<'a> {
             if self.applied.contains(&idx) {
                 continue;
             }
-            if self.stats.model_checker_calls >= self.options.max_checks {
+            if self.stats.charged_calls >= self.options.max_checks {
                 return Err(SynthesisError::SearchBudgetExhausted);
             }
             let unit = &self.units[idx];
@@ -101,21 +161,23 @@ impl<'a> DfsSearch<'a> {
                 }
             }
 
-            // Apply the unit (swUpdate) and re-check incrementally.
+            // Apply the unit (swUpdate) and re-check. The switch's arena
+            // rows are captured first so the undo is a plain delta restore
+            // instead of a re-encode.
             let old_table = self.config.table(switch);
             let new_table = unit.apply(&self.config);
+            let delta = self
+                .kripke
+                .capture_delta(&self.kripke.states_of_switch(switch));
             self.config.set_table(switch, new_table.clone());
             self.applied.insert(idx);
             let changed = self
                 .encoder
                 .apply_switch_update(self.kripke, switch, &new_table);
-            self.stats.model_checker_calls += 1;
-            let outcome = self
-                .checker
-                .recheck(self.kripke, &self.problem.spec, &changed);
-            self.stats.states_relabeled += outcome.stats.states_labeled;
+            self.stats.charged_calls += 1;
+            let (holds, counterexample) = self.check_current(changed);
 
-            if outcome.holds {
+            if holds {
                 if let Some(mut rest) = self.dfs()? {
                     rest.insert(0, idx);
                     return Ok(Some(rest));
@@ -125,7 +187,7 @@ impl<'a> DfsSearch<'a> {
                 if self.options.use_counterexamples
                     && self.options.granularity == Granularity::Switch
                 {
-                    if let Some(cex) = &outcome.counterexample {
+                    if let Some(cex) = &counterexample {
                         let updated = self.updated_switches();
                         self.wrong.learn(&cex.switches, &updated);
                         self.stats.counterexamples_learnt += 1;
@@ -154,17 +216,23 @@ impl<'a> DfsSearch<'a> {
                 }
             }
 
-            // Undo the unit and restore the checker's labels.
+            // Undo the unit by restoring the captured arena delta (falling
+            // back to a re-encode if the arena changed shape underneath it)
+            // and *defer* the relabel: the undone states join the carried
+            // change set consumed by the next physical recheck, so the undo
+            // issues no query. The sequential schedule still charges it —
+            // the pre-checkpoint search paid a restore recheck here, and the
+            // parallel replay mirrors that charge.
             self.applied.remove(&idx);
             self.config.set_table(switch, old_table.clone());
-            let restored = self
-                .encoder
-                .apply_switch_update(self.kripke, switch, &old_table);
-            self.stats.model_checker_calls += 1;
-            let restore_outcome = self
-                .checker
-                .recheck(self.kripke, &self.problem.spec, &restored);
-            self.stats.states_relabeled += restore_outcome.stats.states_labeled;
+            self.stats.charged_calls += 1;
+            let restored = match self.kripke.restore_delta(&delta) {
+                Some(changed) => changed,
+                None => self
+                    .encoder
+                    .apply_switch_update(self.kripke, switch, &old_table),
+            };
+            self.carried.extend(restored);
         }
         Ok(None)
     }

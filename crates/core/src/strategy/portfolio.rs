@@ -54,6 +54,7 @@ use netupd_kripke::NetworkKripke;
 use netupd_mc::SequenceStep;
 use netupd_model::{CommandSeq, Configuration, SwitchId};
 
+use crate::checkpoint::CheckpointCache;
 use crate::constraints::{OrderingConstraints, UnitOrdering, VisitedSet, WrongSet};
 use crate::options::{Granularity, SynthesisOptions};
 use crate::parallel::{PrefixExplorer, WorkerContext};
@@ -74,6 +75,7 @@ pub(crate) fn solve(
     options: &SynthesisOptions,
     units: &[UpdateUnit],
     encoder: &NetworkKripke,
+    cache: &CheckpointCache,
     dfs_ctx: &mut Option<WorkerContext>,
     sat_ctx: &mut Option<WorkerContext>,
 ) -> Result<UpdateSequence, SynthesisError> {
@@ -104,12 +106,12 @@ pub(crate) fn solve(
         });
     }
 
-    let mut dfs = DfsLane::new(problem, options, units, encoder, {
+    let mut dfs = DfsLane::new(problem, options, units, encoder, cache, {
         dfs_ctx
             .take()
             .unwrap_or_else(|| WorkerContext::fresh(options.backend))
     });
-    let mut sat = SatLane::new(problem, options, units, encoder, {
+    let mut sat = SatLane::new(problem, options, units, encoder, cache, {
         sat_ctx
             .take()
             .unwrap_or_else(|| WorkerContext::fresh(options.backend))
@@ -156,6 +158,7 @@ pub(crate) fn solve(
         stats.sat_restarts = solver.restarts;
         stats.sat_decisions = solver.decisions;
         stats.sat_learnt_deleted = solver.learnt_deleted;
+        stats.sat_clause_lits_removed = solver.clause_lits_removed;
     } else {
         stats.backtracks = sat.backtracks;
         stats.counterexamples_learnt = sat.counterexamples_learnt;
@@ -168,6 +171,7 @@ pub(crate) fn solve(
         stats.sat_restarts = solver.restarts;
         stats.sat_decisions = solver.decisions;
         stats.sat_learnt_deleted = solver.learnt_deleted;
+        stats.sat_clause_lits_removed = solver.clause_lits_removed;
     }
     let dfs_real = dfs.explorer.calls();
     stats.model_checker_calls = dfs_real + sat.real;
@@ -242,12 +246,13 @@ impl<'a> DfsLane<'a> {
         options: &'a SynthesisOptions,
         units: &'a [UpdateUnit],
         encoder: &'a NetworkKripke,
+        cache: &'a CheckpointCache,
         ctx: WorkerContext,
     ) -> Self {
         DfsLane {
             options,
             units,
-            explorer: PrefixExplorer::new(problem, units, encoder, ctx),
+            explorer: PrefixExplorer::new(problem, units, encoder, cache, ctx),
             seq: Vec::new(),
             applied: BTreeSet::new(),
             cursors: Vec::new(),
@@ -417,6 +422,7 @@ struct SatLane<'a> {
     options: &'a SynthesisOptions,
     units: &'a [UpdateUnit],
     encoder: &'a NetworkKripke,
+    cache: &'a CheckpointCache,
     ctx: WorkerContext,
     store: UnitOrdering,
     units_of_switch: BTreeMap<SwitchId, Vec<usize>>,
@@ -448,6 +454,7 @@ impl<'a> SatLane<'a> {
         options: &'a SynthesisOptions,
         units: &'a [UpdateUnit],
         encoder: &'a NetworkKripke,
+        cache: &'a CheckpointCache,
         ctx: WorkerContext,
     ) -> Self {
         SatLane {
@@ -455,6 +462,7 @@ impl<'a> SatLane<'a> {
             options,
             units,
             encoder,
+            cache,
             ctx,
             store: UnitOrdering::new(units.len()),
             units_of_switch: index_units_by_switch(units),
@@ -486,13 +494,18 @@ impl<'a> SatLane<'a> {
     fn advance(&mut self) {
         match self.phase {
             Phase::Start => {
-                let outcome =
-                    self.ctx
-                        .check_config(self.encoder, &self.problem.initial, &self.problem.spec);
+                let outcome = self.ctx.check_config_cached(
+                    self.encoder,
+                    &self.problem.initial,
+                    &self.problem.spec,
+                    self.cache,
+                );
                 self.charge += 1;
-                self.real += 1;
-                self.relabeled += outcome.stats.states_labeled;
-                if outcome.holds {
+                if let Some(outcome) = &outcome {
+                    self.real += 1;
+                    self.relabeled += outcome.stats.states_labeled;
+                }
+                if outcome.as_ref().is_none_or(|o| o.holds) {
                     self.phase = Phase::Probe;
                 } else {
                     self.finish(Err(SynthesisError::InitialConfigurationViolates));
@@ -572,11 +585,12 @@ impl<'a> SatLane<'a> {
     /// configuration, so the next call's diff-sync is empty.
     fn walk_step(&mut self) {
         let n = self.units.len();
-        let outcome = self.ctx.verify_sequence(
+        let outcome = self.ctx.verify_sequence_cached(
             self.encoder,
             &self.base,
             &self.problem.spec,
             &self.steps[self.k..self.k + 1],
+            self.cache,
         );
         self.charge += 1;
         self.real += outcome.checks;

@@ -51,6 +51,7 @@ use netupd_kripke::NetworkKripke;
 use netupd_mc::SequenceStep;
 use netupd_model::{CommandSeq, SwitchId};
 
+use crate::checkpoint::CheckpointCache;
 use crate::constraints::{LearntConstraint, UnitOrdering};
 use crate::explain::{ConflictConstraint, InfeasibilityExplanation};
 use crate::options::{Granularity, SynthesisOptions};
@@ -114,6 +115,7 @@ pub(crate) fn solve(
     options: &SynthesisOptions,
     units: &[UpdateUnit],
     encoder: &NetworkKripke,
+    cache: &CheckpointCache,
     seq_ctx: &mut Option<WorkerContext>,
     worker_ctxs: &mut Vec<Option<WorkerContext>>,
     carry: Option<CarryIn>,
@@ -127,16 +129,22 @@ pub(crate) fn solve(
         Vec::new()
     };
 
-    // Check the initial configuration (line 7 of the paper's algorithm).
+    // Check the initial configuration (line 7 of the paper's algorithm) —
+    // through the checkpoint cache: across a churn stream the previous
+    // request's final configuration is this request's initial one, so the
+    // cache usually knows the verdict (and the snapshot restores the
+    // checker's labels wholesale).
     {
         let ctx = lead_context(parallel, seq_ctx, worker_ctxs, options);
-        let outcome = ctx.check_config(encoder, &problem.initial, &problem.spec);
-        stats.model_checker_calls += 1;
-        stats.states_relabeled += outcome.stats.states_labeled;
-        if let Some(first) = checks_per_worker.first_mut() {
-            *first += 1;
+        let outcome = ctx.check_config_cached(encoder, &problem.initial, &problem.spec, cache);
+        if let Some(outcome) = &outcome {
+            stats.model_checker_calls += 1;
+            stats.states_relabeled += outcome.stats.states_labeled;
+            if let Some(first) = checks_per_worker.first_mut() {
+                *first += 1;
+            }
         }
-        if !outcome.holds {
+        if !outcome.as_ref().is_none_or(|o| o.holds) {
             return Err(SynthesisError::InitialConfigurationViolates);
         }
     }
@@ -257,6 +265,7 @@ pub(crate) fn solve(
                     options,
                     &problem.spec,
                     encoder,
+                    cache,
                     worker_ctxs,
                     &base,
                     &steps[start..],
@@ -272,7 +281,13 @@ pub(crate) fn solve(
                     .map(|(local, cex)| (start + local, cex))
             } else {
                 let ctx = seq_ctx.as_mut().expect("initialized by the initial check");
-                let outcome = ctx.verify_sequence(encoder, &base, &problem.spec, &steps[start..]);
+                let outcome = ctx.verify_sequence_cached(
+                    encoder,
+                    &base,
+                    &problem.spec,
+                    &steps[start..],
+                    cache,
+                );
                 stats.model_checker_calls += outcome.checks;
                 stats.states_relabeled += outcome.states_labeled;
                 outcome.first_failure.map(|local| {
@@ -366,6 +381,7 @@ fn fill_solver_stats(stats: &mut SynthStats, store: &UnitOrdering, parallel: boo
     stats.sat_restarts = solver.restarts;
     stats.sat_decisions = solver.decisions;
     stats.sat_learnt_deleted = solver.learnt_deleted;
+    stats.sat_clause_lits_removed = solver.clause_lits_removed;
     stats.search_mode = if parallel {
         SearchMode::ParallelVerify
     } else {

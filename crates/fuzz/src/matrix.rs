@@ -2,10 +2,17 @@
 //! strategies × 2 thread counts, each both as a fresh synthesis per request
 //! and through a long-lived [`UpdateEngine`] reused across the stream.
 //!
+//! The matrix also carries a **checkpoint axis**: fresh synthesis runs with
+//! the prefix-checkpoint cache *disabled* (`checkpoint_budget(0)`) while the
+//! engine runs with it enabled (and persisted across the stream), so the
+//! engine-vs-fresh comparison below doubles as the cache-on/off
+//! differential — any answer the cache changes is a matrix failure.
+//!
 //! Cross-checks, in order:
 //!
-//! 1. **engine vs fresh** — per cell and request, the reused engine must
-//!    return byte-identical commands/order (or the identical error);
+//! 1. **engine vs fresh** — per cell and request, the reused engine (cache
+//!    on) must return byte-identical commands/order (or the identical
+//!    error) to the fresh cache-off synthesis;
 //! 2. **verdict agreement** — all cells must agree per request on the
 //!    normalized verdict (`NoOrderingExists` matches regardless of its
 //!    `proven_by_constraints` flag, as in `tests/strategy_differential.rs`);
@@ -198,13 +205,15 @@ pub fn check_stream(
         let options = cell.options(granularity);
         let mut fresh = Vec::with_capacity(problems.len());
         for problem in problems {
+            // The checkpoint axis: fresh runs are cache-off, the engine
+            // below is cache-on, and the two must agree byte for byte.
             fresh.push(
                 Synthesizer::new(problem.clone())
-                    .with_options(options.clone())
+                    .with_options(options.clone().checkpoint_budget(0))
                     .synthesize(),
             );
         }
-        if problems.len() > 1 {
+        {
             let mut engine = UpdateEngine::for_problem(&problems[0], options);
             for (request, problem) in problems.iter().enumerate() {
                 let reused = engine.solve(problem);

@@ -46,6 +46,8 @@ pub struct Solver {
     conflicts: u64,
     restarts: u64,
     decisions: u64,
+    /// Literals dropped from learnt clauses by self-subsumption minimization.
+    clause_lits_removed: u64,
     /// Live learnt clauses that trigger the next DB reduction.
     reduce_threshold: usize,
     /// Last assigned polarity per variable (phase saving). Decisions re-use
@@ -56,6 +58,14 @@ pub struct Solver {
     /// Assumption subset extracted from the last unsatisfiable
     /// `solve_with_assumptions` call.
     last_core: Vec<Lit>,
+    /// Assumptions currently realized as the leading decision levels of the
+    /// trail (trail saving). A solve whose assumptions share a prefix with
+    /// the previous call backtracks to the divergence point instead of level
+    /// 0, skipping the re-install and re-propagation of the shared prefix.
+    /// Kept in sync by [`backtrack_to`](Solver::backtrack_to) (truncated to
+    /// the surviving levels) and cleared by `add_clause` (which backtracks to
+    /// level 0 before touching the clause set).
+    installed_assumptions: Vec<Lit>,
 }
 
 impl Default for Solver {
@@ -81,9 +91,11 @@ impl Solver {
             conflicts: 0,
             restarts: 0,
             decisions: 0,
+            clause_lits_removed: 0,
             reduce_threshold: REDUCE_BASE,
             saved_phase: Vec::new(),
             last_core: Vec::new(),
+            installed_assumptions: Vec::new(),
         }
     }
 
@@ -205,7 +217,18 @@ impl Solver {
         if self.unsat {
             return SolveResult::Unsat;
         }
-        self.backtrack_to(0);
+        // Trail saving: keep the decision levels of the assumption prefix
+        // shared with the previous call. The kept levels hold exactly the
+        // assignments a re-install would reproduce (propagation is a
+        // deterministic fixpoint of the trail prefix), so skipping them
+        // changes no verdict and no model.
+        let keep = self
+            .installed_assumptions
+            .iter()
+            .zip(assumptions)
+            .take_while(|(a, b)| a == b)
+            .count();
+        self.backtrack_to(keep as u32);
         if self.propagate().is_some() {
             self.unsat = true;
             return SolveResult::Unsat;
@@ -226,6 +249,7 @@ impl Solver {
                         // Already implied; open an empty level to keep the
                         // assumption/level correspondence simple.
                         self.trail_limits.push(self.trail.len());
+                        self.installed_assumptions.push(assumption);
                     }
                     Value::False => {
                         self.last_core = self.analyze_final_falsified(assumption);
@@ -234,6 +258,7 @@ impl Solver {
                     }
                     Value::Unassigned => {
                         self.trail_limits.push(self.trail.len());
+                        self.installed_assumptions.push(assumption);
                         self.enqueue(assumption, UNDEF_CLAUSE);
                         conflict = self.propagate();
                     }
@@ -333,6 +358,7 @@ impl Solver {
             restarts: self.restarts,
             decisions: self.decisions,
             learnt_deleted: self.db.num_deleted(),
+            clause_lits_removed: self.clause_lits_removed,
         }
     }
 
@@ -370,6 +396,10 @@ impl Solver {
     }
 
     fn backtrack_to(&mut self, level: u32) {
+        // Assumption levels above the target are gone; free-decision levels
+        // (beyond the installed assumptions) leave the prefix untouched.
+        let kept = (level as usize).min(self.installed_assumptions.len());
+        self.installed_assumptions.truncate(kept);
         while self.decision_level() > level {
             let limit = self.trail_limits.pop().expect("limit exists");
             while self.trail.len() > limit {
@@ -488,6 +518,27 @@ impl Solver {
             clause_idx = self.reasons[asserting.expect("asserting literal").var().0 as usize];
             debug_assert_ne!(clause_idx, UNDEF_CLAUSE);
         }
+
+        // Self-subsumption minimization: a non-asserting literal is redundant
+        // when every other literal of its reason clause was already visited
+        // by the resolution above (or sits at level 0) — resolving the learnt
+        // clause with that reason removes the literal and introduces nothing
+        // new. One local pass (no recursive reason-chasing): the removal must
+        // stay cheap relative to the tiny ordering clauses it minimizes.
+        let before_minimize = learnt.len();
+        let (reasons, levels, db) = (&self.reasons, &self.levels, &self.db);
+        learnt.retain(|lit| {
+            let var = lit.var().0 as usize;
+            let reason = reasons[var];
+            if reason == UNDEF_CLAUSE {
+                return true;
+            }
+            db.get(reason).literals.iter().any(|other| {
+                let v = other.var().0 as usize;
+                v != var && !seen[v] && levels[v] > 0
+            })
+        });
+        self.clause_lits_removed += (before_minimize - learnt.len()) as u64;
 
         let asserting = asserting.expect("asserting literal").negated();
         let backtrack_level = learnt

@@ -138,6 +138,9 @@ pub struct SolverStats {
     pub decisions: u64,
     /// Learnt clauses deleted by LBD-based database reduction.
     pub learnt_deleted: u64,
+    /// Literals removed from learnt clauses by self-subsumption
+    /// minimization before install.
+    pub clause_lits_removed: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -485,5 +488,34 @@ mod tests {
         assert!(stats.conflicts > 300, "pigeonhole is conflict-heavy");
         assert!(stats.restarts > 0, "restarts fired");
         assert!(stats.learnt_deleted > 0, "reduction fired");
+    }
+
+    #[test]
+    fn self_subsumption_minimizes_learnt_clauses() {
+        // The same conflict-heavy pigeonhole instance: first-UIP clauses over
+        // the at-most-one ladder routinely carry literals whose reasons are
+        // already subsumed, so the minimization counter must move — and
+        // removing redundant literals must not change the verdict.
+        let (pigeons, holes) = (7usize, 6usize);
+        let mut solver = Solver::new();
+        let vars = make_vars(&mut solver, pigeons * holes);
+        let var_at = |p: usize, h: usize| (p * holes + h + 1) as i32;
+        for p in 0..pigeons {
+            solver.add_clause((0..holes).map(|h| lit(&vars, var_at(p, h))));
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    solver.add_clause([lit(&vars, -var_at(p1, h)), lit(&vars, -var_at(p2, h))]);
+                }
+            }
+        }
+        assert!(!solver.solve().is_sat());
+        let stats = solver.stats();
+        assert!(
+            stats.clause_lits_removed > 0,
+            "self-subsumption removed no literals across {} conflicts",
+            stats.conflicts
+        );
     }
 }

@@ -45,6 +45,14 @@ pub struct ServeConfig {
     /// exceeds it, the least-recently-used engine is evicted (its tenant's
     /// next request cold-starts, results unchanged). Clamped to at least 1.
     pub engines_per_shard: usize,
+    /// Maximum summed context weight per shard — the *memory-proportional*
+    /// cap. Engines are weighed by
+    /// [`UpdateEngine::resident_contexts`](netupd_synth::UpdateEngine::resident_contexts)
+    /// (min 1 each): an engine that ran 8-way parallel synthesis holds eight
+    /// warm checker contexts and costs eight times the pool budget of a
+    /// sequential one, so eviction tracks retained memory instead of engine
+    /// count. `0` disables the weight cap (the count cap still applies).
+    pub max_resident_contexts: usize,
     /// Maximum *queued* (not yet started) requests per tenant. A submit that
     /// would exceed it is shed with
     /// [`AdmissionError::TenantQueueFull`](crate::AdmissionError).
@@ -66,6 +74,7 @@ impl Default for ServeConfig {
             worker_threads: 4,
             shards: 8,
             engines_per_shard: 64,
+            max_resident_contexts: 0,
             tenant_queue_limit: 64,
             global_queue_limit: 4096,
             start_paused: false,
@@ -99,6 +108,14 @@ impl ServeConfig {
     #[must_use]
     pub fn engines_per_shard(mut self, cap: usize) -> Self {
         self.engines_per_shard = cap.max(1);
+        self
+    }
+
+    /// Builder-style setter for the per-shard context-weight cap (`0`
+    /// disables it — see [`ServeConfig::max_resident_contexts`]).
+    #[must_use]
+    pub fn max_resident_contexts(mut self, cap: usize) -> Self {
+        self.max_resident_contexts = cap;
         self
     }
 
@@ -137,6 +154,11 @@ impl ServeConfig {
     /// The per-shard engine cap after clamping.
     pub(crate) fn effective_engines_per_shard(&self) -> usize {
         self.engines_per_shard.max(1)
+    }
+
+    /// The per-shard context-weight cap (`0` = disabled, no clamping).
+    pub(crate) fn effective_max_resident_contexts(&self) -> usize {
+        self.max_resident_contexts
     }
 }
 

@@ -123,6 +123,12 @@ pub struct MetricsSnapshot {
     /// [`UpdateEngine::repin`](netupd_synth::UpdateEngine::repin) instead of
     /// being rebuilt from scratch.
     pub engines_recycled: usize,
+    /// Point-in-time gauge: summed context weight
+    /// ([`UpdateEngine::resident_contexts`](netupd_synth::UpdateEngine::resident_contexts),
+    /// min 1 per engine) of all engines resident in the pool — what the
+    /// [`ServeConfig::max_resident_contexts`](crate::ServeConfig) eviction
+    /// cap is enforced against.
+    pub resident_contexts: usize,
     /// Queue-wait summary over all completed requests.
     pub queue_wait: LatencySummary,
     /// Service-time summary over all completed requests.
@@ -199,6 +205,9 @@ impl Metrics {
             engine_misses: inner.engine_misses,
             engines_evicted: inner.engines_evicted,
             engines_recycled: inner.engines_recycled,
+            // A gauge, not a counter: the server overlays the pool's live
+            // context weight after taking this snapshot.
+            resident_contexts: 0,
             queue_wait: LatencySummary::from_samples(&inner.queue_waits),
             service_time: LatencySummary::from_samples(&inner.service_times),
         }
